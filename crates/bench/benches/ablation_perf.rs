@@ -1,0 +1,78 @@
+//! Ablation (extension): security vs. performance across every defense.
+//!
+//! The paper's motivation is that defenses trade performance for security
+//! and often deliver neither; this bench quantifies both sides on the same
+//! substrate: mean execution cycles over a fixed random workload (relative
+//! to the insecure baseline) next to the outcome of a CT-SEQ fuzzing
+//! campaign. Expected shape: Baseline fastest and insecure; published
+//! defenses leak through their bugs; patched/strict designs are clean with
+//! overhead ordered DelayAll > DelayOnMiss ≈ SpecLFB-Patched >
+//! InvisiSpec-Patched ≈ GhostMinion > Baseline.
+
+use amulet_bench::{banner, bench_config, env_usize, run_campaign};
+use amulet_contracts::ContractKind;
+use amulet_core::{Generator, GeneratorConfig};
+use amulet_defenses::DefenseKind;
+use amulet_isa::TestInput;
+use amulet_sim::{SimConfig, Simulator};
+use amulet_util::Xoshiro256;
+
+/// Mean exit cycle over a fixed random workload.
+fn mean_cycles(kind: DefenseKind) -> f64 {
+    let programs = env_usize("AMULET_PROGRAMS", 30);
+    let mut generator = Generator::new(GeneratorConfig::default(), 99);
+    let mut rng = Xoshiro256::seed_from_u64(100);
+    let mut sim = Simulator::new(SimConfig::default(), kind.build());
+    let mut total = 0u64;
+    let mut n = 0u64;
+    for _ in 0..programs {
+        let flat = generator.program().flatten();
+        for _ in 0..4 {
+            let input = TestInput::random(&mut rng, 1);
+            sim.flush_caches();
+            sim.load_test(&flat, &input);
+            if let Some(c) = sim.run().exit_cycle {
+                total += c;
+                n += 1;
+            }
+        }
+    }
+    total as f64 / n.max(1) as f64
+}
+
+fn main() {
+    banner(
+        "Ablation",
+        "security vs performance across defenses (extension experiment)",
+    );
+    let kinds = [
+        DefenseKind::Baseline,
+        DefenseKind::InvisiSpec,
+        DefenseKind::InvisiSpecPatched,
+        DefenseKind::CleanupSpec,
+        DefenseKind::SpecLfb,
+        DefenseKind::SpecLfbPatched,
+        DefenseKind::GhostMinion,
+        DefenseKind::DelayOnMiss,
+        DefenseKind::DelayAll,
+    ];
+    let base = mean_cycles(DefenseKind::Baseline);
+    println!(
+        "{:<22} {:>12} {:>10} {:>12} {:>8}",
+        "Defense", "Mean cycles", "Overhead", "CT-SEQ leak", "Classes"
+    );
+    for kind in kinds {
+        let cycles = mean_cycles(kind);
+        let report = run_campaign(bench_config(kind, ContractKind::CtSeq));
+        println!(
+            "{:<22} {:>12.0} {:>9.1}% {:>12} {:>8}",
+            kind.name(),
+            cycles,
+            100.0 * (cycles / base - 1.0),
+            if report.violation_found() { "YES" } else { "no" },
+            report.unique_violation_count(),
+        );
+    }
+    println!("\n(Overhead relative to the insecure baseline on the same workload;");
+    println!(" leak = any confirmed CT-SEQ violation at bench scale.)");
+}

@@ -1,0 +1,53 @@
+//! Figure 6 + Table 7 — InvisiSpec UV2: same-core speculative interference.
+//!
+//! As in the paper, the vulnerability is *found by fuzzing* patched
+//! InvisiSpec under MSHR amplification; the confirmed violation's debug log
+//! is then filtered to the Table 7 operation sequence: speculative loads,
+//! MSHR stalls, exposes, and the missing line in the final snapshot.
+
+use amulet_bench::{banner, bench_config, run_campaign};
+use amulet_contracts::ContractKind;
+use amulet_core::{ViolationClass};
+use amulet_defenses::DefenseKind;
+use amulet_sim::{DebugEvent, SimConfig};
+
+fn main() {
+    banner("Figure 6 / Table 7", "InvisiSpec UV2 found by amplified fuzzing");
+    let mut cfg = bench_config(DefenseKind::InvisiSpecPatched, ContractKind::CtSeq);
+    cfg.sim = SimConfig::default().amplified(2, 2);
+    cfg.programs_per_instance *= 2;
+    let report = run_campaign(cfg);
+    println!(
+        "cases: {}  violations: {}  classes: {:?}",
+        report.stats.cases,
+        report.violations.len(),
+        report.unique_classes()
+    );
+    let Some((v, _)) = report
+        .violations
+        .iter()
+        .find(|(_, c)| *c == ViolationClass::MshrInterference)
+    else {
+        println!("no UV2 this run — raise AMULET_PROGRAMS and retry");
+        return;
+    };
+    println!("\n--- violating program ---\n{}", v.program);
+    println!("--- Table 7-style operation sequences ---");
+    for (label, log) in [("Input A", &v.log_a), ("Input B", &v.log_b)] {
+        println!("{label}:");
+        for e in log.iter().filter(|e| {
+            matches!(
+                e,
+                DebugEvent::LoadIssue { spec: true, .. }
+                    | DebugEvent::MshrStall { .. }
+                    | DebugEvent::Expose { .. }
+                    | DebugEvent::Replace { .. }
+                    | DebugEvent::Exit { .. }
+            )
+        }) {
+            println!("  {e}");
+        }
+    }
+    let diff = v.utrace_a.l1d_diff(&v.utrace_b);
+    println!("\nL1D diff (the stalled expose's line): {diff:x?}");
+}

@@ -1,0 +1,51 @@
+//! Figure 8 — SpecLFB UV6: the first speculative load in the LSQ is
+//! (incorrectly) marked safe by the `isReallyUnsafe` optimisation, so a
+//! single-load Spectre-v1 with a register secret leaks; the patched variant
+//! parks the load in the LFB and drops it on squash.
+
+use amulet_bench::banner;
+use amulet_defenses::{gadgets, DefenseKind};
+use amulet_isa::parse_program;
+use amulet_sim::{DebugEvent, SimConfig, Simulator};
+
+fn run(kind: DefenseKind, secret: u64) -> (Vec<u64>, bool) {
+    let src = gadgets::spectre_v1(gadgets::payload::SINGLE_LOAD);
+    let flat = parse_program(&src).unwrap().flatten();
+    let mut sim = Simulator::new(SimConfig::default(), kind.build());
+    for _ in 0..12 {
+        sim.load_test(&flat, &gadgets::train_input(1));
+        sim.run();
+    }
+    sim.flush_caches();
+    let mut v = gadgets::victim_input(1);
+    v.regs[1] = secret;
+    sim.load_test(&flat, &v);
+    sim.run();
+    let unsafe_fill = sim
+        .log()
+        .any(|e| matches!(e, DebugEvent::LfbUnsafeFill { .. }));
+    (sim.snapshot().l1d, unsafe_fill)
+}
+
+fn main() {
+    banner("Figure 8", "SpecLFB UV6: first speculative load unprotected");
+    println!(
+        "victim shape (paper Fig. 8b: secret in RBX, single speculative load):\n{}\n",
+        gadgets::spectre_v1(gadgets::payload::SINGLE_LOAD)
+    );
+    for kind in [DefenseKind::SpecLfb, DefenseKind::SpecLfbPatched] {
+        let (a, bug_a) = run(kind, 0xA00);
+        let (b, _) = run(kind, 0x300);
+        println!(
+            "{:<18} A: {a:x?}\n{:<18} B: {b:x?}",
+            kind.name(),
+            ""
+        );
+        println!(
+            "{:<18} isReallyUnsafe-cleared fill seen: {}  => {}\n",
+            "",
+            bug_a,
+            if a != b { "LEAKS (UV6)" } else { "protected" }
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Table 2 — breakdown of time per test program, Naive vs Opt µarch-trace
+//! extraction.
+//!
+//! Two views are printed:
+//! 1. the gem5-calibrated **modelled** breakdown (reproduces the paper's
+//!    numbers exactly: startup dominates Naive at ~96%, simulation dominates
+//!    Opt at ~88%, 13× total ratio);
+//! 2. the **measured** per-component wall times of this Rust substrate, for
+//!    the same pipeline stages.
+
+use amulet_bench::{banner, env_usize};
+use amulet_contracts::{ContractKind, LeakageModel};
+use amulet_core::{
+    boosted_inputs, CostModel, ExecMode, Executor, ExecutorConfig, Generator, GeneratorConfig,
+    InputGenConfig, TraceFormat, UTrace,
+};
+use amulet_defenses::DefenseKind;
+use amulet_util::Xoshiro256;
+use std::time::Instant;
+
+fn measured(mode: ExecMode, programs: usize, inputs: usize) {
+    let model = LeakageModel::new(ContractKind::CtSeq);
+    let mut generator = Generator::new(GeneratorConfig::default(), 42);
+    let mut rng = Xoshiro256::seed_from_u64(43);
+    let mut executor = Executor::new(ExecutorConfig {
+        mode,
+        ..ExecutorConfig::new(DefenseKind::Baseline)
+    });
+    let input_cfg = InputGenConfig {
+        base_inputs: (inputs / 14).max(1),
+        mutations: 13,
+        pages: 1,
+    };
+
+    let (mut t_gen, mut t_ctrace, mut t_sim, mut t_trace) = (0.0f64, 0.0, 0.0, 0.0);
+    let mut cases = 0usize;
+    let t0 = Instant::now();
+    for _ in 0..programs {
+        let t = Instant::now();
+        let program = generator.program();
+        let flat = program.flatten();
+        t_gen += t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let inputs = boosted_inputs(&model, &flat, &input_cfg, &mut rng);
+        for input in &inputs {
+            model.ctrace(&flat, input);
+        }
+        t_ctrace += t.elapsed().as_secs_f64();
+
+        for input in &inputs {
+            let t = Instant::now();
+            let run = executor.run_case(&flat, input);
+            t_sim += t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let _utrace: &UTrace = &run.utrace;
+            t_trace += t.elapsed().as_secs_f64();
+            cases += 1;
+        }
+    }
+    let total = t0.elapsed().as_secs_f64();
+    let others = (total - t_gen - t_ctrace - t_sim - t_trace).max(0.0);
+    println!("\nMeasured on this substrate ({mode:?}, {programs} programs, {cases} cases):");
+    let row = |name: &str, v: f64| {
+        println!("  {name:<22} {:>9.1} ms ({:>5.1}%)", v * 1e3, 100.0 * v / total)
+    };
+    row("simulate + startup", t_sim);
+    row("uTrace extraction", t_trace);
+    row("test generation", t_gen);
+    row("ctrace extraction", t_ctrace);
+    row("others", others);
+    println!("  {:<22} {:>9.1} ms  ({:.0} cases/s)", "total", total * 1e3, cases as f64 / total);
+}
+
+fn main() {
+    banner("Table 2", "time per test program: AMuLeT-Naive vs AMuLeT-Opt");
+    let model = CostModel::default();
+    for mode in [ExecMode::Naive, ExecMode::Opt] {
+        println!("\n--- {} (modelled, gem5-calibrated, 140 inputs/program) ---", mode.name());
+        print!("{}", model.per_program(mode, 140));
+    }
+    let naive = model.per_program(ExecMode::Naive, 140).total();
+    let opt = model.per_program(ExecMode::Opt, 140).total();
+    println!("\nmodelled speedup Opt vs Naive: {:.1}x (paper: 13x)", naive / opt);
+
+    let programs = env_usize("AMULET_PROGRAMS", 30).min(30);
+    for mode in [ExecMode::Naive, ExecMode::Opt] {
+        measured(mode, programs, 28);
+    }
+    let _ = TraceFormat::L1dTlb;
+}

@@ -1,0 +1,63 @@
+//! Shared helpers for the table/figure benches.
+//!
+//! Every bench accepts environment variables to scale up to paper size:
+//!
+//! - `AMULET_INSTANCES` — parallel campaign instances (paper: 100)
+//! - `AMULET_PROGRAMS` — test programs per instance (paper: 200)
+//! - `AMULET_BASE_INPUTS` / `AMULET_MUTATIONS` — inputs per program
+//!   (paper: 140 total)
+//!
+//! Defaults are laptop-scale so `cargo bench --workspace` completes in
+//! minutes while preserving the tables' *shapes*.
+
+use amulet_contracts::ContractKind;
+use amulet_core::{Campaign, CampaignConfig, CampaignReport};
+use amulet_defenses::DefenseKind;
+
+/// Reads a `usize` from the environment with a default.
+pub fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Standard bench campaign configuration, env-scalable.
+pub fn bench_config(defense: DefenseKind, contract: ContractKind) -> CampaignConfig {
+    let mut cfg = CampaignConfig::quick(defense, contract);
+    cfg.instances = env_usize("AMULET_INSTANCES", 4);
+    cfg.programs_per_instance = env_usize("AMULET_PROGRAMS", 30);
+    cfg.inputs.base_inputs = env_usize("AMULET_BASE_INPUTS", 4);
+    cfg.inputs.mutations = env_usize("AMULET_MUTATIONS", 6);
+    cfg
+}
+
+/// Runs a campaign and returns the report.
+pub fn run_campaign(cfg: CampaignConfig) -> CampaignReport {
+    Campaign::new(cfg).run()
+}
+
+/// Prints the standard bench banner.
+pub fn banner(id: &str, what: &str) {
+    println!("================================================================");
+    println!("{id}: {what}");
+    println!("(scale with AMULET_INSTANCES / AMULET_PROGRAMS / AMULET_BASE_INPUTS / AMULET_MUTATIONS)");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_usize_defaults() {
+        assert_eq!(env_usize("AMULET_DOES_NOT_EXIST", 7), 7);
+    }
+
+    #[test]
+    fn bench_config_shapes() {
+        let cfg = bench_config(DefenseKind::Baseline, ContractKind::CtSeq);
+        assert!(cfg.instances >= 1);
+        assert!(cfg.programs_per_instance >= 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Leakage contracts — the ISA-level model of *expected* leakage.
+//!
+//! A contract (Guarnieri et al., adopted by AMuLeT §2.1) maps every program
+//! execution to a **contract trace**: the sequence of ISA-level observations
+//! an attacker is *allowed* to learn. A defense violates its contract when
+//! two executions with equal contract traces produce different µarch traces
+//! (Definition 2.1).
+//!
+//! Implemented contracts (paper Table 1):
+//!
+//! | Name       | Observation clause            | Execution clause          |
+//! |------------|-------------------------------|---------------------------|
+//! | `CT-SEQ`   | PC, load/store addresses      | sequential only           |
+//! | `CT-COND`  | PC, load/store addresses      | mispredicted branches     |
+//! | `ARCH-SEQ` | CT-SEQ + loaded values        | sequential only           |
+//! | `CT-BPAS`  | PC, load/store addresses      | branches + store bypass   |
+//!
+//! `CT-BPAS` is the extension contract used (as in §3.3) to *filter*
+//! Spectre-v4-style leaks as expected when triaging violations.
+//!
+//! # Examples
+//!
+//! ```
+//! use amulet_contracts::{ContractKind, LeakageModel};
+//! use amulet_isa::{parse_program, TestInput};
+//!
+//! let flat = parse_program("MOV RAX, qword ptr [R14 + 8]\nEXIT").unwrap().flatten();
+//! let model = LeakageModel::new(ContractKind::CtSeq);
+//! let trace = model.ctrace(&flat, &TestInput::zeroed(1));
+//! assert!(!trace.observations().is_empty());
+//! ```
+
+pub mod driver;
+pub mod trace;
+
+pub use driver::LeakageModel;
+pub use trace::{CTrace, Observation};
+
+/// The contracts available for testing, per paper Table 1 (+ CT-BPAS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContractKind {
+    /// PC + load/store addresses, sequential execution only.
+    CtSeq,
+    /// CT-SEQ observations, plus exploration of mispredicted conditional
+    /// branches (captures Spectre-v1-style leakage as *expected*).
+    CtCond,
+    /// CT-SEQ observations plus loaded values (STT's non-interference
+    /// guarantee is tested against this).
+    ArchSeq,
+    /// CT-COND plus store-bypass exploration (captures Spectre-v4-style
+    /// leakage as *expected*); used for violation filtering.
+    CtBpas,
+}
+
+impl ContractKind {
+    /// All contract kinds.
+    pub const ALL: [ContractKind; 4] = [
+        ContractKind::CtSeq,
+        ContractKind::CtCond,
+        ContractKind::ArchSeq,
+        ContractKind::CtBpas,
+    ];
+
+    /// Paper-style name (e.g. `"CT-SEQ"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ContractKind::CtSeq => "CT-SEQ",
+            ContractKind::CtCond => "CT-COND",
+            ContractKind::ArchSeq => "ARCH-SEQ",
+            ContractKind::CtBpas => "CT-BPAS",
+        }
+    }
+
+    /// Whether the observation clause exposes loaded values.
+    pub fn observes_values(self) -> bool {
+        matches!(self, ContractKind::ArchSeq)
+    }
+
+    /// Whether the execution clause explores mispredicted branches.
+    pub fn explores_branches(self) -> bool {
+        matches!(self, ContractKind::CtCond | ContractKind::CtBpas)
+    }
+
+    /// Whether the execution clause explores store bypass.
+    pub fn explores_store_bypass(self) -> bool {
+        matches!(self, ContractKind::CtBpas)
+    }
+}
+
+impl std::fmt::Display for ContractKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_clauses() {
+        // Table 1 of the paper, as executable assertions.
+        assert!(!ContractKind::CtSeq.observes_values());
+        assert!(!ContractKind::CtSeq.explores_branches());
+        assert!(ContractKind::CtCond.explores_branches());
+        assert!(!ContractKind::CtCond.observes_values());
+        assert!(ContractKind::ArchSeq.observes_values());
+        assert!(!ContractKind::ArchSeq.explores_branches());
+        assert!(ContractKind::CtBpas.explores_store_bypass());
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(ContractKind::CtSeq.name(), "CT-SEQ");
+        assert_eq!(ContractKind::CtCond.name(), "CT-COND");
+        assert_eq!(ContractKind::ArchSeq.name(), "ARCH-SEQ");
+        assert_eq!(format!("{}", ContractKind::CtBpas), "CT-BPAS");
+    }
+}

@@ -1,0 +1,293 @@
+//! Violation analysis: classification against the paper's finding catalogue
+//! and signature-based filtering (§3.3, Figure 3).
+//!
+//! The paper root-causes violations by diffing gem5 debug logs and then
+//! filters re-discoveries either with a leakage-specific contract or with
+//! regex signatures over the logs. AMuLeT-rs's simulator emits typed events,
+//! so signatures are pattern matches: [`classify`] maps a confirmed
+//! [`Violation`] to a [`ViolationClass`], and [`ViolationFilter`] suppresses
+//! classes that have already been root-caused.
+
+use crate::detect::Violation;
+use amulet_sim::{DebugEvent, SquashReason};
+use std::collections::HashSet;
+use std::fmt;
+
+/// The catalogue of violation classes from the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ViolationClass {
+    /// Spectre-v1: leak via a mispredicted conditional branch.
+    SpectreV1,
+    /// Spectre-v4: leak via store-bypass (memory-order) speculation.
+    SpectreV4,
+    /// UV1 — InvisiSpec speculative L1D eviction bug.
+    SpecEviction,
+    /// UV2 — InvisiSpec same-core speculative interference (MSHR stalls).
+    MshrInterference,
+    /// UV3 — CleanupSpec speculative store not cleaned.
+    SpecStoreNotCleaned,
+    /// UV4 — CleanupSpec split requests not cleaned.
+    SplitNotCleaned,
+    /// UV5 — CleanupSpec too much cleaning.
+    TooMuchCleaning,
+    /// UV6 — SpecLFB first speculative load unprotected.
+    LfbFirstLoad,
+    /// KV1 — speculative instruction fetches (L1I differences).
+    SpecIFetch,
+    /// KV2 — unXpec: cleanup-time differences via L1I fetch-ahead.
+    UnxpecTiming,
+    /// KV3 — STT tainted store installing a D-TLB entry.
+    SttStoreTlb,
+    /// No known signature matched.
+    Unknown,
+}
+
+impl ViolationClass {
+    /// Paper identifier (e.g. `"UV1"`).
+    pub fn paper_id(self) -> &'static str {
+        match self {
+            ViolationClass::SpectreV1 => "Spectre-v1",
+            ViolationClass::SpectreV4 => "Spectre-v4",
+            ViolationClass::SpecEviction => "UV1",
+            ViolationClass::MshrInterference => "UV2",
+            ViolationClass::SpecStoreNotCleaned => "UV3",
+            ViolationClass::SplitNotCleaned => "UV4",
+            ViolationClass::TooMuchCleaning => "UV5",
+            ViolationClass::LfbFirstLoad => "UV6",
+            ViolationClass::SpecIFetch => "KV1",
+            ViolationClass::UnxpecTiming => "KV2",
+            ViolationClass::SttStoreTlb => "KV3",
+            ViolationClass::Unknown => "?",
+        }
+    }
+
+    /// Human-readable description.
+    pub fn describe(self) -> &'static str {
+        match self {
+            ViolationClass::SpectreV1 => "speculative load after mispredicted branch",
+            ViolationClass::SpectreV4 => "load bypassed an older store (memory-order)",
+            ViolationClass::SpecEviction => "speculative L1D eviction (InvisiSpec bug)",
+            ViolationClass::MshrInterference => "MSHR contention delayed an expose",
+            ViolationClass::SpecStoreNotCleaned => "speculative store fill not cleaned",
+            ViolationClass::SplitNotCleaned => "split-request fill not cleaned",
+            ViolationClass::TooMuchCleaning => "cleanup erased a non-speculative footprint",
+            ViolationClass::LfbFirstLoad => "first speculative load bypassed the LFB",
+            ViolationClass::SpecIFetch => "speculative instruction fetch footprint",
+            ViolationClass::UnxpecTiming => "cleanup latency leaked via fetch-ahead",
+            ViolationClass::SttStoreTlb => "tainted store installed a TLB entry",
+            ViolationClass::Unknown => "unclassified leak",
+        }
+    }
+}
+
+impl fmt::Display for ViolationClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.paper_id(), self.describe())
+    }
+}
+
+fn has(log: &[DebugEvent], pred: impl Fn(&DebugEvent) -> bool) -> bool {
+    log.iter().any(pred)
+}
+
+fn either(v: &Violation, pred: impl Fn(&DebugEvent) -> bool + Copy) -> bool {
+    has(&v.log_a, pred) || has(&v.log_b, pred)
+}
+
+/// Classifies a confirmed violation by its debug-log signature and trace
+/// diff — the automated analogue of the paper's manual root-cause workflow.
+pub fn classify(v: &Violation) -> ViolationClass {
+    let l1d_diff = v.utrace_a.l1d_diff(&v.utrace_b);
+    let tlb_diff = v.utrace_a.dtlb_diff(&v.utrace_b);
+    let l1i_diff = v.utrace_a.l1i_diff(&v.utrace_b);
+
+    // Most specific signatures first.
+    if either(v, |e| matches!(e, DebugEvent::LfbUnsafeFill { .. })) {
+        return ViolationClass::LfbFirstLoad;
+    }
+    if !tlb_diff.is_empty()
+        && either(v, |e| {
+            matches!(
+                e,
+                DebugEvent::TlbFill {
+                    store: true,
+                    tainted: true,
+                    ..
+                }
+            )
+        })
+    {
+        return ViolationClass::SttStoreTlb;
+    }
+    if either(v, |e| matches!(e, DebugEvent::CleanupMissing { .. })) {
+        if either(v, |e| matches!(e, DebugEvent::SplitReq { .. })) {
+            return ViolationClass::SplitNotCleaned;
+        }
+        return ViolationClass::SpecStoreNotCleaned;
+    }
+    // Too much cleaning: an undone line shows up in the diff.
+    let undone_in_diff = |log: &[DebugEvent]| {
+        log.iter().any(|e| {
+            matches!(e, DebugEvent::Undo { addr, .. } if l1d_diff.contains(addr))
+        })
+    };
+    if undone_in_diff(&v.log_a) || undone_in_diff(&v.log_b) {
+        return ViolationClass::TooMuchCleaning;
+    }
+    // UV1: a speculative replacement with *no* corresponding fill — the
+    // InvisiSpec bug evicts a victim while the requesting load itself stays
+    // invisible. (Baseline speculative fills also evict, but always log a
+    // Fill for the same sequence number.)
+    let eviction_without_fill = |log: &[DebugEvent]| {
+        log.iter().any(|e| {
+            if let DebugEvent::Replace { spec: true, seq, .. } = e {
+                !log.iter()
+                    .any(|f| matches!(f, DebugEvent::Fill { seq: fs, .. } if fs == seq))
+            } else {
+                false
+            }
+        })
+    };
+    if eviction_without_fill(&v.log_a) || eviction_without_fill(&v.log_b) {
+        return ViolationClass::SpecEviction;
+    }
+    if !l1d_diff.is_empty()
+        && either(v, |e| matches!(e, DebugEvent::MshrStall { .. }))
+        && either(v, |e| matches!(e, DebugEvent::Expose { .. }))
+    {
+        return ViolationClass::MshrInterference;
+    }
+    if l1d_diff.is_empty() && tlb_diff.is_empty() && !l1i_diff.is_empty() {
+        if either(v, |e| matches!(e, DebugEvent::Undo { .. })) {
+            return ViolationClass::UnxpecTiming;
+        }
+        return ViolationClass::SpecIFetch;
+    }
+    if either(v, |e| {
+        matches!(
+            e,
+            DebugEvent::Squash {
+                reason: SquashReason::MemOrderViolation,
+                ..
+            }
+        )
+    }) {
+        return ViolationClass::SpectreV4;
+    }
+    if either(v, |e| {
+        matches!(
+            e,
+            DebugEvent::Squash {
+                reason: SquashReason::BranchMispredict,
+                ..
+            }
+        )
+    }) {
+        return ViolationClass::SpectreV1;
+    }
+    ViolationClass::Unknown
+}
+
+/// Suppresses violations of already-root-caused classes — the paper's
+/// "identifying unique violations" step.
+#[derive(Debug, Clone, Default)]
+pub struct ViolationFilter {
+    suppressed: HashSet<ViolationClass>,
+}
+
+impl ViolationFilter {
+    /// An empty filter (keeps everything).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Suppresses a class (builder style).
+    pub fn suppress(mut self, class: ViolationClass) -> Self {
+        self.suppressed.insert(class);
+        self
+    }
+
+    /// `true` if the violation should be kept (not yet root-caused).
+    pub fn keep(&self, v: &Violation) -> bool {
+        !self.suppressed.contains(&classify(v))
+    }
+
+    /// The suppressed classes.
+    pub fn suppressed(&self) -> impl Iterator<Item = &ViolationClass> {
+        self.suppressed.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{Executor, ExecutorConfig};
+    use crate::detect::Detector;
+    use amulet_contracts::{ContractKind, LeakageModel};
+    use amulet_defenses::gadgets::{self, payload};
+    use amulet_defenses::DefenseKind;
+    use amulet_isa::parse_program;
+
+    fn find_violation(defense: DefenseKind, payload: &str, secrets: (u64, u64)) -> Violation {
+        let src = gadgets::spectre_v1(payload);
+        let program = parse_program(&src).unwrap();
+        let flat = program.flatten();
+        let mut executor = Executor::new(ExecutorConfig::new(defense));
+        for _ in 0..12 {
+            executor.run_case(&flat, &gadgets::train_input(1));
+        }
+        let mut a = gadgets::victim_input(1);
+        a.regs[1] = secrets.0;
+        let mut b = gadgets::victim_input(1);
+        b.regs[1] = secrets.1;
+        let detector = Detector::new(LeakageModel::new(ContractKind::CtSeq));
+        let (violations, stats) = detector.scan(&program, &flat, &[a, b], &mut executor);
+        assert!(!violations.is_empty(), "{defense}: no violation ({stats:?})");
+        violations.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn classifies_baseline_v1() {
+        let v = find_violation(DefenseKind::Baseline, payload::SINGLE_LOAD, (0x740, 0x100));
+        assert_eq!(classify(&v), ViolationClass::SpectreV1);
+    }
+
+    #[test]
+    fn classifies_invisispec_uv1() {
+        let v = find_violation(
+            DefenseKind::InvisiSpec,
+            payload::SINGLE_LOAD,
+            (0x740, 0x100),
+        );
+        assert_eq!(classify(&v), ViolationClass::SpecEviction);
+    }
+
+    #[test]
+    fn classifies_cleanupspec_uv3() {
+        let v = find_violation(DefenseKind::CleanupSpec, payload::STORE, (0x740, 0x100));
+        assert_eq!(classify(&v), ViolationClass::SpecStoreNotCleaned);
+    }
+
+    #[test]
+    fn classifies_speclfb_uv6() {
+        let v = find_violation(DefenseKind::SpecLfb, payload::SINGLE_LOAD, (0x740, 0x100));
+        assert_eq!(classify(&v), ViolationClass::LfbFirstLoad);
+    }
+
+    #[test]
+    fn filter_suppresses_classes() {
+        let v = find_violation(DefenseKind::Baseline, payload::SINGLE_LOAD, (0x740, 0x100));
+        let filter = ViolationFilter::none();
+        assert!(filter.keep(&v));
+        let filter = filter.suppress(ViolationClass::SpectreV1);
+        assert!(!filter.keep(&v));
+        assert_eq!(filter.suppressed().count(), 1);
+    }
+
+    #[test]
+    fn class_display_uses_paper_ids() {
+        assert_eq!(ViolationClass::SpecEviction.paper_id(), "UV1");
+        assert_eq!(ViolationClass::SttStoreTlb.paper_id(), "KV3");
+        assert!(ViolationClass::MshrInterference.to_string().contains("UV2"));
+    }
+}

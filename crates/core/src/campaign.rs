@@ -1,0 +1,334 @@
+//! Campaign orchestration: parallel fuzzing instances with the paper's
+//! metrics (Table 3/4 columns).
+
+use crate::analyze::{classify, ViolationClass, ViolationFilter};
+use crate::cost::CostModel;
+use crate::detect::{Detector, ScanStats, Violation};
+use crate::executor::{ExecMode, Executor, ExecutorConfig};
+use crate::generator::{Generator, GeneratorConfig};
+use crate::inputs::{boosted_inputs, InputGenConfig};
+use crate::trace::TraceFormat;
+use amulet_contracts::{ContractKind, LeakageModel};
+use amulet_defenses::DefenseKind;
+use amulet_sim::SimConfig;
+use amulet_util::{fmt_duration_s, Summary, Xoshiro256};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Full configuration of a testing campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Defense under test.
+    pub defense: DefenseKind,
+    /// Contract to test against.
+    pub contract: ContractKind,
+    /// Execution mode (Naive/Opt).
+    pub mode: ExecMode,
+    /// µarch trace format.
+    pub format: TraceFormat,
+    /// Include the L1I in the baseline trace.
+    pub include_l1i: bool,
+    /// Parallel instances (the paper runs 16 or 100).
+    pub instances: usize,
+    /// Test programs per instance.
+    pub programs_per_instance: usize,
+    /// Input generation parameters (base × mutations).
+    pub inputs: InputGenConfig,
+    /// Program generator parameters.
+    pub generator: GeneratorConfig,
+    /// Simulator configuration (amplification knobs live here).
+    pub sim: SimConfig,
+    /// Campaign seed (instance `i` derives seed + i).
+    pub seed: u64,
+    /// Stop an instance at its first confirmed violation.
+    pub stop_on_first: bool,
+    /// Suppress already-root-caused violation classes.
+    pub filter: ViolationFilter,
+}
+
+impl CampaignConfig {
+    /// A small, fast campaign for tests and examples (2 instances × 12
+    /// programs × 28 inputs).
+    pub fn quick(defense: DefenseKind, contract: ContractKind) -> Self {
+        let hints = defense.harness_hints();
+        CampaignConfig {
+            defense,
+            contract,
+            mode: ExecMode::Opt,
+            format: TraceFormat::L1dTlb,
+            include_l1i: false,
+            instances: 2,
+            programs_per_instance: 12,
+            inputs: InputGenConfig {
+                base_inputs: 4,
+                mutations: 6,
+                pages: hints.sandbox_pages,
+            },
+            generator: GeneratorConfig {
+                pages: hints.sandbox_pages,
+                ..GeneratorConfig::default()
+            },
+            sim: SimConfig::default(),
+            seed: 2025,
+            stop_on_first: false,
+            filter: ViolationFilter::none(),
+        }
+    }
+
+    /// A paper-shaped campaign scaled by `scale` (1.0 = the paper's 100
+    /// instances × 200 programs × 140 inputs; 0.05 is a laptop-friendly
+    /// default).
+    pub fn paper_scaled(defense: DefenseKind, contract: ContractKind, scale: f64) -> Self {
+        let mut cfg = Self::quick(defense, contract);
+        cfg.instances = ((100.0 * scale).round() as usize).clamp(1, 128);
+        cfg.programs_per_instance = ((200.0 * scale.sqrt()).round() as usize).max(4);
+        cfg.inputs.base_inputs = 10;
+        cfg.inputs.mutations = 13;
+        cfg
+    }
+
+    /// Total test cases this campaign will run (absent early stops).
+    pub fn total_cases(&self) -> usize {
+        self.instances * self.programs_per_instance * self.inputs.total()
+    }
+}
+
+/// One instance's results.
+#[derive(Debug, Default)]
+struct InstanceResult {
+    violations: Vec<(Violation, ViolationClass)>,
+    stats: ScanStats,
+    first_detection: Option<Duration>,
+    wall: Duration,
+}
+
+/// Aggregated campaign results, with the paper's reporting metrics.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// The configuration that produced this report.
+    pub config: CampaignConfig,
+    /// Confirmed violations with their classes (filtered).
+    pub violations: Vec<(Violation, ViolationClass)>,
+    /// Aggregate detector counters.
+    pub stats: ScanStats,
+    /// Wall-clock campaign duration (longest instance).
+    pub wall: Duration,
+    /// Per-instance time to first confirmed violation.
+    pub detection_times: Summary,
+    /// Modelled (gem5-calibrated) campaign seconds for this shape.
+    pub modeled_seconds: f64,
+}
+
+impl CampaignReport {
+    /// Whether any violation was confirmed.
+    pub fn violation_found(&self) -> bool {
+        !self.violations.is_empty()
+    }
+
+    /// Measured throughput in test cases per second (this substrate).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64().max(1e-9);
+        // Instances run in parallel: aggregate cases over wall time.
+        self.stats.cases as f64 / secs
+    }
+
+    /// Count of violations per class.
+    pub fn unique_classes(&self) -> BTreeMap<ViolationClass, usize> {
+        let mut m = BTreeMap::new();
+        for (_, c) in &self.violations {
+            *m.entry(*c).or_insert(0usize) += 1;
+        }
+        m
+    }
+
+    /// Number of distinct violation classes (the paper's "unique
+    /// violations" column).
+    pub fn unique_violation_count(&self) -> usize {
+        self.unique_classes().len()
+    }
+
+    /// Mean time-to-detection in seconds (measured), if any violation was
+    /// found.
+    pub fn avg_detection_seconds(&self) -> Option<f64> {
+        (self.detection_times.count() > 0).then(|| self.detection_times.mean())
+    }
+
+    /// A Table-4-style summary row.
+    pub fn summary_row(&self) -> String {
+        format!(
+            "{:<22} {:<9} {:>9} {:>12} {:>7} {:>12} {:>14}",
+            self.config.defense.name(),
+            self.config.contract.name(),
+            if self.violation_found() { "YES" } else { "no" },
+            self.avg_detection_seconds()
+                .map(|s| format!("{s:.2} s"))
+                .unwrap_or_else(|| "-".into()),
+            self.unique_violation_count(),
+            format!("{:.0}/s", self.throughput()),
+            fmt_duration_s(self.wall.as_secs_f64()),
+        )
+    }
+
+    /// The header matching [`CampaignReport::summary_row`].
+    pub fn summary_header() -> String {
+        format!(
+            "{:<22} {:<9} {:>9} {:>12} {:>7} {:>12} {:>14}",
+            "Defense", "Contract", "Violation", "Detect time", "Unique", "Throughput", "Time"
+        )
+    }
+}
+
+/// A runnable campaign.
+#[derive(Debug)]
+pub struct Campaign {
+    cfg: CampaignConfig,
+}
+
+impl Campaign {
+    /// Creates a campaign.
+    pub fn new(cfg: CampaignConfig) -> Self {
+        Campaign { cfg }
+    }
+
+    /// Runs all instances (in parallel threads) and aggregates.
+    pub fn run(self) -> CampaignReport {
+        let cfg = self.cfg;
+        let start = Instant::now();
+        let results: Vec<InstanceResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..cfg.instances)
+                .map(|i| {
+                    let cfg = &cfg;
+                    scope.spawn(move || run_instance(cfg, i))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("instance panicked")).collect()
+        });
+        let wall = start.elapsed();
+
+        let mut report = CampaignReport {
+            violations: Vec::new(),
+            stats: ScanStats::default(),
+            wall,
+            detection_times: Summary::new(),
+            modeled_seconds: CostModel::default().campaign_seconds(
+                cfg.mode,
+                cfg.programs_per_instance,
+                cfg.inputs.total(),
+            ),
+            config: cfg,
+        };
+        for r in results {
+            report.stats.merge(&r.stats);
+            if let Some(d) = r.first_detection {
+                report.detection_times.add(d.as_secs_f64());
+            }
+            report.violations.extend(r.violations);
+        }
+        report
+    }
+}
+
+fn run_instance(cfg: &CampaignConfig, index: usize) -> InstanceResult {
+    let started = Instant::now();
+    let mut rng = Xoshiro256::seed_from_u64(cfg.seed.wrapping_add(index as u64));
+    let mut generator = Generator::new(cfg.generator.clone(), rng.next_u64());
+    let model = LeakageModel::new(cfg.contract);
+    let detector = Detector::new(model.clone());
+    let mut executor = Executor::new(ExecutorConfig {
+        mode: cfg.mode,
+        defense: cfg.defense,
+        format: cfg.format,
+        include_l1i: cfg.include_l1i,
+        sim: cfg.sim.clone(),
+        keep_sandbox: false,
+    });
+
+    let mut out = InstanceResult::default();
+    for _ in 0..cfg.programs_per_instance {
+        let program = generator.program();
+        let flat = program.flatten();
+        let inputs = boosted_inputs(&model, &flat, &cfg.inputs, &mut rng);
+        let (violations, stats) = detector.scan(&program, &flat, &inputs, &mut executor);
+        out.stats.merge(&stats);
+        for v in violations {
+            if !cfg.filter.keep(&v) {
+                continue;
+            }
+            if out.first_detection.is_none() {
+                out.first_detection = Some(started.elapsed());
+            }
+            let class = classify(&v);
+            out.violations.push((v, class));
+        }
+        if cfg.stop_on_first && out.first_detection.is_some() {
+            break;
+        }
+    }
+    out.wall = started.elapsed();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_baseline_campaign_finds_v1() {
+        let mut cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+        cfg.stop_on_first = true;
+        cfg.instances = 2;
+        cfg.programs_per_instance = 40;
+        let report = Campaign::new(cfg).run();
+        assert!(
+            report.violation_found(),
+            "the insecure baseline must violate CT-SEQ quickly ({:?})",
+            report.stats
+        );
+        assert!(report.avg_detection_seconds().is_some());
+        assert!(report.throughput() > 0.0);
+        assert!(report.summary_row().contains("YES"));
+    }
+
+    #[test]
+    fn ghostminion_campaign_is_clean() {
+        // GhostMinion (strictness-ordered invisible speculation) should
+        // survive a quick CT-SEQ campaign without violations.
+        let cfg = CampaignConfig::quick(DefenseKind::GhostMinion, ContractKind::CtSeq);
+        let report = Campaign::new(cfg).run();
+        assert!(
+            !report.violation_found(),
+            "unexpected GhostMinion violations: {:?}",
+            report.unique_classes()
+        );
+        assert!(report.stats.cases > 0);
+    }
+
+    #[test]
+    fn filter_removes_known_classes() {
+        let mut cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+        cfg.stop_on_first = true;
+        cfg.programs_per_instance = 40;
+        cfg.filter = ViolationFilter::none()
+            .suppress(ViolationClass::SpectreV1)
+            .suppress(ViolationClass::SpectreV4)
+            .suppress(ViolationClass::Unknown)
+            .suppress(ViolationClass::SpecIFetch);
+        let report = Campaign::new(cfg).run();
+        assert!(
+            !report.violation_found(),
+            "all baseline classes suppressed, yet: {:?}",
+            report.unique_classes()
+        );
+    }
+
+    #[test]
+    fn paper_scaled_shapes() {
+        let cfg = CampaignConfig::paper_scaled(DefenseKind::Baseline, ContractKind::CtSeq, 1.0);
+        assert_eq!(cfg.instances, 100);
+        assert_eq!(cfg.programs_per_instance, 200);
+        assert_eq!(cfg.inputs.total(), 140);
+        assert_eq!(cfg.total_cases(), 100 * 200 * 140);
+        let small = CampaignConfig::paper_scaled(DefenseKind::Baseline, ContractKind::CtSeq, 0.01);
+        assert_eq!(small.instances, 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! The gem5-calibrated cost model.
+//!
+//! Our Rust simulator starts in microseconds, so the *absolute* times of the
+//! paper's Table 2/3 cannot be measured on this substrate. What can be
+//! reproduced is the **shape**: gem5's startup dominates the naive design
+//! and is amortised by AMuLeT-Opt. This module encodes the paper's measured
+//! per-component costs (Table 2, per test program with 140 inputs) and
+//! projects campaign times under either execution mode — benches print the
+//! modelled numbers next to the real wall-clock measurements of this
+//! substrate.
+
+use crate::executor::ExecMode;
+use std::fmt;
+
+/// Seconds spent per component for one test program (140 inputs), from
+/// paper Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeBreakdown {
+    /// gem5 startup.
+    pub startup: f64,
+    /// gem5 simulation of the test instructions.
+    pub simulate: f64,
+    /// µarch trace extraction.
+    pub utrace_extraction: f64,
+    /// Test generation.
+    pub test_generation: f64,
+    /// Contract-trace extraction.
+    pub ctrace_extraction: f64,
+    /// Everything else (orchestration, IPC).
+    pub others: f64,
+}
+
+impl TimeBreakdown {
+    /// Total seconds.
+    pub fn total(&self) -> f64 {
+        self.startup
+            + self.simulate
+            + self.utrace_extraction
+            + self.test_generation
+            + self.ctrace_extraction
+            + self.others
+    }
+
+    /// Percentage share of one component.
+    pub fn share(&self, component: f64) -> f64 {
+        100.0 * component / self.total()
+    }
+
+    /// Table rows as (name, seconds, percent).
+    pub fn rows(&self) -> Vec<(&'static str, f64, f64)> {
+        [
+            ("gem5 startup", self.startup),
+            ("gem5 simulate", self.simulate),
+            ("uTrace extraction", self.utrace_extraction),
+            ("Test generation", self.test_generation),
+            ("CTrace extraction", self.ctrace_extraction),
+            ("Others", self.others),
+        ]
+        .into_iter()
+        .map(|(n, v)| (n, v, self.share(v)))
+        .chain(std::iter::once(("Total", self.total(), 100.0)))
+        .collect()
+    }
+}
+
+impl fmt::Display for TimeBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, secs, pct) in self.rows() {
+            writeln!(f, "{name:<20} {secs:>8.1} s ({pct:>5.1}%)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Calibration constants from paper Table 2 and the modelled projection
+/// logic.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// gem5 process startup per launch (seconds). Naive launches once per
+    /// input; Opt once per program. 156 s / 140 inputs ≈ 1.11 s.
+    pub startup_per_launch: f64,
+    /// Simulation seconds per input under Naive (short test only).
+    pub simulate_naive_per_input: f64,
+    /// Simulation seconds per input under Opt (test + in-simulator cache
+    /// reset instructions — the paper's 10× instruction overhead).
+    pub simulate_opt_per_input: f64,
+    /// µarch-trace extraction per input (Naive) / per input (Opt).
+    pub utrace_naive_per_input: f64,
+    /// µarch-trace extraction per input under Opt.
+    pub utrace_opt_per_input: f64,
+    /// Test generation per program.
+    pub testgen_per_program: f64,
+    /// Contract-trace extraction per program.
+    pub ctrace_per_program: f64,
+    /// Other costs per program (orchestration, IPC).
+    pub others_naive: f64,
+    /// Other costs per program under Opt.
+    pub others_opt: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Calibrated so that 140 inputs/program reproduces Table 2:
+        // Naive: 156 + 1.4 + 0.9 + 0.5 + 0.1 + 3.4 = 159 s/program
+        // Opt:   0.2 + 11 + 0.6 + 0.3 + 0.1 + 0.3  = 12 s/program
+        CostModel {
+            startup_per_launch: 156.0 / 140.0,
+            simulate_naive_per_input: 1.4 / 140.0,
+            simulate_opt_per_input: 11.0 / 140.0,
+            utrace_naive_per_input: 0.9 / 140.0,
+            utrace_opt_per_input: 0.6 / 140.0,
+            testgen_per_program: 0.5,
+            ctrace_per_program: 0.1,
+            others_naive: 3.4,
+            others_opt: 0.3,
+        }
+    }
+}
+
+impl CostModel {
+    /// Opt-mode startup per program (one launch).
+    pub fn opt_startup_per_program(&self) -> f64 {
+        0.2
+    }
+
+    /// Projects the per-program time breakdown for a mode and input count
+    /// (Table 2 regenerates with `inputs = 140`).
+    pub fn per_program(&self, mode: ExecMode, inputs: usize) -> TimeBreakdown {
+        let n = inputs as f64;
+        match mode {
+            ExecMode::Naive => TimeBreakdown {
+                startup: self.startup_per_launch * n,
+                simulate: self.simulate_naive_per_input * n,
+                utrace_extraction: self.utrace_naive_per_input * n,
+                test_generation: self.testgen_per_program,
+                ctrace_extraction: self.ctrace_per_program,
+                others: self.others_naive,
+            },
+            ExecMode::Opt => TimeBreakdown {
+                startup: self.opt_startup_per_program(),
+                simulate: self.simulate_opt_per_input * n,
+                utrace_extraction: self.utrace_opt_per_input * n,
+                test_generation: self.testgen_per_program,
+                ctrace_extraction: self.ctrace_per_program,
+                others: self.others_opt,
+            },
+        }
+    }
+
+    /// Projects a whole campaign's modelled time (seconds): `programs`
+    /// sequential programs per instance, each with `inputs` inputs
+    /// (instances run in parallel, so per-instance time is campaign time).
+    pub fn campaign_seconds(&self, mode: ExecMode, programs: usize, inputs: usize) -> f64 {
+        self.per_program(mode, inputs).total() * programs as f64
+    }
+
+    /// Modelled throughput in test cases per second.
+    pub fn throughput(&self, mode: ExecMode, programs: usize, inputs: usize) -> f64 {
+        let total = self.campaign_seconds(mode, programs, inputs);
+        (programs * inputs) as f64 / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table2_naive_column() {
+        let m = CostModel::default();
+        let t = m.per_program(ExecMode::Naive, 140);
+        assert!((t.startup - 156.0).abs() < 0.01);
+        assert!((t.simulate - 1.4).abs() < 0.01);
+        // Component sum is 162.3; the paper's total column rounds to 159.
+        assert!((t.total() - 162.3).abs() < 0.5);
+        // The paper's headline: startup is ~96% of naive time.
+        assert!(t.share(t.startup) > 95.0);
+    }
+
+    #[test]
+    fn reproduces_table2_opt_column() {
+        let m = CostModel::default();
+        let t = m.per_program(ExecMode::Opt, 140);
+        assert!((t.startup - 0.2).abs() < 0.01);
+        assert!((t.simulate - 11.0).abs() < 0.01);
+        assert!((t.total() - 12.5).abs() < 0.5);
+        // Simulation dominates Opt (~88%).
+        assert!(t.share(t.simulate) > 80.0);
+    }
+
+    #[test]
+    fn opt_speedup_is_an_order_of_magnitude() {
+        let m = CostModel::default();
+        let naive = m.campaign_seconds(ExecMode::Naive, 100, 140);
+        let opt = m.campaign_seconds(ExecMode::Opt, 100, 140);
+        let ratio = naive / opt;
+        assert!(
+            (10.0..20.0).contains(&ratio),
+            "paper reports ~13x, modelled {ratio:.1}x"
+        );
+    }
+
+    #[test]
+    fn breakdown_rows_render() {
+        let t = CostModel::default().per_program(ExecMode::Opt, 140);
+        let text = t.to_string();
+        assert!(text.contains("gem5 startup"));
+        assert!(text.contains("Total"));
+        assert_eq!(t.rows().len(), 7);
+    }
+}

@@ -1,0 +1,433 @@
+//! The random test-program generator (Revizor-style, §2.4/§3.1).
+//!
+//! Programs are directed-acyclic CFGs of up to 5 basic blocks linked by
+//! conditional forward jumps, built from a weighted instruction pool. Every
+//! memory operand's index register is masked into the sandbox immediately
+//! before the access (`AND reg, mask`), so all accesses hit the predefined
+//! memory sandbox — the instrumentation Revizor applies to x86 test cases.
+
+use amulet_isa::{
+    AluOp, BasicBlock, Cond, Gpr, Instr, LoopKind, MemRef, Operand, Program, UnOp, Width,
+};
+use amulet_isa::program::BlockId;
+use amulet_util::Xoshiro256;
+
+/// Configuration for the program generator.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Minimum number of non-exit basic blocks.
+    pub min_blocks: usize,
+    /// Maximum number of non-exit basic blocks (the paper uses up to 5).
+    pub max_blocks: usize,
+    /// Minimum instructions per block (before the terminator).
+    pub min_block_len: usize,
+    /// Maximum instructions per block.
+    pub max_block_len: usize,
+    /// Sandbox pages; the masking constant is `pages * 4096 - 1`.
+    pub pages: usize,
+    /// Weight of memory instructions in the pool (out of 100).
+    pub mem_weight: u32,
+    /// Whether stores (and RMWs) are generated (loads always are).
+    pub stores: bool,
+    /// Whether `LOOP*`-style terminators may be generated.
+    pub loops: bool,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            min_blocks: 2,
+            max_blocks: 5,
+            min_block_len: 2,
+            max_block_len: 8,
+            pages: 1,
+            mem_weight: 45,
+            stores: true,
+            loops: true,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// The address mask ANDed into index registers before memory accesses.
+    pub fn mask(&self) -> i64 {
+        (self.pages as i64) * 4096 - 1
+    }
+}
+
+/// Registers the generator may allocate (excludes the sandbox base `R14`,
+/// the pinned `RSP`, and the `R10`/`R11` pair reserved for hand-written
+/// gadget preludes so generated and hand-written code can be mixed).
+const POOL_REGS: [Gpr; 11] = [
+    Gpr::Rax,
+    Gpr::Rbx,
+    Gpr::Rcx,
+    Gpr::Rdx,
+    Gpr::Rsi,
+    Gpr::Rdi,
+    Gpr::Rbp,
+    Gpr::R8,
+    Gpr::R9,
+    Gpr::R12,
+    Gpr::R13,
+];
+
+/// ALU operations the generator draws from (weighted towards the ops common
+/// in the paper's figures).
+const POOL_ALU: [(AluOp, u32); 11] = [
+    (AluOp::Add, 10),
+    (AluOp::Sub, 8),
+    (AluOp::And, 10),
+    (AluOp::Or, 8),
+    (AluOp::Xor, 8),
+    (AluOp::Cmp, 10),
+    (AluOp::Test, 4),
+    (AluOp::Shl, 3),
+    (AluOp::Shr, 3),
+    (AluOp::Adc, 2),
+    (AluOp::Imul, 2),
+];
+
+/// The random program generator.
+#[derive(Debug)]
+pub struct Generator {
+    cfg: GeneratorConfig,
+    rng: Xoshiro256,
+}
+
+impl Generator {
+    /// Creates a generator with the given configuration and seed.
+    pub fn new(cfg: GeneratorConfig, seed: u64) -> Self {
+        Generator {
+            cfg,
+            rng: Xoshiro256::seed_from_u64(seed),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.cfg
+    }
+
+    fn reg(&mut self) -> Gpr {
+        *self.rng.pick(&POOL_REGS)
+    }
+
+    fn width(&mut self) -> Width {
+        // Skew towards wider accesses (like real code), narrow ones still
+        // exercised.
+        match self.rng.pick_weighted(&[1, 2, 3, 6]) {
+            0 => Width::B,
+            1 => Width::W,
+            2 => Width::D,
+            _ => Width::Q,
+        }
+    }
+
+    fn cond(&mut self) -> Cond {
+        *self.rng.pick(&Cond::ALL)
+    }
+
+    fn alu_op(&mut self) -> AluOp {
+        let weights: Vec<u32> = POOL_ALU.iter().map(|&(_, w)| w).collect();
+        POOL_ALU[self.rng.pick_weighted(&weights)].0
+    }
+
+    /// Emits the Revizor-style masked memory operand: masks `index` into the
+    /// sandbox and returns the operand.
+    fn masked_mem(&mut self, out: &mut Vec<Instr>, width: Width) -> MemRef {
+        let index = self.reg();
+        out.push(Instr::Alu {
+            op: AluOp::And,
+            dst: Operand::Reg(index, Width::Q),
+            src: Operand::Imm(self.cfg.mask()),
+            lock: false,
+        });
+        MemRef::base_index(Gpr::SANDBOX_BASE, index, width)
+    }
+
+    /// Generates one straight-line instruction (possibly preceded by its
+    /// masking instruction) into `out`.
+    fn gen_instr(&mut self, out: &mut Vec<Instr>) {
+        let is_mem = self.rng.chance(self.cfg.mem_weight as u64, 100);
+        if is_mem {
+            let width = self.width();
+            let kind_max = if self.cfg.stores { 5 } else { 2 };
+            match self.rng.range(0, kind_max) {
+                // Load into a register.
+                0 => {
+                    let m = self.masked_mem(out, width);
+                    out.push(Instr::Mov {
+                        dst: Operand::Reg(self.reg(), width),
+                        src: Operand::Mem(m),
+                    });
+                }
+                // ALU with memory source, or CMOV load.
+                1 => {
+                    let m = self.masked_mem(out, width);
+                    if self.rng.chance(1, 3) {
+                        out.push(Instr::Cmov {
+                            cond: self.cond(),
+                            dst: Operand::Reg(self.reg(), width),
+                            src: Operand::Mem(m),
+                        });
+                    } else {
+                        out.push(Instr::Alu {
+                            op: self.alu_op(),
+                            dst: Operand::Reg(self.reg(), width),
+                            src: Operand::Mem(m),
+                        lock: false,
+                        });
+                    }
+                }
+                // Store from a register.
+                2 => {
+                    let m = self.masked_mem(out, width);
+                    out.push(Instr::Mov {
+                        dst: Operand::Mem(m),
+                        src: Operand::Reg(self.reg(), width),
+                    });
+                }
+                // RMW (optionally LOCK-prefixed, as in the paper's Fig. 6).
+                3 => {
+                    let m = self.masked_mem(out, width);
+                    out.push(Instr::Alu {
+                        op: self.alu_op(),
+                        dst: Operand::Mem(m),
+                        src: Operand::Reg(self.reg(), width),
+                        lock: self.rng.chance(1, 4),
+                    });
+                }
+                // Store an immediate (or SETcc to memory).
+                _ => {
+                    let m = self.masked_mem(out, width);
+                    if self.rng.chance(1, 3) {
+                        out.push(Instr::Set {
+                            cond: self.cond(),
+                            dst: Operand::Mem(MemRef { width: Width::B, ..m }),
+                        });
+                    } else {
+                        out.push(Instr::Mov {
+                            dst: Operand::Mem(m),
+                            src: Operand::Imm(self.rng.range(0, 1 << 12) as i64),
+                        });
+                    }
+                }
+            }
+        } else {
+            match self.rng.range(0, 10) {
+                0..=5 => {
+                    let width = self.width();
+                    let src = if self.rng.chance(1, 3) {
+                        Operand::Imm(self.rng.range(0, 256) as i64)
+                    } else {
+                        Operand::Reg(self.reg(), width)
+                    };
+                    out.push(Instr::Alu {
+                        op: self.alu_op(),
+                        dst: Operand::Reg(self.reg(), width),
+                        src,
+                        lock: false,
+                    });
+                }
+                6 => out.push(Instr::Mov {
+                    dst: Operand::Reg(self.reg(), self.width()),
+                    src: Operand::Imm(self.rng.range(0, 1 << 16) as i64),
+                }),
+                7 => out.push(Instr::Un {
+                    op: *self.rng.pick(&UnOp::ALL),
+                    dst: Operand::Reg(self.reg(), Width::Q),
+                    lock: false,
+                }),
+                8 => out.push(Instr::Cmov {
+                    cond: self.cond(),
+                    dst: Operand::Reg(self.reg(), Width::Q),
+                    src: Operand::Reg(self.reg(), Width::Q),
+                }),
+                _ => out.push(Instr::Set {
+                    cond: self.cond(),
+                    dst: Operand::Reg(self.reg(), Width::B),
+                }),
+            }
+        }
+    }
+
+    /// Generates one random test program.
+    pub fn program(&mut self) -> Program {
+        let n_blocks = self
+            .rng
+            .range(self.cfg.min_blocks as u64, self.cfg.max_blocks as u64 + 1)
+            as usize;
+        let exit_block = n_blocks; // index of the final exit block
+        let mut blocks = Vec::with_capacity(n_blocks + 1);
+        for b in 0..n_blocks {
+            let len = self
+                .rng
+                .range(self.cfg.min_block_len as u64, self.cfg.max_block_len as u64 + 1)
+                as usize;
+            let mut instrs = Vec::with_capacity(len + 4);
+            for _ in 0..len {
+                self.gen_instr(&mut instrs);
+            }
+            // Terminator: conditional forward edge + fall-through, and the
+            // last block jumps to exit. Targets are strictly later blocks,
+            // keeping the CFG acyclic (like Revizor's DAG programs).
+            let last = b + 1 == n_blocks;
+            if !last {
+                let target = BlockId(self.rng.range(b as u64 + 1, exit_block as u64 + 1) as usize);
+                if self.cfg.loops && self.rng.chance(1, 6) {
+                    let kind = *self
+                        .rng
+                        .pick(&[LoopKind::Loop, LoopKind::Loope, LoopKind::Loopne]);
+                    instrs.push(Instr::Loop { kind, target });
+                } else {
+                    instrs.push(Instr::Jcc {
+                        cond: self.cond(),
+                        target,
+                    });
+                }
+                // Occasionally skip ahead unconditionally after the branch.
+                if self.rng.chance(1, 4) {
+                    let t2 =
+                        BlockId(self.rng.range(b as u64 + 1, exit_block as u64 + 1) as usize);
+                    instrs.push(Instr::Jmp { target: t2 });
+                }
+            } else {
+                instrs.push(Instr::Jmp {
+                    target: BlockId(exit_block),
+                });
+            }
+            blocks.push(BasicBlock {
+                label: format!(".bb_main.{b}"),
+                instrs,
+            });
+        }
+        blocks.push(BasicBlock {
+            label: ".bb_main.exit".to_string(),
+            instrs: vec![Instr::Exit],
+        });
+        let program = Program { blocks };
+        debug_assert!(program.validate().is_ok(), "generator must be well-formed");
+        program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amulet_isa::instr::MemEffect;
+
+    fn gen(seed: u64) -> Generator {
+        Generator::new(GeneratorConfig::default(), seed)
+    }
+
+    #[test]
+    fn programs_are_wellformed() {
+        let mut g = gen(1);
+        for _ in 0..200 {
+            let p = g.program();
+            p.validate().expect("generated program must validate");
+            assert!(p.blocks.len() >= 3, "blocks + exit");
+            assert!(p.blocks.len() <= 6);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = gen(7);
+        let mut b = gen(7);
+        for _ in 0..20 {
+            assert_eq!(a.program(), b.program());
+        }
+        let mut c = gen(8);
+        assert_ne!(a.program(), c.program());
+    }
+
+    #[test]
+    fn every_memory_access_is_mask_protected() {
+        let mut g = gen(3);
+        for _ in 0..100 {
+            let p = g.program();
+            let flat = p.flatten();
+            for (i, ins) in flat.instrs.iter().enumerate() {
+                if let Some(eff) = ins.mem_effect() {
+                    let mref = eff.mem_ref();
+                    assert_eq!(mref.base, Gpr::SANDBOX_BASE);
+                    let idx = mref.index.expect("generated accesses use an index");
+                    // The previous instruction must be the mask.
+                    let Some(Instr::Alu {
+                        op: AluOp::And,
+                        dst: Operand::Reg(r, Width::Q),
+                        src: Operand::Imm(m),
+                        ..
+                    }) = flat.instrs.get(i.wrapping_sub(1))
+                    else {
+                        panic!("access at {i} not preceded by a mask: {ins}");
+                    };
+                    assert_eq!(*r, idx);
+                    assert_eq!(*m, 4096 - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_edges_only() {
+        let mut g = gen(9);
+        for _ in 0..100 {
+            let p = g.program();
+            for (bi, b) in p.blocks.iter().enumerate() {
+                for ins in &b.instrs {
+                    if let Some(BlockId(t)) = ins.branch_target() {
+                        assert!(t > bi, "backward edge {bi}->{t} in generated DAG");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stores_can_be_disabled() {
+        let cfg = GeneratorConfig {
+            stores: false,
+            ..GeneratorConfig::default()
+        };
+        let mut g = Generator::new(cfg, 5);
+        for _ in 0..100 {
+            let p = g.program();
+            for ins in p.flatten().instrs {
+                if let Some(eff) = ins.mem_effect() {
+                    assert!(
+                        matches!(eff, MemEffect::Load(_)),
+                        "store generated while disabled: {ins}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pages_control_the_mask() {
+        let cfg = GeneratorConfig {
+            pages: 128,
+            ..GeneratorConfig::default()
+        };
+        assert_eq!(cfg.mask(), 128 * 4096 - 1);
+    }
+
+    #[test]
+    fn reserved_registers_never_written() {
+        let mut g = gen(11);
+        for _ in 0..100 {
+            let p = g.program();
+            for ins in p.flatten().instrs {
+                if let Some((r, _)) = ins.effects().writes {
+                    assert!(
+                        !matches!(r, Gpr::R14 | Gpr::Rsp | Gpr::R10 | Gpr::R11),
+                        "reserved register written by {ins}"
+                    );
+                }
+            }
+        }
+    }
+}

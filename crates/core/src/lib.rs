@@ -1,0 +1,57 @@
+//! AMuLeT-rs core — the paper's primary contribution.
+//!
+//! Automated µ-architectural Leakage Testing: model-based relational testing
+//! of secure-speculation countermeasures in a µarch simulator. The pipeline
+//! (paper Figure 1):
+//!
+//! 1. [`generator`] produces short random test programs (≤5 basic blocks,
+//!    sandbox-masked memory accesses) and [`inputs`] produces seeded inputs,
+//!    **boosted** via the emulator's taint engine so every base input yields
+//!    a class of inputs with provably equal contract traces.
+//! 2. The leakage model (`amulet-contracts`) maps each test case to a
+//!    contract trace.
+//! 3. The [`executor`] runs each test case on the simulator+defense and
+//!    extracts a µarch trace in one of the §4.3 [`trace`] formats
+//!    (AMuLeT-Opt reuses the simulator across inputs; AMuLeT-Naive pays the
+//!    startup cost per input, accounted by the gem5-calibrated [`cost`]
+//!    model).
+//! 4. [`detect`] flags contract violations (Definition 2.1: equal contract
+//!    traces, different µarch traces), validating candidates by re-running
+//!    both inputs under exchanged initial µarch contexts.
+//! 5. [`analyze`] classifies violations against the paper's catalogue
+//!    (Spectre-v1/v4, UV1–UV6, KV1–KV3) from debug-log signatures and
+//!    supports signature-based filtering of known classes (§3.3).
+//! 6. [`campaign`] orchestrates multi-instance testing campaigns with the
+//!    paper's metrics: throughput, detection time, unique violations.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use amulet_core::{Campaign, CampaignConfig};
+//! use amulet_defenses::DefenseKind;
+//! use amulet_contracts::ContractKind;
+//!
+//! let cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+//! let report = Campaign::new(cfg).run();
+//! println!("{}", report.summary_row());
+//! ```
+
+pub mod analyze;
+pub mod campaign;
+pub mod cost;
+pub mod detect;
+pub mod executor;
+pub mod generator;
+pub mod inputs;
+pub mod minimize;
+pub mod trace;
+
+pub use analyze::{classify, ViolationClass, ViolationFilter};
+pub use campaign::{Campaign, CampaignConfig, CampaignReport};
+pub use cost::{CostModel, TimeBreakdown};
+pub use detect::{Detector, Violation};
+pub use executor::{ExecMode, Executor, ExecutorConfig};
+pub use generator::{Generator, GeneratorConfig};
+pub use inputs::{boosted_inputs, InputGenConfig};
+pub use minimize::{minimize, Minimized};
+pub use trace::{TraceFormat, UTrace};

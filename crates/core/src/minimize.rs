@@ -1,0 +1,178 @@
+//! Violation minimisation — the Revizor-style post-processing pass that
+//! shrinks a violating test program before manual root-causing (§3.3's
+//! "identifying the mis-speculated instruction sequence" is far easier on a
+//! minimal program).
+//!
+//! Greedy delta-debugging: repeatedly try deleting one instruction; keep the
+//! deletion when the program still validates, the two inputs still have
+//! equal contract traces, and their µarch traces still differ under the
+//! violation's shared starting context. Sound by construction (the result
+//! is still a confirmed violation); best-effort in coverage (deleting an
+//! instruction shifts PCs, which can de-train the predictor context and
+//! block a reduction).
+
+use crate::detect::{Detector, Violation};
+use crate::executor::Executor;
+use amulet_isa::Program;
+
+/// Result of a minimisation pass.
+#[derive(Debug, Clone)]
+pub struct Minimized {
+    /// The reduced program (still a confirmed violation for the original
+    /// input pair and context).
+    pub program: Program,
+    /// Instructions removed.
+    pub removed: usize,
+    /// Reduction checks executed (2 simulator runs + 2 contract traces per
+    /// attempt).
+    pub attempts: usize,
+}
+
+/// Shrinks `violation.program` while preserving the violation.
+///
+/// The `executor` must be configured identically to the one that found the
+/// violation (same defense, trace format, and simulator config).
+pub fn minimize(
+    violation: &Violation,
+    detector: &Detector,
+    executor: &mut Executor,
+) -> Minimized {
+    let mut program = violation.program.clone();
+    let mut removed = 0usize;
+    let mut attempts = 0usize;
+
+    let still_violates = |p: &Program, executor: &mut Executor, attempts: &mut usize| -> bool {
+        *attempts += 1;
+        if p.validate().is_err() {
+            return false;
+        }
+        let flat = p.flatten();
+        let model = detector.model();
+        if model.ctrace(&flat, &violation.input_a) != model.ctrace(&flat, &violation.input_b) {
+            return false;
+        }
+        let a = executor.run_case_with_ctx(&flat, &violation.input_a, &violation.ctx_a);
+        let b = executor.run_case_with_ctx(&flat, &violation.input_b, &violation.ctx_a);
+        a.utrace != b.utrace
+    };
+
+    // The violation must reproduce before we start shrinking; otherwise
+    // return it untouched (e.g. executor configured differently).
+    if !still_violates(&program, executor, &mut attempts) {
+        return Minimized {
+            program,
+            removed: 0,
+            attempts,
+        };
+    }
+
+    loop {
+        let mut changed = false;
+        'scan: for bi in 0..program.blocks.len() {
+            for ii in 0..program.blocks[bi].instrs.len() {
+                let mut candidate = program.clone();
+                candidate.blocks[bi].instrs.remove(ii);
+                if still_violates(&candidate, executor, &mut attempts) {
+                    program = candidate;
+                    removed += 1;
+                    changed = true;
+                    break 'scan; // indices shifted; rescan from the top
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Minimized {
+        program,
+        removed,
+        attempts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::ExecutorConfig;
+    use amulet_contracts::{ContractKind, LeakageModel};
+    use amulet_defenses::gadgets;
+    use amulet_defenses::DefenseKind;
+    use amulet_isa::parse_program;
+
+    #[test]
+    fn minimizer_shrinks_a_padded_v1_gadget() {
+        // A v1 gadget padded with junk that contributes nothing to the leak.
+        let payload = "AND RBX, 0b111111111111
+             MOV RDX, qword ptr [R14 + RBX]
+             ADD RSI, 17
+             XOR RDI, RDI
+             INC R9";
+        let src = gadgets::spectre_v1(payload).replace(
+            "JMP .exit\n         .exit:",
+            "JMP .exit\n         .exit:\n         ADD R12, 5\n         SUB R13, 3",
+        );
+        let program = parse_program(&src).unwrap();
+        let flat = program.flatten();
+        let mut executor = Executor::new(ExecutorConfig::new(DefenseKind::Baseline));
+        for _ in 0..12 {
+            executor.run_case(&flat, &gadgets::train_input(1));
+        }
+        let mut a = gadgets::victim_input(1);
+        a.regs[1] = 0x740;
+        let mut b = gadgets::victim_input(1);
+        b.regs[1] = 0x340;
+        let detector = Detector::new(LeakageModel::new(ContractKind::CtSeq));
+        let (violations, _) = detector.scan(&program, &flat, &[a, b], &mut executor);
+        let v = violations.first().expect("padded gadget violates");
+
+        let before = v.program.len();
+        let result = minimize(v, &detector, &mut executor);
+        assert!(
+            result.removed > 0,
+            "at least the junk instructions must go (attempts: {})",
+            result.attempts
+        );
+        assert_eq!(result.program.len(), before - result.removed);
+        // The reduced program is still a confirmed violation.
+        let flat = result.program.flatten();
+        let model = detector.model();
+        assert_eq!(
+            model.ctrace(&flat, &v.input_a),
+            model.ctrace(&flat, &v.input_b)
+        );
+        let ra = executor.run_case_with_ctx(&flat, &v.input_a, &v.ctx_a);
+        let rb = executor.run_case_with_ctx(&flat, &v.input_b, &v.ctx_a);
+        assert_ne!(ra.utrace, rb.utrace);
+        // The transmitter load must have survived minimisation.
+        let text = result.program.to_string();
+        assert!(text.contains("qword ptr [R14 + RBX]"), "{text}");
+    }
+
+    #[test]
+    fn minimizer_is_a_noop_when_nothing_reproduces() {
+        // A fabricated "violation" that does not reproduce (identical
+        // inputs): the minimiser must return the program untouched.
+        let src = gadgets::spectre_v1("AND RBX, 0b1");
+        let program = parse_program(&src).unwrap();
+        let input = gadgets::victim_input(1);
+        let mut executor = Executor::new(ExecutorConfig::new(DefenseKind::Baseline));
+        let run = executor.run_case(&program.flatten(), &input);
+        let fake = Violation {
+            program: program.clone(),
+            input_a: input.clone(),
+            input_b: input,
+            ctrace_digest: 0,
+            utrace_a: run.utrace.clone(),
+            utrace_b: run.utrace,
+            ctx_a: run.start_ctx.clone(),
+            ctx_b: run.start_ctx,
+            log_a: Vec::new(),
+            log_b: Vec::new(),
+        };
+        let detector = Detector::new(LeakageModel::new(ContractKind::CtSeq));
+        let result = minimize(&fake, &detector, &mut executor);
+        assert_eq!(result.removed, 0);
+        assert_eq!(result.program, program);
+    }
+}

@@ -1,0 +1,244 @@
+//! µarch trace formats (§4.3).
+//!
+//! The µarch trace defines the attacker's observational power. The default
+//! (paper §3.2-C1) is the final L1D + D-TLB tag snapshot — a realistic
+//! software attacker probing memory-system side channels. The three
+//! alternatives trade precision against throughput exactly as Table 5
+//! explores: branch-predictor state, the full memory-access order, and the
+//! branch-prediction order.
+
+use amulet_sim::UarchSnapshot;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Which µarch state the trace exposes (paper Table 5 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceFormat {
+    /// Final L1D + D-TLB tags (the baseline, default format).
+    L1dTlb,
+    /// Final branch-predictor state (PHT + GHR) — detects implicit channels
+    /// based on prediction.
+    BpState,
+    /// Ordered list of all memory requests (pc, line, kind) — the
+    /// "physical probing" attacker.
+    MemOrder,
+    /// Ordered list of branch predictions (pc, direction).
+    BranchOrder,
+}
+
+impl TraceFormat {
+    /// All formats, Table 5 order.
+    pub const ALL: [TraceFormat; 4] = [
+        TraceFormat::L1dTlb,
+        TraceFormat::BpState,
+        TraceFormat::MemOrder,
+        TraceFormat::BranchOrder,
+    ];
+
+    /// Paper-style name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceFormat::L1dTlb => "Baseline (L1D+TLB)",
+            TraceFormat::BpState => "BP state",
+            TraceFormat::MemOrder => "Memory access order",
+            TraceFormat::BranchOrder => "Branch prediction order",
+        }
+    }
+}
+
+impl fmt::Display for TraceFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A µarch trace: the attacker-visible digest of one execution.
+///
+/// Equality/hashing use the canonical word encoding of the *selected*
+/// format; the structured snapshot fields are retained for violation
+/// analysis (which lines/pages differ).
+#[derive(Debug, Clone)]
+pub struct UTrace {
+    format: TraceFormat,
+    words: Vec<u64>,
+    /// L1D line addresses (sorted).
+    pub l1d: Vec<u64>,
+    /// L1I line addresses (sorted).
+    pub l1i: Vec<u64>,
+    /// D-TLB page numbers (sorted).
+    pub dtlb: Vec<u64>,
+}
+
+const SEP: u64 = u64::MAX;
+
+impl UTrace {
+    /// Builds a trace from a snapshot. `include_l1i` extends the baseline
+    /// format with the instruction cache (the KV1/KV2 campaigns).
+    pub fn from_snapshot(snap: &UarchSnapshot, format: TraceFormat, include_l1i: bool) -> Self {
+        let mut words = Vec::new();
+        match format {
+            TraceFormat::L1dTlb => {
+                words.extend_from_slice(&snap.l1d);
+                words.push(SEP);
+                words.extend_from_slice(&snap.dtlb);
+                if include_l1i {
+                    words.push(SEP);
+                    words.extend_from_slice(&snap.l1i);
+                }
+            }
+            TraceFormat::BpState => {
+                words.extend(snap.bp_table.chunks(8).map(|c| {
+                    let mut v = [0u8; 8];
+                    v[..c.len()].copy_from_slice(c);
+                    u64::from_le_bytes(v)
+                }));
+                words.push(SEP);
+                words.push(snap.ghr);
+            }
+            TraceFormat::MemOrder => {
+                for &(pc, addr, store) in &snap.mem_order {
+                    words.push(pc as u64);
+                    words.push(addr);
+                    words.push(store as u64);
+                }
+            }
+            TraceFormat::BranchOrder => {
+                for &(pc, taken) in &snap.branch_order {
+                    words.push(pc as u64);
+                    words.push(taken as u64);
+                }
+            }
+        }
+        UTrace {
+            format,
+            words,
+            l1d: snap.l1d.clone(),
+            l1i: snap.l1i.clone(),
+            dtlb: snap.dtlb.clone(),
+        }
+    }
+
+    /// The format this trace was built with.
+    pub fn format(&self) -> TraceFormat {
+        self.format
+    }
+
+    /// Elements present in `self.l1d` but not in `other.l1d` (and vice
+    /// versa): the differing cache lines between two traces.
+    pub fn l1d_diff(&self, other: &UTrace) -> Vec<u64> {
+        sym_diff(&self.l1d, &other.l1d)
+    }
+
+    /// Differing TLB pages between two traces.
+    pub fn dtlb_diff(&self, other: &UTrace) -> Vec<u64> {
+        sym_diff(&self.dtlb, &other.dtlb)
+    }
+
+    /// Differing L1I lines between two traces.
+    pub fn l1i_diff(&self, other: &UTrace) -> Vec<u64> {
+        sym_diff(&self.l1i, &other.l1i)
+    }
+}
+
+fn sym_diff(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out: Vec<u64> = a.iter().filter(|x| !b.contains(x)).copied().collect();
+    out.extend(b.iter().filter(|x| !a.contains(x)));
+    out.sort_unstable();
+    out
+}
+
+impl PartialEq for UTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.format == other.format && self.words == other.words
+    }
+}
+
+impl Eq for UTrace {}
+
+impl Hash for UTrace {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.words.hash(state);
+    }
+}
+
+impl fmt::Display for UTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.format {
+            TraceFormat::L1dTlb => {
+                write!(f, "L1D:[")?;
+                for (i, a) in self.l1d.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{a:#x}")?;
+                }
+                write!(f, "] TLB:{:?}", self.dtlb)
+            }
+            _ => write!(f, "{}: {} words", self.format, self.words.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> UarchSnapshot {
+        UarchSnapshot {
+            l1d: vec![0x4000, 0x4740],
+            l1i: vec![0x40_1000],
+            dtlb: vec![4],
+            bp_table: vec![1; 16],
+            ghr: 3,
+            mem_order: vec![(1, 0x4000, false), (5, 0x4740, true)],
+            branch_order: vec![(2, true)],
+        }
+    }
+
+    #[test]
+    fn formats_encode_different_views() {
+        let s = snap();
+        let a = UTrace::from_snapshot(&s, TraceFormat::L1dTlb, false);
+        let b = UTrace::from_snapshot(&s, TraceFormat::MemOrder, false);
+        assert_ne!(a.words, b.words);
+
+        let mut s2 = snap();
+        s2.bp_table[0] = 3;
+        let bp1 = UTrace::from_snapshot(&s, TraceFormat::BpState, false);
+        let bp2 = UTrace::from_snapshot(&s2, TraceFormat::BpState, false);
+        assert_ne!(bp1, bp2, "BP format sees predictor changes");
+        let base1 = UTrace::from_snapshot(&s, TraceFormat::L1dTlb, false);
+        let base2 = UTrace::from_snapshot(&s2, TraceFormat::L1dTlb, false);
+        assert_eq!(base1, base2, "baseline format is blind to the BP");
+    }
+
+    #[test]
+    fn include_l1i_extends_baseline() {
+        let s = snap();
+        let mut s2 = snap();
+        s2.l1i.push(0x40_1040);
+        let without = (
+            UTrace::from_snapshot(&s, TraceFormat::L1dTlb, false),
+            UTrace::from_snapshot(&s2, TraceFormat::L1dTlb, false),
+        );
+        assert_eq!(without.0, without.1);
+        let with = (
+            UTrace::from_snapshot(&s, TraceFormat::L1dTlb, true),
+            UTrace::from_snapshot(&s2, TraceFormat::L1dTlb, true),
+        );
+        assert_ne!(with.0, with.1);
+        assert_eq!(with.0.l1i_diff(&with.1), vec![0x40_1040]);
+    }
+
+    #[test]
+    fn diff_is_symmetric() {
+        let s = snap();
+        let mut s2 = snap();
+        s2.l1d = vec![0x4000, 0x4100];
+        let a = UTrace::from_snapshot(&s, TraceFormat::L1dTlb, false);
+        let b = UTrace::from_snapshot(&s2, TraceFormat::L1dTlb, false);
+        assert_eq!(a.l1d_diff(&b), vec![0x4100, 0x4740]);
+        assert_eq!(b.l1d_diff(&a), vec![0x4100, 0x4740]);
+        assert!(a.dtlb_diff(&b).is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! The secure-speculation countermeasures under test.
+//!
+//! Rust reimplementations of the four defenses the paper's campaigns cover
+//! (§4.1), **including the exact buggy behaviours AMuLeT discovered**, each
+//! as a toggle with a patched variant:
+//!
+//! | Defense | Mechanism | Reproduced findings |
+//! |---|---|---|
+//! | [`InvisiSpec`] | invisible speculative loads + expose at safe point | UV1 (speculative L1D eviction bug), UV2 (same-core MSHR interference), KV1 (unprotected L1I) |
+//! | [`CleanupSpec`] | undo speculative cache changes on squash | UV3 (spec stores not cleaned), UV4 (split requests not cleaned), UV5 (too much cleaning), KV2 (unXpec timing) |
+//! | [`Stt`] | taint speculative data, block tainted transmitters | KV3 (tainted stores fill the D-TLB) |
+//! | [`SpecLfb`] | park speculative misses in the line-fill buffer | UV6 (first speculative load unprotected) |
+//! | [`GhostMinion`] | strictness-ordered invisible loads | the UV2 fix the paper points to |
+//!
+//! [`DefenseKind`] enumerates ready-made configurations (buggy as published
+//! vs. patched) plus the harness hints the paper's methodology prescribes
+//! per defense (§3.5): sandbox size and cache-initialisation strategy.
+
+pub mod cleanupspec;
+pub mod delayonmiss;
+pub mod gadgets;
+pub mod ghostminion;
+pub mod invisispec;
+pub mod speclfb;
+pub mod stt;
+
+pub use cleanupspec::CleanupSpec;
+pub use delayonmiss::DelayOnMiss;
+pub use ghostminion::GhostMinion;
+pub use invisispec::InvisiSpec;
+pub use speclfb::SpecLfb;
+pub use stt::Stt;
+
+use amulet_sim::{Defense, InsecureBaseline};
+
+/// Ready-made defense configurations for campaigns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefenseKind {
+    /// Unprotected out-of-order CPU.
+    Baseline,
+    /// InvisiSpec as published (with the UV1 eviction bug).
+    InvisiSpec,
+    /// InvisiSpec with the UV1 patch (paper Listing 2).
+    InvisiSpecPatched,
+    /// CleanupSpec as published (UV3 + UV4 bugs present).
+    CleanupSpec,
+    /// CleanupSpec with the UV3 store-cleanup patch (Table 8 "Patched").
+    CleanupSpecPatched,
+    /// STT as published (KV3: tainted stores access the TLB).
+    Stt,
+    /// STT with the DOLMA-style fix (tainted stores delayed).
+    SttPatched,
+    /// SpecLFB as published (UV6: first speculative load unprotected).
+    SpecLfb,
+    /// SpecLFB without the `isReallyUnsafe` optimisation.
+    SpecLfbPatched,
+    /// GhostMinion-style strictness-ordered invisible speculation.
+    GhostMinion,
+    /// Delay-on-Miss (Sakalis et al.): speculative misses wait for safety.
+    DelayOnMiss,
+    /// Fully conservative variant: every speculative load waits.
+    DelayAll,
+}
+
+/// Per-defense harness configuration from the paper (§3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarnessHints {
+    /// Sandbox pages (1 for TLB-unprotected defenses, 128 for STT).
+    pub sandbox_pages: usize,
+    /// Initialise the L1D by prefilling with conflicting out-of-sandbox
+    /// addresses (InvisiSpec/STT) instead of flushing clean
+    /// (CleanupSpec/SpecLFB).
+    pub prefill_l1d: bool,
+}
+
+impl DefenseKind {
+    /// All kinds, campaign order.
+    pub const ALL: [DefenseKind; 12] = [
+        DefenseKind::Baseline,
+        DefenseKind::InvisiSpec,
+        DefenseKind::InvisiSpecPatched,
+        DefenseKind::CleanupSpec,
+        DefenseKind::CleanupSpecPatched,
+        DefenseKind::Stt,
+        DefenseKind::SttPatched,
+        DefenseKind::SpecLfb,
+        DefenseKind::SpecLfbPatched,
+        DefenseKind::GhostMinion,
+        DefenseKind::DelayOnMiss,
+        DefenseKind::DelayAll,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DefenseKind::Baseline => "Baseline",
+            DefenseKind::InvisiSpec => "InvisiSpec",
+            DefenseKind::InvisiSpecPatched => "InvisiSpec-Patched",
+            DefenseKind::CleanupSpec => "CleanupSpec",
+            DefenseKind::CleanupSpecPatched => "CleanupSpec-Patched",
+            DefenseKind::Stt => "STT",
+            DefenseKind::SttPatched => "STT-Patched",
+            DefenseKind::SpecLfb => "SpecLFB",
+            DefenseKind::SpecLfbPatched => "SpecLFB-Patched",
+            DefenseKind::GhostMinion => "GhostMinion",
+            DefenseKind::DelayOnMiss => "DelayOnMiss",
+            DefenseKind::DelayAll => "DelayAll",
+        }
+    }
+
+    /// Builds the defense object.
+    pub fn build(self) -> Box<dyn Defense> {
+        match self {
+            DefenseKind::Baseline => Box::new(InsecureBaseline),
+            DefenseKind::InvisiSpec => Box::new(InvisiSpec::published()),
+            DefenseKind::InvisiSpecPatched => Box::new(InvisiSpec::patched()),
+            DefenseKind::CleanupSpec => Box::new(CleanupSpec::published()),
+            DefenseKind::CleanupSpecPatched => Box::new(CleanupSpec::patched()),
+            DefenseKind::Stt => Box::new(Stt::published()),
+            DefenseKind::SttPatched => Box::new(Stt::patched()),
+            DefenseKind::SpecLfb => Box::new(SpecLfb::published()),
+            DefenseKind::SpecLfbPatched => Box::new(SpecLfb::patched()),
+            DefenseKind::GhostMinion => Box::new(GhostMinion::new()),
+            DefenseKind::DelayOnMiss => Box::new(DelayOnMiss::new()),
+            DefenseKind::DelayAll => Box::new(DelayOnMiss::delay_everything()),
+        }
+    }
+
+    /// Paper-prescribed harness configuration (§3.5): 128-page sandbox for
+    /// STT (to test TLB leaks), 1 page otherwise; conflict-prefill for
+    /// InvisiSpec/STT, clean flush for CleanupSpec/SpecLFB.
+    pub fn harness_hints(self) -> HarnessHints {
+        match self {
+            DefenseKind::Stt | DefenseKind::SttPatched => HarnessHints {
+                sandbox_pages: 128,
+                prefill_l1d: true,
+            },
+            DefenseKind::InvisiSpec
+            | DefenseKind::InvisiSpecPatched
+            | DefenseKind::GhostMinion
+            | DefenseKind::Baseline => HarnessHints {
+                sandbox_pages: 1,
+                prefill_l1d: true,
+            },
+            DefenseKind::CleanupSpec
+            | DefenseKind::CleanupSpecPatched
+            | DefenseKind::SpecLfb
+            | DefenseKind::SpecLfbPatched
+            | DefenseKind::DelayOnMiss
+            | DefenseKind::DelayAll => HarnessHints {
+                sandbox_pages: 1,
+                prefill_l1d: false,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for DefenseKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_build_with_matching_names() {
+        for kind in DefenseKind::ALL {
+            let d = kind.build();
+            assert_eq!(d.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn harness_hints_match_paper() {
+        assert_eq!(DefenseKind::Stt.harness_hints().sandbox_pages, 128);
+        assert_eq!(DefenseKind::InvisiSpec.harness_hints().sandbox_pages, 1);
+        assert!(DefenseKind::InvisiSpec.harness_hints().prefill_l1d);
+        assert!(!DefenseKind::CleanupSpec.harness_hints().prefill_l1d);
+        assert!(!DefenseKind::SpecLfb.harness_hints().prefill_l1d);
+    }
+
+    #[test]
+    fn taint_only_for_stt() {
+        for kind in DefenseKind::ALL {
+            let needs = kind.build().needs_taint();
+            let is_stt = matches!(kind, DefenseKind::Stt | DefenseKind::SttPatched);
+            assert_eq!(needs, is_stt, "{kind}");
+        }
+    }
+}

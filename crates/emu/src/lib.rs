@@ -1,0 +1,49 @@
+//! The architectural emulator — AMuLeT-rs's substitute for Unicorn.
+//!
+//! The paper's leakage model executes test cases on the Unicorn CPU emulator
+//! with instrumentation hooks that record ISA-level observations (§2.4).
+//! This crate provides the same capability for µx86:
+//!
+//! - [`Sandbox`]: the test-case memory sandbox. All accesses are wrapped into
+//!   the sandbox (power-of-two sized), the Rust analogue of Revizor's
+//!   address-masking instrumentation.
+//! - [`Machine`]: architectural state (GPRs, FLAGS, PC, sandbox) with a write
+//!   journal enabling cheap checkpoints — used by contracts to explore
+//!   mispredicted paths and roll back (the *execution clause*).
+//! - [`Emulator`]: the instruction interpreter, with [`Observer`] hooks for
+//!   contract observation clauses.
+//! - [`TaintEngine`]: word-granular dynamic information-flow tracking that
+//!   reports which input elements influence contract observations. This
+//!   powers contract-preserving input mutation ("boosting"): mutating only
+//!   unobserved elements provably preserves the contract trace.
+//!
+//! # Examples
+//!
+//! ```
+//! use amulet_isa::{parse_program, TestInput};
+//! use amulet_emu::{Emulator, NullObserver};
+//!
+//! let prog = parse_program("MOV RAX, 7\nADD RAX, 8\nEXIT").unwrap().flatten();
+//! let input = TestInput::zeroed(1);
+//! let mut emu = Emulator::new(&prog, 0x4000, &input);
+//! emu.run(&mut NullObserver, 1000).unwrap();
+//! assert_eq!(emu.machine.regs[0], 15);
+//! ```
+
+pub mod exec;
+pub mod machine;
+pub mod observer;
+pub mod sandbox;
+pub mod taint;
+
+pub use exec::{Emulator, RunSummary, StepError, StepEvent};
+pub use machine::{Checkpoint, Machine};
+pub use observer::{MemKind, NullObserver, Observer, RecordingObserver};
+pub use sandbox::Sandbox;
+pub use taint::{TaintConfig, TaintEngine};
+
+/// Default sandbox base virtual address used across the workspace.
+///
+/// Arbitrary, but chosen so sandbox offsets look like the addresses in the
+/// paper's figures (small offsets above a round base).
+pub const SANDBOX_BASE_VA: u64 = 0x4000;

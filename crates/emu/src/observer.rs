@@ -1,0 +1,83 @@
+//! Observation hooks: how contracts watch an execution.
+
+use amulet_isa::{Instr, Width};
+
+/// Whether a memory observation was a read or a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemKind {
+    /// A load (including the read half of an RMW).
+    Load,
+    /// A store (including the write half of an RMW).
+    Store,
+}
+
+/// Callbacks invoked by the emulator as it executes.
+///
+/// Contracts implement this to build contract traces; the default methods do
+/// nothing so implementations override only what their observation clause
+/// exposes.
+pub trait Observer {
+    /// An instruction is about to execute at flat index `pc`.
+    fn on_instr(&mut self, pc: usize, instr: &Instr) {
+        let _ = (pc, instr);
+    }
+
+    /// A memory access of `width` at (wrapped) virtual address `addr`
+    /// transferred `value`.
+    fn on_mem(&mut self, kind: MemKind, addr: u64, width: Width, value: u64) {
+        let _ = (kind, addr, width, value);
+    }
+
+    /// A conditional or unconditional branch at `pc` resolved: `taken`, with
+    /// the flat index executed next.
+    fn on_branch(&mut self, pc: usize, taken: bool, next: usize) {
+        let _ = (pc, taken, next);
+    }
+}
+
+/// An observer that ignores everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// Records every event — handy in tests and for debugging contracts.
+#[derive(Debug, Default, Clone)]
+pub struct RecordingObserver {
+    /// Executed flat instruction indices in order.
+    pub pcs: Vec<usize>,
+    /// Memory events in order.
+    pub mems: Vec<(MemKind, u64, Width, u64)>,
+    /// Branch events in order: (pc, taken, next).
+    pub branches: Vec<(usize, bool, usize)>,
+}
+
+impl Observer for RecordingObserver {
+    fn on_instr(&mut self, pc: usize, _instr: &Instr) {
+        self.pcs.push(pc);
+    }
+
+    fn on_mem(&mut self, kind: MemKind, addr: u64, width: Width, value: u64) {
+        self.mems.push((kind, addr, width, value));
+    }
+
+    fn on_branch(&mut self, pc: usize, taken: bool, next: usize) {
+        self.branches.push((pc, taken, next));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_observer_accumulates() {
+        let mut r = RecordingObserver::default();
+        r.on_instr(0, &Instr::Exit);
+        r.on_mem(MemKind::Load, 0x40, Width::Q, 7);
+        r.on_branch(3, true, 9);
+        assert_eq!(r.pcs, vec![0]);
+        assert_eq!(r.mems.len(), 1);
+        assert_eq!(r.branches, vec![(3, true, 9)]);
+    }
+}

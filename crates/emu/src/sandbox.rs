@@ -1,0 +1,164 @@
+//! The memory sandbox shared by the emulator and (conceptually) the
+//! simulator: a power-of-two region into which every access is wrapped.
+//!
+//! Revizor instruments generated code so that every memory operand is masked
+//! into the sandbox; AMuLeT-rs generated programs carry the same explicit
+//! `AND` masking instructions, and the sandbox additionally *wraps* any
+//! residual out-of-range address (e.g. on wrong-path execution that entered a
+//! block past its masking instruction). Wrapping is deterministic and
+//! identical in the emulator and the simulator, so it can never create a
+//! spurious contract violation.
+
+use amulet_isa::Width;
+
+/// A power-of-two-sized memory region at a base virtual address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sandbox {
+    base: u64,
+    data: Vec<u8>,
+    mask: u64,
+}
+
+impl Sandbox {
+    /// Creates a sandbox of `size` bytes (must be a power of two) based at
+    /// virtual address `base`, initialised with zeroes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or not a power of two.
+    pub fn new(base: u64, size: usize) -> Self {
+        assert!(size.is_power_of_two(), "sandbox size must be a power of two");
+        Sandbox {
+            base,
+            data: vec![0; size],
+            mask: (size - 1) as u64,
+        }
+    }
+
+    /// Creates a sandbox initialised from `contents` (length must be a power
+    /// of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contents.len()` is zero or not a power of two.
+    pub fn from_bytes(base: u64, contents: &[u8]) -> Self {
+        let mut s = Sandbox::new(base, contents.len());
+        s.data.copy_from_slice(contents);
+        s
+    }
+
+    /// The base virtual address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Size in bytes.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Maps a virtual address to a sandbox offset, wrapping out-of-range
+    /// addresses into the region.
+    pub fn offset_of(&self, addr: u64) -> u64 {
+        addr.wrapping_sub(self.base) & self.mask
+    }
+
+    /// The wrapped virtual address an access to `addr` actually touches.
+    pub fn wrap(&self, addr: u64) -> u64 {
+        self.base + self.offset_of(addr)
+    }
+
+    /// Reads a single byte at a (wrapped) virtual address.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        self.data[self.offset_of(addr) as usize]
+    }
+
+    /// Writes a single byte at a (wrapped) virtual address, returning the
+    /// previous value.
+    pub fn write_u8(&mut self, addr: u64, value: u8) -> u8 {
+        let off = self.offset_of(addr) as usize;
+        std::mem::replace(&mut self.data[off], value)
+    }
+
+    /// Reads a little-endian value of the given width; bytes wrap
+    /// individually at the sandbox boundary.
+    pub fn read(&self, addr: u64, width: Width) -> u64 {
+        let mut v = 0u64;
+        for i in 0..width.bytes() {
+            v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes a little-endian value of the given width; bytes wrap
+    /// individually at the sandbox boundary.
+    pub fn write(&mut self, addr: u64, width: Width, value: u64) {
+        for i in 0..width.bytes() {
+            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Replaces the whole contents (length must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contents.len() != self.size()`.
+    pub fn overwrite(&mut self, contents: &[u8]) {
+        assert_eq!(contents.len(), self.size(), "sandbox size mismatch");
+        self.data.copy_from_slice(contents);
+    }
+
+    /// Raw view of the contents.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_addresses_into_region() {
+        let s = Sandbox::new(0x4000, 4096);
+        assert_eq!(s.offset_of(0x4000), 0);
+        assert_eq!(s.offset_of(0x4FFF), 0xFFF);
+        assert_eq!(s.offset_of(0x5000), 0, "one past the end wraps to start");
+        assert_eq!(s.offset_of(0x3FFF), 0xFFF, "below base wraps from the top");
+        assert_eq!(s.wrap(0x1_0004_0010), 0x4010);
+    }
+
+    #[test]
+    fn read_write_little_endian() {
+        let mut s = Sandbox::new(0, 64);
+        s.write(8, Width::Q, 0x1122_3344_5566_7788);
+        assert_eq!(s.read_u8(8), 0x88);
+        assert_eq!(s.read(8, Width::D), 0x5566_7788);
+        assert_eq!(s.read(12, Width::D), 0x1122_3344);
+        assert_eq!(s.read(8, Width::Q), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn boundary_crossing_access_wraps_per_byte() {
+        let mut s = Sandbox::new(0, 16);
+        s.write(14, Width::D, 0xAABB_CCDD);
+        assert_eq!(s.read_u8(14), 0xDD);
+        assert_eq!(s.read_u8(15), 0xCC);
+        assert_eq!(s.read_u8(0), 0xBB, "third byte wrapped to offset 0");
+        assert_eq!(s.read_u8(1), 0xAA);
+        assert_eq!(s.read(14, Width::D), 0xAABB_CCDD);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        Sandbox::new(0, 1000);
+    }
+
+    #[test]
+    fn overwrite_replaces_contents() {
+        let mut s = Sandbox::new(0, 8);
+        s.overwrite(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(s.read(0, Width::Q), 0x0807_0605_0403_0201);
+    }
+}

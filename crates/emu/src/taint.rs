@@ -1,0 +1,242 @@
+//! Word-granular dynamic taint tracking.
+//!
+//! Each input element (16 GPRs + every 8-byte sandbox word) carries a unique
+//! label. The engine propagates label sets through data flow as the emulator
+//! executes, and records which labels reach *contract observations* (memory
+//! addresses, branch decisions, and — for value-exposing contracts — loaded
+//! values).
+//!
+//! The resulting `relevant` set is the engine's contract-preservation
+//! certificate: mutating any input element whose label is **not** relevant
+//! cannot change the contract trace. This is how AMuLeT-rs reproduces
+//! Revizor's input boosting ("inputs can also be mutated, preserving only the
+//! parts influencing the contract trace", §2.4).
+
+use amulet_util::BitSet;
+use std::collections::HashMap;
+
+/// A set of taint labels.
+pub type TaintSet = BitSet;
+
+/// What the observation clause exposes — controls which flows are marked
+/// relevant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub struct TaintConfig {
+    /// Loaded values are observed (ARCH-SEQ).
+    pub observe_values: bool,
+    /// Stored values are observed (not used by the paper's contracts, but
+    /// available for extensions).
+    pub observe_store_values: bool,
+}
+
+
+/// The taint state mirroring a [`crate::Machine`]'s architectural state.
+#[derive(Debug, Clone)]
+pub struct TaintEngine {
+    cfg: TaintConfig,
+    reg: [TaintSet; 16],
+    flags: TaintSet,
+    /// Taint of 8-byte sandbox words, keyed by word index. Words absent from
+    /// the map carry their initial self-label.
+    mem: HashMap<usize, TaintSet>,
+    sandbox_size: usize,
+    relevant: BitSet,
+}
+
+/// Rollback point for speculative-path exploration.
+#[derive(Debug, Clone)]
+pub struct TaintCheckpoint {
+    reg: [TaintSet; 16],
+    flags: TaintSet,
+    mem: HashMap<usize, TaintSet>,
+}
+
+impl TaintEngine {
+    /// Creates the initial taint state for a sandbox of `sandbox_size` bytes:
+    /// register `i` carries label `i`, memory word `w` carries label `16+w`.
+    pub fn new(cfg: TaintConfig, sandbox_size: usize) -> Self {
+        let reg = std::array::from_fn(|i| {
+            let mut s = BitSet::new();
+            s.insert(i);
+            s
+        });
+        TaintEngine {
+            cfg,
+            reg,
+            flags: BitSet::new(),
+            mem: HashMap::new(),
+            sandbox_size,
+            relevant: BitSet::new(),
+        }
+    }
+
+    /// The observation configuration.
+    pub fn config(&self) -> TaintConfig {
+        self.cfg
+    }
+
+    /// Taint of a register.
+    pub fn reg_taint(&self, reg_index: usize) -> &TaintSet {
+        &self.reg[reg_index]
+    }
+
+    /// Overwrites a register's taint.
+    pub fn set_reg_taint(&mut self, reg_index: usize, taint: TaintSet) {
+        self.reg[reg_index] = taint;
+    }
+
+    /// Merges additional labels into a register's taint (for partial-width
+    /// writes, where the old value survives in the high bits).
+    pub fn merge_reg_taint(&mut self, reg_index: usize, taint: &TaintSet) {
+        self.reg[reg_index].union_with(taint);
+    }
+
+    /// Taint of the FLAGS register.
+    pub fn flags_taint(&self) -> &TaintSet {
+        &self.flags
+    }
+
+    /// Overwrites the FLAGS taint.
+    pub fn set_flags_taint(&mut self, taint: TaintSet) {
+        self.flags = taint;
+    }
+
+    fn word_of(&self, sandbox_off: u64) -> usize {
+        (sandbox_off as usize % self.sandbox_size) / 8
+    }
+
+    /// Taint of the memory word containing sandbox offset `off` (initially
+    /// its own label).
+    pub fn mem_taint(&self, off: u64) -> TaintSet {
+        let w = self.word_of(off);
+        self.mem.get(&w).cloned().unwrap_or_else(|| {
+            let mut s = BitSet::new();
+            s.insert(16 + w);
+            s
+        })
+    }
+
+    /// Union of taints of all words touched by an access of `len` bytes at
+    /// offset `off`.
+    pub fn mem_taint_range(&self, off: u64, len: u64) -> TaintSet {
+        let mut t = BitSet::new();
+        let first = self.word_of(off);
+        let last = self.word_of(off + len - 1);
+        for w in [first, last] {
+            t.union_with(&self.mem_taint((w * 8) as u64));
+        }
+        t
+    }
+
+    /// Stores `taint` into all words touched by an access of `len` bytes at
+    /// offset `off`. Partial words merge (old taint survives in the
+    /// untouched bytes), full words replace.
+    pub fn set_mem_taint_range(&mut self, off: u64, len: u64, taint: &TaintSet) {
+        let first = self.word_of(off);
+        let last = self.word_of(off + len - 1);
+        let full_word = len == 8 && off.is_multiple_of(8);
+        for w in if first == last { vec![first] } else { vec![first, last] } {
+            if full_word {
+                self.mem.insert(w, taint.clone());
+            } else {
+                let mut merged = self.mem_taint((w * 8) as u64);
+                merged.union_with(taint);
+                self.mem.insert(w, merged);
+            }
+        }
+    }
+
+    /// Marks labels as reaching a contract observation.
+    pub fn mark_relevant(&mut self, taint: &TaintSet) {
+        self.relevant.union_with(taint);
+    }
+
+    /// Labels that reached observations so far.
+    pub fn relevant(&self) -> &BitSet {
+        &self.relevant
+    }
+
+    /// Takes a rollback point (the `relevant` set is monotonic and is *not*
+    /// part of the checkpoint — observations on explored speculative paths
+    /// count).
+    pub fn checkpoint(&self) -> TaintCheckpoint {
+        TaintCheckpoint {
+            reg: self.reg.clone(),
+            flags: self.flags.clone(),
+            mem: self.mem.clone(),
+        }
+    }
+
+    /// Rolls back register/flag/memory taint to a checkpoint.
+    pub fn restore(&mut self, cp: &TaintCheckpoint) {
+        self.reg = cp.reg.clone();
+        self.flags = cp.flags.clone();
+        self.mem = cp.mem.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> TaintEngine {
+        TaintEngine::new(TaintConfig::default(), 4096)
+    }
+
+    #[test]
+    fn initial_labels_are_self() {
+        let t = engine();
+        assert!(t.reg_taint(3).contains(3));
+        assert_eq!(t.reg_taint(3).len(), 1);
+        assert!(t.mem_taint(0).contains(16));
+        assert!(t.mem_taint(8).contains(17));
+        assert!(t.mem_taint(15).contains(17));
+    }
+
+    #[test]
+    fn mem_range_spans_words() {
+        let t = engine();
+        let span = t.mem_taint_range(6, 4); // bytes 6..10 touch words 0 and 1
+        assert!(span.contains(16) && span.contains(17));
+        let single = t.mem_taint_range(8, 8);
+        assert!(single.contains(17) && !single.contains(16));
+    }
+
+    #[test]
+    fn full_word_store_replaces_partial_merges() {
+        let mut t = engine();
+        let mut data = BitSet::new();
+        data.insert(5);
+        t.set_mem_taint_range(8, 8, &data);
+        assert_eq!(t.mem_taint(8).iter().collect::<Vec<_>>(), vec![5]);
+        // Partial store merges with the existing word taint.
+        let mut data2 = BitSet::new();
+        data2.insert(6);
+        t.set_mem_taint_range(10, 2, &data2);
+        let m = t.mem_taint(8);
+        assert!(m.contains(5) && m.contains(6));
+    }
+
+    #[test]
+    fn relevant_survives_restore() {
+        let mut t = engine();
+        let cp = t.checkpoint();
+        let mut s = BitSet::new();
+        s.insert(2);
+        t.set_reg_taint(0, s.clone());
+        t.mark_relevant(&s);
+        t.restore(&cp);
+        assert!(t.reg_taint(0).contains(0), "register taint rolled back");
+        assert!(t.relevant().contains(2), "relevance is monotonic");
+    }
+
+    #[test]
+    fn offsets_wrap_modulo_sandbox() {
+        let t = engine();
+        assert_eq!(
+            t.mem_taint(4096).iter().collect::<Vec<_>>(),
+            t.mem_taint(0).iter().collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! A fluent builder for constructing programs in tests and examples.
+
+use crate::instr::{AluOp, Cond, Instr, LoopKind, MemRef, Operand, UnOp};
+use crate::program::{BasicBlock, BlockId, Program};
+use crate::reg::{Gpr, Width};
+
+/// Incrementally builds a [`Program`] block by block.
+///
+/// # Examples
+///
+/// ```
+/// use amulet_isa::{ProgramBuilder, Gpr, Width, Cond};
+///
+/// let mut b = ProgramBuilder::new();
+/// let main = b.block(".bb_main.0");
+/// let spec = b.block(".bb_main.1");
+/// let exit = b.block(".bb_main.exit");
+/// b.at(main).cmp_ri(Gpr::Rax, 0).jcc(Cond::Nz, spec).jmp(exit);
+/// b.at(spec).load(Gpr::Rbx, Gpr::Rax, Width::Q).jmp(exit);
+/// b.at(exit).exit();
+/// let program = b.build().unwrap();
+/// assert_eq!(program.blocks.len(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    blocks: Vec<BasicBlock>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a new empty block and returns its id.
+    pub fn block(&mut self, label: &str) -> BlockId {
+        self.blocks.push(BasicBlock {
+            label: label.to_string(),
+            instrs: Vec::new(),
+        });
+        BlockId(self.blocks.len() - 1)
+    }
+
+    /// Returns a cursor appending instructions to `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` was not created by this builder.
+    pub fn at(&mut self, block: BlockId) -> BlockCursor<'_> {
+        assert!(block.0 < self.blocks.len(), "unknown block {block:?}");
+        BlockCursor {
+            builder: self,
+            block,
+        }
+    }
+
+    /// Pushes a raw instruction onto a block.
+    pub fn push(&mut self, block: BlockId, instr: Instr) {
+        self.blocks[block.0].instrs.push(instr);
+    }
+
+    /// Finishes the program, validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error if the program is malformed.
+    pub fn build(self) -> Result<Program, crate::program::ValidateProgramError> {
+        let p = Program {
+            blocks: self.blocks,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Finishes the program without validating (for negative tests).
+    pub fn build_unchecked(self) -> Program {
+        Program {
+            blocks: self.blocks,
+        }
+    }
+}
+
+/// Cursor returned by [`ProgramBuilder::at`]; all methods append one
+/// instruction and return the cursor for chaining.
+#[derive(Debug)]
+pub struct BlockCursor<'a> {
+    builder: &'a mut ProgramBuilder,
+    block: BlockId,
+}
+
+impl BlockCursor<'_> {
+    fn push(self, i: Instr) -> Self {
+        self.builder.blocks[self.block.0].instrs.push(i);
+        self
+    }
+
+    /// `MOV dst_reg, imm`.
+    pub fn mov_ri(self, dst: Gpr, imm: i64) -> Self {
+        self.push(Instr::Mov {
+            dst: Operand::Reg(dst, Width::Q),
+            src: Operand::Imm(imm),
+        })
+    }
+
+    /// `MOV dst_reg, src_reg` (64-bit).
+    pub fn mov_rr(self, dst: Gpr, src: Gpr) -> Self {
+        self.push(Instr::Mov {
+            dst: Operand::Reg(dst, Width::Q),
+            src: Operand::Reg(src, Width::Q),
+        })
+    }
+
+    /// Load: `MOV dst, width ptr [R14 + index]`.
+    pub fn load(self, dst: Gpr, index: Gpr, width: Width) -> Self {
+        self.push(Instr::Mov {
+            dst: Operand::Reg(dst, width),
+            src: Operand::Mem(MemRef::base_index(Gpr::SANDBOX_BASE, index, width)),
+        })
+    }
+
+    /// Load with displacement: `MOV dst, width ptr [R14 + disp]`.
+    pub fn load_disp(self, dst: Gpr, disp: i64, width: Width) -> Self {
+        self.push(Instr::Mov {
+            dst: Operand::Reg(dst, width),
+            src: Operand::Mem(MemRef::base_disp(Gpr::SANDBOX_BASE, disp, width)),
+        })
+    }
+
+    /// Store: `MOV width ptr [R14 + index], src`.
+    pub fn store(self, index: Gpr, src: Gpr, width: Width) -> Self {
+        self.push(Instr::Mov {
+            dst: Operand::Mem(MemRef::base_index(Gpr::SANDBOX_BASE, index, width)),
+            src: Operand::Reg(src, width),
+        })
+    }
+
+    /// Store with displacement: `MOV width ptr [R14 + disp], src`.
+    pub fn store_disp(self, disp: i64, src: Gpr, width: Width) -> Self {
+        self.push(Instr::Mov {
+            dst: Operand::Mem(MemRef::base_disp(Gpr::SANDBOX_BASE, disp, width)),
+            src: Operand::Reg(src, width),
+        })
+    }
+
+    /// `op dst_reg, src_reg` (64-bit).
+    pub fn alu_rr(self, op: AluOp, dst: Gpr, src: Gpr) -> Self {
+        self.push(Instr::Alu {
+            op,
+            dst: Operand::Reg(dst, Width::Q),
+            src: Operand::Reg(src, Width::Q),
+            lock: false,
+        })
+    }
+
+    /// `op dst_reg, imm` (64-bit).
+    pub fn alu_ri(self, op: AluOp, dst: Gpr, imm: i64) -> Self {
+        self.push(Instr::Alu {
+            op,
+            dst: Operand::Reg(dst, Width::Q),
+            src: Operand::Imm(imm),
+            lock: false,
+        })
+    }
+
+    /// Sandbox masking idiom: `AND reg, mask`.
+    pub fn mask(self, reg: Gpr, mask: i64) -> Self {
+        self.alu_ri(AluOp::And, reg, mask)
+    }
+
+    /// `CMP reg, imm`.
+    pub fn cmp_ri(self, reg: Gpr, imm: i64) -> Self {
+        self.alu_ri(AluOp::Cmp, reg, imm)
+    }
+
+    /// `CMOVcc dst, width ptr [R14 + index]`.
+    pub fn cmov_load(self, cond: Cond, dst: Gpr, index: Gpr, width: Width) -> Self {
+        self.push(Instr::Cmov {
+            cond,
+            dst: Operand::Reg(dst, width),
+            src: Operand::Mem(MemRef::base_index(Gpr::SANDBOX_BASE, index, width)),
+        })
+    }
+
+    /// RMW: `op width ptr [R14 + index], src`.
+    pub fn rmw(self, op: AluOp, index: Gpr, src: Gpr, width: Width, lock: bool) -> Self {
+        self.push(Instr::Alu {
+            op,
+            dst: Operand::Mem(MemRef::base_index(Gpr::SANDBOX_BASE, index, width)),
+            src: Operand::Reg(src, width),
+            lock,
+        })
+    }
+
+    /// `UnOp dst_reg`.
+    pub fn un(self, op: UnOp, dst: Gpr) -> Self {
+        self.push(Instr::Un {
+            op,
+            dst: Operand::Reg(dst, Width::Q),
+            lock: false,
+        })
+    }
+
+    /// `Jcc target`.
+    pub fn jcc(self, cond: Cond, target: BlockId) -> Self {
+        self.push(Instr::Jcc { cond, target })
+    }
+
+    /// `JMP target`.
+    pub fn jmp(self, target: BlockId) -> Self {
+        self.push(Instr::Jmp { target })
+    }
+
+    /// `LOOP`/`LOOPE`/`LOOPNE` target.
+    pub fn loop_(self, kind: LoopKind, target: BlockId) -> Self {
+        self.push(Instr::Loop { kind, target })
+    }
+
+    /// `LFENCE`.
+    pub fn fence(self) -> Self {
+        self.push(Instr::Fence)
+    }
+
+    /// `EXIT`.
+    pub fn exit(self) -> Self {
+        self.push(Instr::Exit)
+    }
+
+    /// Pushes an arbitrary instruction.
+    pub fn instr(self, i: Instr) -> Self {
+        self.push(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_spectre_v1_shape() {
+        let mut b = ProgramBuilder::new();
+        let main = b.block(".bb_main.0");
+        let spec = b.block(".bb_main.1");
+        let exit = b.block(".bb_main.exit");
+        b.at(main).cmp_ri(Gpr::Rax, 0).jcc(Cond::Nz, spec).jmp(exit);
+        b.at(spec)
+            .mask(Gpr::Rbx, 0xFFF)
+            .load(Gpr::Rdx, Gpr::Rbx, Width::Q)
+            .jmp(exit);
+        b.at(exit).exit();
+        let p = b.build().unwrap();
+        assert_eq!(p.blocks.len(), 3);
+        assert_eq!(p.len(), 7);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn build_fails_on_missing_exit() {
+        let mut b = ProgramBuilder::new();
+        let main = b.block("m");
+        b.at(main).mov_ri(Gpr::Rax, 1);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown block")]
+    fn cursor_panics_on_foreign_block() {
+        let mut b = ProgramBuilder::new();
+        b.at(BlockId(3));
+    }
+}

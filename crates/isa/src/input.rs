@@ -1,0 +1,168 @@
+//! Test-case inputs: the initial architectural state a test program runs
+//! from.
+//!
+//! Following Revizor (§2.4 of the paper), an *input* is a pseudo-randomly
+//! generated blob that initialises the program's registers and its memory
+//! sandbox. A (program, input) pair is one *test case*.
+//!
+//! Inputs are also the unit of taint labelling: label `i < 16` is the `i`-th
+//! GPR, label `16 + w` is the `w`-th 8-byte word of sandbox memory. The
+//! emulator's taint engine reports which labels influence the contract trace,
+//! and input *boosting* mutates only the other labels — producing input
+//! classes with provably identical contract traces.
+
+use crate::reg::Gpr;
+use amulet_util::Xoshiro256;
+
+/// Size of one sandbox page in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// The initial architectural state for one test case.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TestInput {
+    /// Initial GPR values. `R14`/`RSP` are overwritten by the harness
+    /// (sandbox base / unused) regardless of what this holds.
+    pub regs: [u64; 16],
+    /// Initial FLAGS bit pattern (low 5 bits).
+    pub flags_bits: u8,
+    /// Initial sandbox memory contents (`pages * PAGE_SIZE` bytes).
+    pub mem: Vec<u8>,
+}
+
+impl TestInput {
+    /// Creates an all-zero input with the given number of sandbox pages.
+    pub fn zeroed(pages: usize) -> Self {
+        TestInput {
+            regs: [0; 16],
+            flags_bits: 0,
+            mem: vec![0; pages * PAGE_SIZE],
+        }
+    }
+
+    /// Generates a pseudo-random input (Revizor-style), with register values
+    /// bounded so masked offsets stay interesting.
+    pub fn random(rng: &mut Xoshiro256, pages: usize) -> Self {
+        let mut input = TestInput::zeroed(pages);
+        for r in input.regs.iter_mut() {
+            *r = rng.next_u64();
+        }
+        input.regs[Gpr::Rsp.index()] = 0;
+        input.regs[Gpr::R14.index()] = 0;
+        input.flags_bits = (rng.next_u32() as u8) & 0x1F;
+        rng.fill_bytes(&mut input.mem);
+        input
+    }
+
+    /// Number of sandbox pages.
+    pub fn pages(&self) -> usize {
+        self.mem.len() / PAGE_SIZE
+    }
+
+    /// Number of taint labels: 16 registers + one per 8-byte memory word.
+    pub fn label_count(&self) -> usize {
+        16 + self.mem.len() / 8
+    }
+
+    /// The taint label of a register.
+    pub fn reg_label(reg: Gpr) -> usize {
+        reg.index()
+    }
+
+    /// The taint label of the memory word containing sandbox offset `off`.
+    pub fn mem_label(&self, off: u64) -> usize {
+        16 + (off as usize % self.mem.len()) / 8
+    }
+
+    /// Reads the 8-byte memory word with the given word index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word * 8` is out of bounds.
+    pub fn word(&self, word: usize) -> u64 {
+        let b = &self.mem[word * 8..word * 8 + 8];
+        u64::from_le_bytes(b.try_into().unwrap())
+    }
+
+    /// Overwrites the 8-byte memory word with the given word index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word * 8` is out of bounds.
+    pub fn set_word(&mut self, word: usize, value: u64) {
+        self.mem[word * 8..word * 8 + 8].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Applies a value to the input element identified by a taint label:
+    /// labels `< 16` set registers, the rest set memory words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is out of range.
+    pub fn set_label(&mut self, label: usize, value: u64) {
+        if label < 16 {
+            self.regs[label] = value;
+        } else {
+            self.set_word(label - 16, value);
+        }
+    }
+
+    /// Reads the input element identified by a taint label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is out of range.
+    pub fn label_value(&self, label: usize) -> u64 {
+        if label < 16 {
+            self.regs[label]
+        } else {
+            self.word(label - 16)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut a = Xoshiro256::seed_from_u64(1);
+        let mut b = Xoshiro256::seed_from_u64(1);
+        assert_eq!(TestInput::random(&mut a, 2), TestInput::random(&mut b, 2));
+    }
+
+    #[test]
+    fn random_pins_harness_registers() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let i = TestInput::random(&mut rng, 1);
+        assert_eq!(i.regs[Gpr::R14.index()], 0);
+        assert_eq!(i.regs[Gpr::Rsp.index()], 0);
+    }
+
+    #[test]
+    fn word_set_get_roundtrip() {
+        let mut i = TestInput::zeroed(1);
+        i.set_word(3, 0xDEAD_BEEF_1234_5678);
+        assert_eq!(i.word(3), 0xDEAD_BEEF_1234_5678);
+        assert_eq!(i.mem[24], 0x78, "little endian");
+    }
+
+    #[test]
+    fn labels_map_registers_then_memory() {
+        let mut i = TestInput::zeroed(1);
+        i.set_label(Gpr::Rbx.index(), 7);
+        assert_eq!(i.regs[1], 7);
+        i.set_label(16 + 5, 99);
+        assert_eq!(i.word(5), 99);
+        assert_eq!(i.label_value(16 + 5), 99);
+        assert_eq!(i.label_count(), 16 + 512);
+    }
+
+    #[test]
+    fn mem_label_wraps_offsets() {
+        let i = TestInput::zeroed(1);
+        assert_eq!(i.mem_label(0), 16);
+        assert_eq!(i.mem_label(9), 16 + 1);
+        assert_eq!(i.mem_label(4096 + 8), 16 + 1, "wraps past end");
+    }
+}

@@ -1,0 +1,750 @@
+//! Instruction and operand definitions, plus static effect metadata.
+
+use crate::program::BlockId;
+use crate::reg::{Flags, Gpr, Width};
+use std::fmt;
+
+/// A memory operand: `width ptr [base + index + disp]`.
+///
+/// Generated programs always use [`Gpr::SANDBOX_BASE`] (`R14`) as the base
+/// and pre-mask the index register, Revizor-style; hand-written programs may
+/// use any base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Base register (usually `R14`).
+    pub base: Gpr,
+    /// Optional index register, added to the base.
+    pub index: Option<Gpr>,
+    /// Constant displacement, added to the base.
+    pub disp: i64,
+    /// Access width.
+    pub width: Width,
+}
+
+impl MemRef {
+    /// A `width ptr [base + index]` operand.
+    pub fn base_index(base: Gpr, index: Gpr, width: Width) -> Self {
+        MemRef {
+            base,
+            index: Some(index),
+            disp: 0,
+            width,
+        }
+    }
+
+    /// A `width ptr [base + disp]` operand.
+    pub fn base_disp(base: Gpr, disp: i64, width: Width) -> Self {
+        MemRef {
+            base,
+            index: None,
+            disp,
+            width,
+        }
+    }
+
+    /// Registers this operand reads to form its address.
+    pub fn addr_regs(&self) -> impl Iterator<Item = Gpr> + '_ {
+        std::iter::once(self.base).chain(self.index)
+    }
+
+    /// Computes the effective address given a register-read function.
+    pub fn effective_addr(&self, read: impl Fn(Gpr) -> u64) -> u64 {
+        let mut addr = read(self.base);
+        if let Some(idx) = self.index {
+            addr = addr.wrapping_add(read(idx));
+        }
+        addr.wrapping_add(self.disp as u64)
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ptr [{}", self.width.ptr_keyword(), self.base)?;
+        if let Some(idx) = self.index {
+            write!(f, " + {idx}")?;
+        }
+        if self.disp > 0 {
+            write!(f, " + {}", self.disp)?;
+        } else if self.disp < 0 {
+            write!(f, " - {}", -self.disp)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register at a given width (e.g. `BL` = `Reg(Rbx, Width::B)`).
+    Reg(Gpr, Width),
+    /// An immediate value.
+    Imm(i64),
+    /// A memory location.
+    Mem(MemRef),
+}
+
+impl Operand {
+    /// The operand's width, if it has an intrinsic one (`Imm` does not).
+    pub fn width(&self) -> Option<Width> {
+        match self {
+            Operand::Reg(_, w) => Some(*w),
+            Operand::Mem(m) => Some(m.width),
+            Operand::Imm(_) => None,
+        }
+    }
+
+    /// Returns the memory reference if this operand is a memory operand.
+    pub fn mem(&self) -> Option<&MemRef> {
+        match self {
+            Operand::Mem(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for memory operands.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Operand::Mem(_))
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r, w) => f.write_str(r.name(*w)),
+            Operand::Imm(v) => {
+                // Print bitmask-looking immediates in binary, like the paper.
+                let u = *v as u64;
+                if *v > 7 && (u & (u + 1)) == 0 {
+                    write!(f, "0b{u:b}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Operand::Mem(m) => m.fmt(f),
+        }
+    }
+}
+
+/// Two-operand ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Adc,
+    Sbb,
+    And,
+    Or,
+    Xor,
+    /// Compare: `Sub` that discards the result.
+    Cmp,
+    /// Bit test: `And` that discards the result.
+    Test,
+    Shl,
+    Shr,
+    Sar,
+    Imul,
+}
+
+impl AluOp {
+    /// All ALU operations.
+    pub const ALL: [AluOp; 13] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Adc,
+        AluOp::Sbb,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Cmp,
+        AluOp::Test,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Sar,
+        AluOp::Imul,
+    ];
+
+    /// `true` if the operation discards its result (`CMP`, `TEST`).
+    pub fn discards_result(self) -> bool {
+        matches!(self, AluOp::Cmp | AluOp::Test)
+    }
+
+    /// `true` if the operation reads the carry flag (`ADC`, `SBB`).
+    pub fn reads_carry(self) -> bool {
+        matches!(self, AluOp::Adc | AluOp::Sbb)
+    }
+
+    /// `true` if the operation's output flags depend on the input flags:
+    /// `ADC`/`SBB` consume CF, and shifts leave FLAGS untouched when the
+    /// (masked) count is zero.
+    pub fn reads_flags(self) -> bool {
+        self.reads_carry() || matches!(self, AluOp::Shl | AluOp::Shr | AluOp::Sar)
+    }
+
+    /// Mnemonic in upper case.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "ADD",
+            AluOp::Sub => "SUB",
+            AluOp::Adc => "ADC",
+            AluOp::Sbb => "SBB",
+            AluOp::And => "AND",
+            AluOp::Or => "OR",
+            AluOp::Xor => "XOR",
+            AluOp::Cmp => "CMP",
+            AluOp::Test => "TEST",
+            AluOp::Shl => "SHL",
+            AluOp::Shr => "SHR",
+            AluOp::Sar => "SAR",
+            AluOp::Imul => "IMUL",
+        }
+    }
+}
+
+/// One-operand ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Not,
+    Neg,
+    Inc,
+    Dec,
+}
+
+impl UnOp {
+    /// All unary operations.
+    pub const ALL: [UnOp; 4] = [UnOp::Not, UnOp::Neg, UnOp::Inc, UnOp::Dec];
+
+    /// Mnemonic in upper case.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Not => "NOT",
+            UnOp::Neg => "NEG",
+            UnOp::Inc => "INC",
+            UnOp::Dec => "DEC",
+        }
+    }
+}
+
+/// x86 condition codes (as used by `Jcc`, `CMOVcc`, `SETcc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Overflow (`O`).
+    O,
+    /// Not overflow (`NO`).
+    No,
+    /// Below / carry (`B`).
+    B,
+    /// Not below (`NB`/`AE`).
+    Nb,
+    /// Zero / equal (`Z`/`E`).
+    Z,
+    /// Not zero (`NZ`/`NE`).
+    Nz,
+    /// Below or equal (`BE`).
+    Be,
+    /// Not below-or-equal / above (`NBE`/`A`).
+    Nbe,
+    /// Sign (`S`).
+    S,
+    /// Not sign (`NS`).
+    Ns,
+    /// Parity (`P`).
+    P,
+    /// Not parity (`NP`).
+    Np,
+    /// Less (`L`).
+    L,
+    /// Not less (`NL`/`GE`).
+    Nl,
+    /// Less or equal (`LE`).
+    Le,
+    /// Not less-or-equal / greater (`NLE`/`G`).
+    Nle,
+}
+
+impl Cond {
+    /// All condition codes.
+    pub const ALL: [Cond; 16] = [
+        Cond::O,
+        Cond::No,
+        Cond::B,
+        Cond::Nb,
+        Cond::Z,
+        Cond::Nz,
+        Cond::Be,
+        Cond::Nbe,
+        Cond::S,
+        Cond::Ns,
+        Cond::P,
+        Cond::Np,
+        Cond::L,
+        Cond::Nl,
+        Cond::Le,
+        Cond::Nle,
+    ];
+
+    /// Evaluates the condition against a flag state.
+    pub fn eval(self, f: Flags) -> bool {
+        match self {
+            Cond::O => f.of(),
+            Cond::No => !f.of(),
+            Cond::B => f.cf(),
+            Cond::Nb => !f.cf(),
+            Cond::Z => f.zf(),
+            Cond::Nz => !f.zf(),
+            Cond::Be => f.cf() || f.zf(),
+            Cond::Nbe => !f.cf() && !f.zf(),
+            Cond::S => f.sf(),
+            Cond::Ns => !f.sf(),
+            Cond::P => f.pf(),
+            Cond::Np => !f.pf(),
+            Cond::L => f.sf() != f.of(),
+            Cond::Nl => f.sf() == f.of(),
+            Cond::Le => f.zf() || (f.sf() != f.of()),
+            Cond::Nle => !f.zf() && (f.sf() == f.of()),
+        }
+    }
+
+    /// Condition-code suffix (e.g. `"NBE"`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::O => "O",
+            Cond::No => "NO",
+            Cond::B => "B",
+            Cond::Nb => "NB",
+            Cond::Z => "Z",
+            Cond::Nz => "NZ",
+            Cond::Be => "BE",
+            Cond::Nbe => "NBE",
+            Cond::S => "S",
+            Cond::Ns => "NS",
+            Cond::P => "P",
+            Cond::Np => "NP",
+            Cond::L => "L",
+            Cond::Nl => "NL",
+            Cond::Le => "LE",
+            Cond::Nle => "NLE",
+        }
+    }
+
+    /// Parses a condition-code suffix, accepting common aliases
+    /// (`E`→`Z`, `NE`→`NZ`, `A`→`NBE`, `AE`→`NB`, `G`→`NLE`, `GE`→`NL`).
+    pub fn parse(s: &str) -> Option<Cond> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "O" => Cond::O,
+            "NO" => Cond::No,
+            "B" | "C" | "NAE" => Cond::B,
+            "NB" | "NC" | "AE" => Cond::Nb,
+            "Z" | "E" => Cond::Z,
+            "NZ" | "NE" => Cond::Nz,
+            "BE" | "NA" => Cond::Be,
+            "NBE" | "A" => Cond::Nbe,
+            "S" => Cond::S,
+            "NS" => Cond::Ns,
+            "P" | "PE" => Cond::P,
+            "NP" | "PO" => Cond::Np,
+            "L" | "NGE" => Cond::L,
+            "NL" | "GE" => Cond::Nl,
+            "LE" | "NG" => Cond::Le,
+            "NLE" | "G" => Cond::Nle,
+            _ => return None,
+        })
+    }
+}
+
+/// The `LOOP` family: decrement `RCX`, branch while non-zero (optionally
+/// gated on `ZF`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopKind {
+    /// `LOOP`: branch if `RCX != 0`.
+    Loop,
+    /// `LOOPE`: branch if `RCX != 0 && ZF`.
+    Loope,
+    /// `LOOPNE`: branch if `RCX != 0 && !ZF`.
+    Loopne,
+}
+
+impl LoopKind {
+    /// Mnemonic in upper case.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            LoopKind::Loop => "LOOP",
+            LoopKind::Loope => "LOOPE",
+            LoopKind::Loopne => "LOOPNE",
+        }
+    }
+}
+
+/// A µx86 instruction.
+///
+/// Branch targets are [`BlockId`]s; [`crate::Program::flatten`] resolves them
+/// to flat instruction indices for execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// `MOV dst, src` (no flags). Covers loads, stores, reg-reg and imm moves.
+    Mov { dst: Operand, src: Operand },
+    /// Two-operand ALU op; `lock` marks a `LOCK`-prefixed memory RMW.
+    Alu {
+        op: AluOp,
+        dst: Operand,
+        src: Operand,
+        lock: bool,
+    },
+    /// One-operand ALU op.
+    Un { op: UnOp, dst: Operand, lock: bool },
+    /// `CMOVcc dst, src`: conditional register load/move (always reads `src`).
+    Cmov { cond: Cond, dst: Operand, src: Operand },
+    /// `SETcc dst`: writes 0/1 byte.
+    Set { cond: Cond, dst: Operand },
+    /// Conditional branch to a block.
+    Jcc { cond: Cond, target: BlockId },
+    /// Unconditional jump to a block.
+    Jmp { target: BlockId },
+    /// `LOOP`/`LOOPE`/`LOOPNE` to a block.
+    Loop { kind: LoopKind, target: BlockId },
+    /// Speculation barrier (`LFENCE`).
+    Fence,
+    /// Terminates the test case (the `m5exit` analogue).
+    Exit,
+}
+
+/// Memory behaviour of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemEffect {
+    /// Reads memory (`MOV r, [m]`, ALU `r, [m]`, `CMOVcc r, [m]`).
+    Load(MemRef),
+    /// Writes memory (`MOV [m], r/imm`, `SETcc [m]`).
+    Store(MemRef),
+    /// Read-modify-write (`ALU [m], r/imm`, `NOT/NEG/INC/DEC [m]`).
+    Rmw(MemRef),
+}
+
+impl MemEffect {
+    /// The memory reference regardless of direction.
+    pub fn mem_ref(&self) -> &MemRef {
+        match self {
+            MemEffect::Load(m) | MemEffect::Store(m) | MemEffect::Rmw(m) => m,
+        }
+    }
+
+    /// `true` if the effect reads memory.
+    pub fn reads(&self) -> bool {
+        matches!(self, MemEffect::Load(_) | MemEffect::Rmw(_))
+    }
+
+    /// `true` if the effect writes memory.
+    pub fn writes(&self) -> bool {
+        matches!(self, MemEffect::Store(_) | MemEffect::Rmw(_))
+    }
+}
+
+/// Static data-flow summary of an instruction, used by the simulator's
+/// renamer and the emulator's taint engine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Effects {
+    /// Registers read (including address registers of memory operands).
+    pub reads: Vec<Gpr>,
+    /// Register written, if any, with the write width.
+    pub writes: Option<(Gpr, Width)>,
+    /// Whether the instruction reads FLAGS.
+    pub reads_flags: bool,
+    /// Whether the instruction writes FLAGS.
+    pub writes_flags: bool,
+    /// Memory behaviour, if any.
+    pub mem: Option<MemEffect>,
+    /// Whether this is a control-flow instruction.
+    pub is_branch: bool,
+}
+
+impl Instr {
+    /// Returns the branch target if this is a control-flow instruction.
+    pub fn branch_target(&self) -> Option<BlockId> {
+        match self {
+            Instr::Jcc { target, .. } | Instr::Jmp { target } | Instr::Loop { target, .. } => {
+                Some(*target)
+            }
+            _ => None,
+        }
+    }
+
+    /// `true` for conditional control flow (can mispredict a direction).
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, Instr::Jcc { .. } | Instr::Loop { .. })
+    }
+
+    /// Computes the static data-flow summary.
+    pub fn effects(&self) -> Effects {
+        let mut e = Effects::default();
+        let read_op = |e: &mut Effects, op: &Operand| match op {
+            Operand::Reg(r, _) => e.reads.push(*r),
+            Operand::Mem(m) => e.reads.extend(m.addr_regs()),
+            Operand::Imm(_) => {}
+        };
+        match self {
+            Instr::Mov { dst, src } => {
+                read_op(&mut e, src);
+                match dst {
+                    Operand::Reg(r, w) => e.writes = Some((*r, *w)),
+                    Operand::Mem(m) => {
+                        e.reads.extend(m.addr_regs());
+                        e.mem = Some(MemEffect::Store(*m));
+                    }
+                    Operand::Imm(_) => {}
+                }
+                if let Operand::Mem(m) = src {
+                    e.mem = Some(MemEffect::Load(*m));
+                }
+            }
+            Instr::Alu { op, dst, src, .. } => {
+                read_op(&mut e, src);
+                e.writes_flags = true;
+                e.reads_flags = op.reads_flags();
+                match dst {
+                    Operand::Reg(r, w) => {
+                        e.reads.push(*r);
+                        if !op.discards_result() {
+                            e.writes = Some((*r, *w));
+                        }
+                    }
+                    Operand::Mem(m) => {
+                        e.reads.extend(m.addr_regs());
+                        e.mem = Some(if op.discards_result() {
+                            MemEffect::Load(*m)
+                        } else {
+                            MemEffect::Rmw(*m)
+                        });
+                    }
+                    Operand::Imm(_) => {}
+                }
+                if let Operand::Mem(m) = src {
+                    e.mem = Some(MemEffect::Load(*m));
+                }
+            }
+            Instr::Un { op, dst, .. } => {
+                e.writes_flags = !matches!(op, UnOp::Not);
+                // INC/DEC preserve CF, so their output flags depend on the
+                // old flag state.
+                e.reads_flags = matches!(op, UnOp::Inc | UnOp::Dec);
+                match dst {
+                    Operand::Reg(r, w) => {
+                        e.reads.push(*r);
+                        e.writes = Some((*r, *w));
+                    }
+                    Operand::Mem(m) => {
+                        e.reads.extend(m.addr_regs());
+                        e.mem = Some(MemEffect::Rmw(*m));
+                    }
+                    Operand::Imm(_) => {}
+                }
+            }
+            Instr::Cmov { dst, src, .. } => {
+                e.reads_flags = true;
+                read_op(&mut e, src);
+                if let Operand::Mem(m) = src {
+                    e.mem = Some(MemEffect::Load(*m));
+                }
+                if let Operand::Reg(r, w) = dst {
+                    // CMOV reads the destination too (the not-taken value).
+                    e.reads.push(*r);
+                    e.writes = Some((*r, *w));
+                }
+            }
+            Instr::Set { dst, .. } => {
+                e.reads_flags = true;
+                match dst {
+                    Operand::Reg(r, w) => {
+                        e.reads.push(*r);
+                        e.writes = Some((*r, *w));
+                    }
+                    Operand::Mem(m) => {
+                        e.reads.extend(m.addr_regs());
+                        e.mem = Some(MemEffect::Store(*m));
+                    }
+                    Operand::Imm(_) => {}
+                }
+            }
+            Instr::Jcc { .. } => {
+                e.reads_flags = true;
+                e.is_branch = true;
+            }
+            Instr::Jmp { .. } => {
+                e.is_branch = true;
+            }
+            Instr::Loop { kind, .. } => {
+                e.is_branch = true;
+                e.reads.push(Gpr::Rcx);
+                e.writes = Some((Gpr::Rcx, Width::Q));
+                e.reads_flags = !matches!(kind, LoopKind::Loop);
+            }
+            Instr::Fence | Instr::Exit => {}
+        }
+        e
+    }
+
+    /// Memory effect, if any (shortcut over [`Instr::effects`]).
+    pub fn mem_effect(&self) -> Option<MemEffect> {
+        self.effects().mem
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Mov { dst, src } => write!(f, "MOV {dst}, {src}"),
+            Instr::Alu { op, dst, src, lock } => {
+                if *lock {
+                    write!(f, "LOCK ")?;
+                }
+                write!(f, "{} {dst}, {src}", op.mnemonic())
+            }
+            Instr::Un { op, dst, lock } => {
+                if *lock {
+                    write!(f, "LOCK ")?;
+                }
+                write!(f, "{} {dst}", op.mnemonic())
+            }
+            Instr::Cmov { cond, dst, src } => {
+                write!(f, "CMOV{} {dst}, {src}", cond.suffix())
+            }
+            Instr::Set { cond, dst } => write!(f, "SET{} {dst}", cond.suffix()),
+            Instr::Jcc { cond, target } => write!(f, "J{} {target}", cond.suffix()),
+            Instr::Jmp { target } => write!(f, "JMP {target}"),
+            Instr::Loop { kind, target } => write!(f, "{} {target}", kind.mnemonic()),
+            Instr::Fence => write!(f, "LFENCE"),
+            Instr::Exit => write!(f, "EXIT"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(base: Gpr, index: Gpr, w: Width) -> MemRef {
+        MemRef::base_index(base, index, w)
+    }
+
+    #[test]
+    fn cond_eval_matches_x86_definitions() {
+        let f = Flags::new().with_zf(true);
+        assert!(Cond::Z.eval(f) && Cond::Be.eval(f) && Cond::Le.eval(f));
+        assert!(!Cond::Nz.eval(f) && !Cond::Nbe.eval(f) && !Cond::Nle.eval(f));
+
+        let f = Flags::new().with_sf(true).with_of(false);
+        assert!(Cond::L.eval(f) && Cond::Le.eval(f) && !Cond::Nl.eval(f));
+
+        let f = Flags::new().with_sf(true).with_of(true);
+        assert!(Cond::Nl.eval(f) && !Cond::L.eval(f));
+    }
+
+    #[test]
+    fn cond_parse_aliases() {
+        assert_eq!(Cond::parse("A"), Some(Cond::Nbe));
+        assert_eq!(Cond::parse("e"), Some(Cond::Z));
+        assert_eq!(Cond::parse("GE"), Some(Cond::Nl));
+        assert_eq!(Cond::parse("XX"), None);
+    }
+
+    #[test]
+    fn every_cond_and_negation_partition_flag_space() {
+        // For every cc, exactly one of (cc, !cc) holds for all flag states.
+        let pairs = [
+            (Cond::O, Cond::No),
+            (Cond::B, Cond::Nb),
+            (Cond::Z, Cond::Nz),
+            (Cond::Be, Cond::Nbe),
+            (Cond::S, Cond::Ns),
+            (Cond::P, Cond::Np),
+            (Cond::L, Cond::Nl),
+            (Cond::Le, Cond::Nle),
+        ];
+        for bits in 0..32u8 {
+            let f = Flags::from_bits(bits);
+            for (c, nc) in pairs {
+                assert_ne!(c.eval(f), nc.eval(f), "{c:?} vs {nc:?} at {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn effects_of_load() {
+        let i = Instr::Mov {
+            dst: Operand::Reg(Gpr::Rbx, Width::Q),
+            src: Operand::Mem(mem(Gpr::R14, Gpr::Rax, Width::Q)),
+        };
+        let e = i.effects();
+        assert_eq!(e.writes, Some((Gpr::Rbx, Width::Q)));
+        assert!(e.reads.contains(&Gpr::R14) && e.reads.contains(&Gpr::Rax));
+        assert!(matches!(e.mem, Some(MemEffect::Load(_))));
+        assert!(!e.writes_flags && !e.reads_flags);
+    }
+
+    #[test]
+    fn effects_of_rmw_store() {
+        // XOR qword ptr [R14+RBX], RDI — the transmitter in paper Fig. 4.
+        let i = Instr::Alu {
+            op: AluOp::Xor,
+            dst: Operand::Mem(mem(Gpr::R14, Gpr::Rbx, Width::Q)),
+            src: Operand::Reg(Gpr::Rdi, Width::Q),
+            lock: false,
+        };
+        let e = i.effects();
+        assert!(matches!(e.mem, Some(MemEffect::Rmw(_))));
+        assert!(e.writes_flags);
+        assert_eq!(e.writes, None);
+    }
+
+    #[test]
+    fn effects_of_cmp_with_mem_is_load() {
+        let i = Instr::Alu {
+            op: AluOp::Cmp,
+            dst: Operand::Mem(mem(Gpr::R14, Gpr::Rax, Width::D)),
+            src: Operand::Imm(0),
+            lock: false,
+        };
+        assert!(matches!(i.effects().mem, Some(MemEffect::Load(_))));
+    }
+
+    #[test]
+    fn effects_of_loop() {
+        let i = Instr::Loop {
+            kind: LoopKind::Loopne,
+            target: BlockId(2),
+        };
+        let e = i.effects();
+        assert!(e.is_branch && e.reads_flags);
+        assert_eq!(e.writes, Some((Gpr::Rcx, Width::Q)));
+    }
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        let i = Instr::Alu {
+            op: AluOp::And,
+            dst: Operand::Reg(Gpr::Rbx, Width::Q),
+            src: Operand::Imm(0b1111_1111_1111),
+            lock: false,
+        };
+        assert_eq!(i.to_string(), "AND RBX, 0b111111111111");
+
+        let i = Instr::Cmov {
+            cond: Cond::Nbe,
+            dst: Operand::Reg(Gpr::Rsi, Width::W),
+            src: Operand::Mem(mem(Gpr::R14, Gpr::Rax, Width::W)),
+        };
+        assert_eq!(i.to_string(), "CMOVNBE SI, word ptr [R14 + RAX]");
+
+        let i = Instr::Alu {
+            op: AluOp::And,
+            dst: Operand::Mem(mem(Gpr::R14, Gpr::Rcx, Width::D)),
+            src: Operand::Reg(Gpr::Rdi, Width::D),
+            lock: true,
+        };
+        assert_eq!(i.to_string(), "LOCK AND dword ptr [R14 + RCX], EDI");
+    }
+
+    #[test]
+    fn mem_effective_addr_wraps() {
+        let m = MemRef::base_disp(Gpr::R14, -8, Width::Q);
+        let addr = m.effective_addr(|_| 4);
+        assert_eq!(addr, 4u64.wrapping_sub(8));
+    }
+}

@@ -1,0 +1,537 @@
+//! A small assembler accepting the Intel-flavoured syntax used in the
+//! AMuLeT paper's figures, so proof-of-concept programs can be written
+//! verbatim.
+//!
+//! Supported syntax per line: an optional label (`.bb_main.2:`), or one
+//! instruction (`LOCK AND dword ptr [R14 + RCX], EDI`). Comments start with
+//! `#` or `;`.
+
+use crate::instr::{AluOp, Cond, Instr, LoopKind, MemRef, Operand, UnOp};
+use crate::program::{BasicBlock, BlockId, Program};
+use crate::reg::{Gpr, Width};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced by [`parse_program`], with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProgramError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseProgramError {}
+
+/// Parses an assembly listing into a validated [`Program`].
+///
+/// Instructions before the first label form an implicit entry block named
+/// `.entry`. Branch targets may be forward references.
+///
+/// # Errors
+///
+/// Returns a [`ParseProgramError`] on the first malformed line, unknown
+/// label, or failed structural validation.
+///
+/// # Examples
+///
+/// ```
+/// use amulet_isa::parse_program;
+/// let p = parse_program(
+///     "# secret is in RBX (paper Fig. 8b)
+///      CMP RAX, 0
+///      JNE .l1
+///      MOV RAX, qword ptr [R14 + RBX]
+///      JMP .l2
+///      .l1:
+///      MOV RAX, qword ptr [R14 + 64]
+///      .l2:
+///      EXIT",
+/// ).unwrap();
+/// assert_eq!(p.blocks.len(), 3);
+/// ```
+pub fn parse_program(source: &str) -> Result<Program, ParseProgramError> {
+    #[derive(Debug)]
+    enum RawInstr {
+        Done(Instr),
+        Branch { text: String, target: String },
+    }
+
+    let err = |line: usize, message: String| ParseProgramError { line, message };
+
+    let mut blocks: Vec<(String, Vec<(usize, RawInstr)>)> = Vec::new();
+    let ensure_block = |blocks: &mut Vec<(String, Vec<(usize, RawInstr)>)>| {
+        if blocks.is_empty() {
+            blocks.push((".entry".to_string(), Vec::new()));
+        }
+    };
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split(['#', ';']).next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim();
+            if label.is_empty() {
+                return Err(err(lineno, "empty label".into()));
+            }
+            blocks.push((label.to_string(), Vec::new()));
+            continue;
+        }
+        ensure_block(&mut blocks);
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let (lock, rest) = if tokens[0].eq_ignore_ascii_case("LOCK") {
+            (true, &tokens[1..])
+        } else {
+            (false, &tokens[..])
+        };
+        if rest.is_empty() {
+            return Err(err(lineno, "LOCK prefix without instruction".into()));
+        }
+        let mnemonic = rest[0].to_ascii_uppercase();
+        let operand_text = line
+            .trim_start()
+            .strip_prefix(tokens[0])
+            .unwrap_or("")
+            .trim_start();
+        let operand_text = if lock {
+            operand_text
+                .strip_prefix(rest[0])
+                .or_else(|| {
+                    // case-insensitive strip of the mnemonic after LOCK
+                    operand_text
+                        .get(rest[0].len()..)
+                        .filter(|_| operand_text.len() >= rest[0].len())
+                })
+                .unwrap_or("")
+                .trim_start()
+        } else {
+            operand_text
+        };
+
+        // Branch-family mnemonics take a label operand.
+        let branch_target = |ops: &str| ops.trim().to_string();
+
+        let parsed: RawInstr = match mnemonic.as_str() {
+            "JMP" => RawInstr::Branch {
+                text: "JMP".into(),
+                target: branch_target(operand_text),
+            },
+            "LOOP" | "LOOPE" | "LOOPZ" | "LOOPNE" | "LOOPNZ" => RawInstr::Branch {
+                text: mnemonic.clone(),
+                target: branch_target(operand_text),
+            },
+            m if m.starts_with('J') && Cond::parse(&m[1..]).is_some() => RawInstr::Branch {
+                text: mnemonic.clone(),
+                target: branch_target(operand_text),
+            },
+            "LFENCE" | "MFENCE" => RawInstr::Done(Instr::Fence),
+            "EXIT" | "M5EXIT" | "HLT" => RawInstr::Done(Instr::Exit),
+            _ => {
+                let ops = split_operands(operand_text);
+                RawInstr::Done(parse_non_branch(&mnemonic, lock, &ops).map_err(|m| err(lineno, m))?)
+            }
+        };
+        blocks.last_mut().unwrap().1.push((lineno, parsed));
+    }
+
+    if blocks.is_empty() {
+        return Err(err(0, "empty program".into()));
+    }
+
+    let label_ids: HashMap<String, usize> = blocks
+        .iter()
+        .enumerate()
+        .map(|(i, (label, _))| (label.clone(), i))
+        .collect();
+
+    let mut program = Program::new();
+    for (label, raws) in blocks {
+        let mut instrs = Vec::with_capacity(raws.len());
+        for (lineno, raw) in raws {
+            let ins = match raw {
+                RawInstr::Done(i) => i,
+                RawInstr::Branch { text, target } => {
+                    let &id = label_ids
+                        .get(&target)
+                        .ok_or_else(|| err(lineno, format!("unknown label `{target}`")))?;
+                    let target = BlockId(id);
+                    match text.as_str() {
+                        "JMP" => Instr::Jmp { target },
+                        "LOOP" => Instr::Loop {
+                            kind: LoopKind::Loop,
+                            target,
+                        },
+                        "LOOPE" | "LOOPZ" => Instr::Loop {
+                            kind: LoopKind::Loope,
+                            target,
+                        },
+                        "LOOPNE" | "LOOPNZ" => Instr::Loop {
+                            kind: LoopKind::Loopne,
+                            target,
+                        },
+                        jcc => Instr::Jcc {
+                            cond: Cond::parse(&jcc[1..])
+                                .ok_or_else(|| err(lineno, format!("bad condition `{jcc}`")))?,
+                            target,
+                        },
+                    }
+                }
+            };
+            instrs.push(ins);
+        }
+        program.blocks.push(BasicBlock { label, instrs });
+    }
+
+    program
+        .validate()
+        .map_err(|e| err(0, format!("invalid program: {e}")))?;
+    Ok(program)
+}
+
+/// Splits an operand list on top-level commas (commas inside `[...]` don't
+/// occur in this syntax, but be robust anyway).
+fn split_operands(text: &str) -> Vec<String> {
+    let mut ops = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in text.chars() {
+        match c {
+            '[' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                ops.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        ops.push(cur.trim().to_string());
+    }
+    ops
+}
+
+fn parse_non_branch(mnemonic: &str, lock: bool, ops: &[String]) -> Result<Instr, String> {
+    let arity = |n: usize| -> Result<(), String> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(format!("{mnemonic} expects {n} operand(s), got {}", ops.len()))
+        }
+    };
+    let alu = |op: AluOp| -> Result<Instr, String> {
+        arity(2)?;
+        Ok(Instr::Alu {
+            op,
+            dst: parse_operand(&ops[0])?,
+            src: parse_operand(&ops[1])?,
+            lock,
+        })
+    };
+    let un = |op: UnOp| -> Result<Instr, String> {
+        arity(1)?;
+        Ok(Instr::Un {
+            op,
+            dst: parse_operand(&ops[0])?,
+            lock,
+        })
+    };
+    match mnemonic {
+        "MOV" => {
+            arity(2)?;
+            Ok(Instr::Mov {
+                dst: parse_operand(&ops[0])?,
+                src: parse_operand(&ops[1])?,
+            })
+        }
+        "ADD" => alu(AluOp::Add),
+        "SUB" => alu(AluOp::Sub),
+        "ADC" => alu(AluOp::Adc),
+        "SBB" => alu(AluOp::Sbb),
+        "AND" => alu(AluOp::And),
+        "OR" => alu(AluOp::Or),
+        "XOR" => alu(AluOp::Xor),
+        "CMP" => alu(AluOp::Cmp),
+        "TEST" => alu(AluOp::Test),
+        "SHL" | "SAL" => alu(AluOp::Shl),
+        "SHR" => alu(AluOp::Shr),
+        "SAR" => alu(AluOp::Sar),
+        "IMUL" => alu(AluOp::Imul),
+        "NOT" => un(UnOp::Not),
+        "NEG" => un(UnOp::Neg),
+        "INC" => un(UnOp::Inc),
+        "DEC" => un(UnOp::Dec),
+        m if m.starts_with("CMOV") => {
+            arity(2)?;
+            let cond = Cond::parse(&m[4..]).ok_or_else(|| format!("bad condition `{m}`"))?;
+            Ok(Instr::Cmov {
+                cond,
+                dst: parse_operand(&ops[0])?,
+                src: parse_operand(&ops[1])?,
+            })
+        }
+        m if m.starts_with("SET") => {
+            arity(1)?;
+            let cond = Cond::parse(&m[3..]).ok_or_else(|| format!("bad condition `{m}`"))?;
+            Ok(Instr::Set {
+                cond,
+                dst: parse_operand(&ops[0])?,
+            })
+        }
+        _ => Err(format!("unknown mnemonic `{mnemonic}`")),
+    }
+}
+
+fn parse_operand(text: &str) -> Result<Operand, String> {
+    let t = text.trim();
+    if let Some((r, w)) = Gpr::parse(t) {
+        return Ok(Operand::Reg(r, w));
+    }
+    if let Some(v) = parse_imm(t) {
+        return Ok(Operand::Imm(v));
+    }
+    parse_mem(t).map(Operand::Mem)
+}
+
+fn parse_imm(t: &str) -> Option<i64> {
+    let (neg, body) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest.trim()),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(&hex.replace('_', ""), 16).ok()?
+    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+        i64::from_str_radix(&bin.replace('_', ""), 2).ok()?
+    } else {
+        body.replace('_', "").parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn parse_mem(t: &str) -> Result<MemRef, String> {
+    // Expect: `<width> ptr [ term (+|-) term ... ]`
+    let lower = t.to_ascii_lowercase();
+    let ptr_pos = lower
+        .find(" ptr")
+        .ok_or_else(|| format!("expected register, immediate, or memory operand, got `{t}`"))?;
+    let width = Width::from_ptr_keyword(t[..ptr_pos].trim())
+        .ok_or_else(|| format!("bad width keyword in `{t}`"))?;
+    let open = t.find('[').ok_or_else(|| format!("missing `[` in `{t}`"))?;
+    let close = t.rfind(']').ok_or_else(|| format!("missing `]` in `{t}`"))?;
+    let inner = &t[open + 1..close];
+
+    let mut base: Option<Gpr> = None;
+    let mut index: Option<Gpr> = None;
+    let mut disp: i64 = 0;
+
+    // Tokenize into signed terms.
+    let mut sign = 1i64;
+    let mut term = String::new();
+    let mut terms: Vec<(i64, String)> = Vec::new();
+    for c in inner.chars() {
+        match c {
+            '+' => {
+                if !term.trim().is_empty() {
+                    terms.push((sign, term.trim().to_string()));
+                }
+                term.clear();
+                sign = 1;
+            }
+            '-' => {
+                if !term.trim().is_empty() {
+                    terms.push((sign, term.trim().to_string()));
+                }
+                term.clear();
+                sign = -1;
+            }
+            _ => term.push(c),
+        }
+    }
+    if !term.trim().is_empty() {
+        terms.push((sign, term.trim().to_string()));
+    }
+    if terms.is_empty() {
+        return Err(format!("empty memory operand `{t}`"));
+    }
+
+    for (sign, term) in terms {
+        if let Some((r, w)) = Gpr::parse(&term) {
+            if w != Width::Q {
+                return Err(format!("address register must be 64-bit in `{t}`"));
+            }
+            if sign < 0 {
+                return Err(format!("cannot subtract a register in `{t}`"));
+            }
+            if base.is_none() {
+                base = Some(r);
+            } else if index.is_none() {
+                index = Some(r);
+            } else {
+                return Err(format!("too many registers in `{t}`"));
+            }
+        } else if let Some(v) = parse_imm(&term) {
+            disp += sign * v;
+        } else {
+            return Err(format!("bad address term `{term}` in `{t}`"));
+        }
+    }
+    let base = base.ok_or_else(|| format!("memory operand needs a base register: `{t}`"))?;
+    Ok(MemRef {
+        base,
+        index,
+        disp,
+        width,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_figure_4_listing() {
+        // Figure 4a from the paper, verbatim (modulo the `...` line).
+        let src = "
+.bb_main.2:
+    OR byte ptr [R14 + RDX], AL
+    LOOPNE .bb_main.3
+    JMP .bb_main.exit
+
+.bb_main.3: # misspeculated
+    AND BL, 34
+    AND RAX, 0b111111111111
+    CMOVNBE SI, word ptr [R14 + RAX]
+    AND RBX, 0b111111111111
+    XOR qword ptr [R14 + RBX], RDI
+    JMP .bb_main.exit
+
+.bb_main.exit:
+    EXIT
+";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.blocks.len(), 3);
+        assert_eq!(p.blocks[0].instrs.len(), 3);
+        assert_eq!(p.blocks[1].instrs.len(), 6);
+        assert!(matches!(
+            p.blocks[1].instrs[2],
+            Instr::Cmov { cond: Cond::Nbe, .. }
+        ));
+        assert!(matches!(
+            p.blocks[0].instrs[1],
+            Instr::Loop {
+                kind: LoopKind::Loopne,
+                target: BlockId(1)
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_paper_figure_9_listing() {
+        let src = "
+    JS .bb_main.1
+    JMP .bb_main.4
+.bb_main.1: # mispredicted
+    AND RCX, 0b1111111111111111111
+    CMOVP AX, word ptr [R14 + RCX]
+    AND RAX, 0b1111111111111111111
+    MOV dword ptr [R14 + RAX], EBX
+    JMP .bb_main.4
+.bb_main.4:
+    EXIT
+";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.blocks.len(), 3);
+        assert_eq!(p.blocks[0].label, ".entry");
+        let f = p.flatten();
+        assert_eq!(f.instrs.len(), 8);
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let src = "
+.a:
+    MOV RAX, 5
+    AND RAX, 0b111111111111
+    ADD EBX, dword ptr [R14 + RAX + 8]
+    LOCK XOR qword ptr [R14 + RBX], RDI
+    SETNZ DL
+    CMOVL RCX, RDX
+    JNBE .b
+    JMP .c
+.b:
+    NEG RAX
+    LOOPE .b
+.c:
+    LFENCE
+    EXIT
+";
+        let p1 = parse_program(src).unwrap();
+        let text = p1.to_string();
+        let p2 = parse_program(&text).unwrap();
+        // Re-parsing the displayed form must give the same instruction stream.
+        assert_eq!(p1.flatten().instrs, p2.flatten().instrs);
+    }
+
+    #[test]
+    fn rejects_unknown_label() {
+        let e = parse_program("JMP .nowhere\nEXIT").unwrap_err();
+        assert!(e.message.contains("unknown label"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_mnemonic() {
+        let e = parse_program("FROB RAX, 1\nEXIT").unwrap_err();
+        assert!(e.message.contains("unknown mnemonic"), "{e}");
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let e = parse_program("ADD RAX\nEXIT").unwrap_err();
+        assert!(e.message.contains("expects 2"), "{e}");
+    }
+
+    #[test]
+    fn parses_negative_displacement_and_hex() {
+        let p = parse_program("MOV RAX, qword ptr [R14 + RBX - 0x10]\nEXIT").unwrap();
+        let Instr::Mov { src: Operand::Mem(m), .. } = p.blocks[0].instrs[0] else {
+            panic!("expected load");
+        };
+        assert_eq!(m.disp, -16);
+        assert_eq!(m.base, Gpr::R14);
+        assert_eq!(m.index, Some(Gpr::Rbx));
+    }
+
+    #[test]
+    fn rejects_memory_without_base() {
+        let e = parse_program("MOV RAX, qword ptr [8]\nEXIT").unwrap_err();
+        assert!(e.message.contains("base register"), "{e}");
+    }
+
+    #[test]
+    fn lock_prefix_requires_instruction() {
+        let e = parse_program("LOCK\nEXIT").unwrap_err();
+        assert!(e.message.contains("LOCK prefix"), "{e}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = parse_program("# header\n\n  ; note\nEXIT").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+}

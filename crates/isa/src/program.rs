@@ -1,0 +1,307 @@
+//! Programs as DAGs of basic blocks, and their flattened executable form.
+
+use crate::instr::Instr;
+use std::fmt;
+
+/// Index of a basic block within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub usize);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".bb{}", self.0)
+    }
+}
+
+/// A labelled basic block: straight-line instructions, with control flow
+/// only at the end (enforced by [`Program::validate`], not by construction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Human-readable label (e.g. `.bb_main.2`).
+    pub label: String,
+    /// Instructions in order.
+    pub instrs: Vec<Instr>,
+}
+
+/// A µx86 test program: an ordered list of basic blocks forming a DAG
+/// (forward edges only in generated programs; the assembler also accepts
+/// backward edges for hand-written loops).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Basic blocks in layout order. Fall-through goes to the next block.
+    pub blocks: Vec<BasicBlock>,
+}
+
+/// Errors returned by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateProgramError {
+    /// The program has no blocks.
+    Empty,
+    /// A branch targets a block index that does not exist.
+    DanglingTarget {
+        /// The block containing the branch.
+        block: usize,
+        /// The missing target.
+        target: usize,
+    },
+    /// No `EXIT` instruction is reachable from the entry block.
+    NoExit,
+}
+
+impl fmt::Display for ValidateProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateProgramError::Empty => write!(f, "program has no blocks"),
+            ValidateProgramError::DanglingTarget { block, target } => {
+                write!(f, "block {block} branches to missing block {target}")
+            }
+            ValidateProgramError::NoExit => write!(f, "no EXIT reachable from entry"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateProgramError {}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total instruction count across all blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+
+    /// `true` if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Checks structural well-formedness: non-empty, branch targets exist,
+    /// and an `EXIT` is reachable from block 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated property.
+    pub fn validate(&self) -> Result<(), ValidateProgramError> {
+        if self.blocks.is_empty() {
+            return Err(ValidateProgramError::Empty);
+        }
+        for (bi, b) in self.blocks.iter().enumerate() {
+            for ins in &b.instrs {
+                if let Some(BlockId(t)) = ins.branch_target() {
+                    if t >= self.blocks.len() {
+                        return Err(ValidateProgramError::DanglingTarget {
+                            block: bi,
+                            target: t,
+                        });
+                    }
+                }
+            }
+        }
+        // Reachability over fall-through + branch edges.
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack = vec![0usize];
+        let mut exit_reachable = false;
+        while let Some(bi) = stack.pop() {
+            if seen[bi] {
+                continue;
+            }
+            seen[bi] = true;
+            let b = &self.blocks[bi];
+            let mut falls_through = true;
+            for ins in &b.instrs {
+                if matches!(ins, Instr::Exit) {
+                    exit_reachable = true;
+                }
+                if let Some(BlockId(t)) = ins.branch_target() {
+                    stack.push(t);
+                    if matches!(ins, Instr::Jmp { .. }) {
+                        falls_through = false;
+                    }
+                }
+            }
+            if falls_through && bi + 1 < self.blocks.len() {
+                stack.push(bi + 1);
+            }
+        }
+        if !exit_reachable {
+            return Err(ValidateProgramError::NoExit);
+        }
+        Ok(())
+    }
+
+    /// Flattens blocks into a single instruction array with branch targets
+    /// resolved to flat indices. Execution (emulator and simulator) works on
+    /// this form.
+    pub fn flatten(&self) -> FlatProgram {
+        let mut block_start = Vec::with_capacity(self.blocks.len());
+        let mut instrs = Vec::with_capacity(self.len());
+        let mut origin = Vec::with_capacity(self.len());
+        for (bi, b) in self.blocks.iter().enumerate() {
+            block_start.push(instrs.len());
+            for ins in &b.instrs {
+                instrs.push(*ins);
+                origin.push(bi);
+            }
+        }
+        FlatProgram {
+            instrs,
+            block_start,
+            origin_block: origin,
+            labels: self.blocks.iter().map(|b| b.label.clone()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.blocks {
+            writeln!(f, "{}:", b.label)?;
+            for ins in &b.instrs {
+                // Branch targets print with real labels.
+                match ins.branch_target() {
+                    Some(BlockId(t)) if t < self.blocks.len() => {
+                        let m = ins.to_string();
+                        let mnemonic = m.split_whitespace().next().unwrap_or("");
+                        writeln!(f, "    {mnemonic} {}", self.blocks[t].label)?;
+                    }
+                    _ => writeln!(f, "    {ins}")?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The executable, flattened form of a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatProgram {
+    /// All instructions in layout order.
+    pub instrs: Vec<Instr>,
+    /// Flat index of the first instruction of each block.
+    pub block_start: Vec<usize>,
+    /// For each flat index, the block it came from.
+    pub origin_block: Vec<usize>,
+    /// Block labels (for diagnostics).
+    pub labels: Vec<String>,
+}
+
+impl FlatProgram {
+    /// Resolves a branch target block to its flat instruction index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block id is out of range (programs are validated first).
+    pub fn target_index(&self, target: BlockId) -> usize {
+        self.block_start[target.0]
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// `true` if there are no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The label of the block containing flat index `idx`.
+    pub fn label_of(&self, idx: usize) -> &str {
+        &self.labels[self.origin_block[idx]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Cond, Operand};
+    use crate::reg::{Gpr, Width};
+
+    fn jcc(target: usize) -> Instr {
+        Instr::Jcc {
+            cond: Cond::Z,
+            target: BlockId(target),
+        }
+    }
+
+    fn mov_reg() -> Instr {
+        Instr::Mov {
+            dst: Operand::Reg(Gpr::Rax, Width::Q),
+            src: Operand::Imm(1),
+        }
+    }
+
+    fn prog(blocks: Vec<Vec<Instr>>) -> Program {
+        Program {
+            blocks: blocks
+                .into_iter()
+                .enumerate()
+                .map(|(i, instrs)| BasicBlock {
+                    label: format!(".bb_main.{i}"),
+                    instrs,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn validate_accepts_wellformed_dag() {
+        let p = prog(vec![
+            vec![mov_reg(), jcc(2)],
+            vec![mov_reg()],
+            vec![Instr::Exit],
+        ]);
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        assert_eq!(Program::new().validate(), Err(ValidateProgramError::Empty));
+    }
+
+    #[test]
+    fn validate_rejects_dangling_target() {
+        let p = prog(vec![vec![jcc(7)], vec![Instr::Exit]]);
+        assert_eq!(
+            p.validate(),
+            Err(ValidateProgramError::DanglingTarget { block: 0, target: 7 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_unreachable_exit() {
+        // Block 0 jumps over the exit into block 2 which has no exit.
+        let p = prog(vec![
+            vec![Instr::Jmp { target: BlockId(2) }],
+            vec![Instr::Exit],
+            vec![mov_reg()],
+        ]);
+        assert_eq!(p.validate(), Err(ValidateProgramError::NoExit));
+    }
+
+    #[test]
+    fn flatten_resolves_targets() {
+        let p = prog(vec![
+            vec![mov_reg(), jcc(2)],
+            vec![mov_reg(), mov_reg()],
+            vec![Instr::Exit],
+        ]);
+        let f = p.flatten();
+        assert_eq!(f.len(), 5);
+        assert_eq!(f.block_start, vec![0, 2, 4]);
+        assert_eq!(f.target_index(BlockId(2)), 4);
+        assert_eq!(f.label_of(3), ".bb_main.1");
+        assert_eq!(f.origin_block, vec![0, 0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn display_uses_block_labels() {
+        let p = prog(vec![vec![jcc(1)], vec![Instr::Exit]]);
+        let text = p.to_string();
+        assert!(text.contains("JZ .bb_main.1"), "got: {text}");
+        assert!(text.contains(".bb_main.0:"));
+    }
+}

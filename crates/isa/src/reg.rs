@@ -1,0 +1,386 @@
+//! General-purpose registers, operand widths, and the FLAGS register.
+
+use std::fmt;
+
+/// The 16 general-purpose registers of µx86.
+///
+/// By convention (inherited from the paper's figures and Revizor), `R14`
+/// holds the sandbox base address of generated test programs and is never
+/// written by generated code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Gpr {
+    Rax = 0,
+    Rbx = 1,
+    Rcx = 2,
+    Rdx = 3,
+    Rsi = 4,
+    Rdi = 5,
+    Rbp = 6,
+    Rsp = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Gpr {
+    /// All 16 registers in index order.
+    pub const ALL: [Gpr; 16] = [
+        Gpr::Rax,
+        Gpr::Rbx,
+        Gpr::Rcx,
+        Gpr::Rdx,
+        Gpr::Rsi,
+        Gpr::Rdi,
+        Gpr::Rbp,
+        Gpr::Rsp,
+        Gpr::R8,
+        Gpr::R9,
+        Gpr::R10,
+        Gpr::R11,
+        Gpr::R12,
+        Gpr::R13,
+        Gpr::R14,
+        Gpr::R15,
+    ];
+
+    /// The register used as the sandbox base in generated programs.
+    pub const SANDBOX_BASE: Gpr = Gpr::R14;
+
+    /// Dense index in `[0, 16)`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Converts a dense index back to a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 16`.
+    pub fn from_index(index: usize) -> Gpr {
+        Self::ALL[index]
+    }
+
+    /// The canonical 64-bit name (e.g. `"RAX"`).
+    pub fn name64(self) -> &'static str {
+        NAMES[self.index()][3]
+    }
+
+    /// The name at a given operand width (e.g. `AL`, `AX`, `EAX`, `RAX`).
+    pub fn name(self, width: Width) -> &'static str {
+        NAMES[self.index()][width as usize]
+    }
+
+    /// Parses a register name at any width, returning the register and the
+    /// width implied by the name.
+    pub fn parse(name: &str) -> Option<(Gpr, Width)> {
+        let up = name.to_ascii_uppercase();
+        for (ri, names) in NAMES.iter().enumerate() {
+            for (wi, &n) in names.iter().enumerate() {
+                if n == up {
+                    return Some((Gpr::from_index(ri), Width::from_index(wi)));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name64())
+    }
+}
+
+/// Register names per width: `[8-bit, 16-bit, 32-bit, 64-bit]`.
+const NAMES: [[&str; 4]; 16] = [
+    ["AL", "AX", "EAX", "RAX"],
+    ["BL", "BX", "EBX", "RBX"],
+    ["CL", "CX", "ECX", "RCX"],
+    ["DL", "DX", "EDX", "RDX"],
+    ["SIL", "SI", "ESI", "RSI"],
+    ["DIL", "DI", "EDI", "RDI"],
+    ["BPL", "BP", "EBP", "RBP"],
+    ["SPL", "SP", "ESP", "RSP"],
+    ["R8B", "R8W", "R8D", "R8"],
+    ["R9B", "R9W", "R9D", "R9"],
+    ["R10B", "R10W", "R10D", "R10"],
+    ["R11B", "R11W", "R11D", "R11"],
+    ["R12B", "R12W", "R12D", "R12"],
+    ["R13B", "R13W", "R13D", "R13"],
+    ["R14B", "R14W", "R14D", "R14"],
+    ["R15B", "R15W", "R15D", "R15"],
+];
+
+/// Operand width: 1, 2, 4, or 8 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Width {
+    /// 8-bit (`byte ptr`, `AL`).
+    B = 0,
+    /// 16-bit (`word ptr`, `AX`).
+    W = 1,
+    /// 32-bit (`dword ptr`, `EAX`).
+    D = 2,
+    /// 64-bit (`qword ptr`, `RAX`).
+    Q = 3,
+}
+
+impl Width {
+    /// All widths, narrowest first.
+    pub const ALL: [Width; 4] = [Width::B, Width::W, Width::D, Width::Q];
+
+    /// Width in bytes.
+    pub fn bytes(self) -> u64 {
+        1 << (self as u32)
+    }
+
+    /// Width in bits.
+    pub fn bits(self) -> u32 {
+        8 * self.bytes() as u32
+    }
+
+    /// Mask selecting the low `bits()` bits.
+    pub fn mask(self) -> u64 {
+        match self {
+            Width::Q => u64::MAX,
+            _ => (1u64 << self.bits()) - 1,
+        }
+    }
+
+    /// The sign bit at this width.
+    pub fn sign_bit(self) -> u64 {
+        1u64 << (self.bits() - 1)
+    }
+
+    /// Truncates a value to this width.
+    pub fn trunc(self, value: u64) -> u64 {
+        value & self.mask()
+    }
+
+    /// Sign-extends the low `bits()` of `value` to 64 bits.
+    pub fn sext(self, value: u64) -> u64 {
+        let v = self.trunc(value);
+        if v & self.sign_bit() != 0 {
+            v | !self.mask()
+        } else {
+            v
+        }
+    }
+
+    /// Converts a dense index (`0..4`) to a width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 4`.
+    pub fn from_index(index: usize) -> Width {
+        Self::ALL[index]
+    }
+
+    /// The `ptr` keyword used in memory operands (e.g. `"qword"`).
+    pub fn ptr_keyword(self) -> &'static str {
+        match self {
+            Width::B => "byte",
+            Width::W => "word",
+            Width::D => "dword",
+            Width::Q => "qword",
+        }
+    }
+
+    /// Parses a `ptr` keyword.
+    pub fn from_ptr_keyword(kw: &str) -> Option<Width> {
+        match kw.to_ascii_lowercase().as_str() {
+            "byte" => Some(Width::B),
+            "word" => Some(Width::W),
+            "dword" => Some(Width::D),
+            "qword" => Some(Width::Q),
+            _ => None,
+        }
+    }
+
+    /// Merges `value` into `old` according to x86 write semantics:
+    /// 64/32-bit writes replace (32-bit zero-extends), 16/8-bit writes merge
+    /// into the low bits.
+    pub fn merge_into(self, old: u64, value: u64) -> u64 {
+        match self {
+            Width::Q => value,
+            Width::D => value & 0xFFFF_FFFF,
+            _ => (old & !self.mask()) | (value & self.mask()),
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.ptr_keyword())
+    }
+}
+
+/// The subset of RFLAGS that µx86 models.
+///
+/// Stored as a small bit set; individual flags are accessed through typed
+/// methods. `Flags` is `Copy` and ordered so traces containing flag values
+/// are comparable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Flags(u8);
+
+impl Flags {
+    const CF: u8 = 1 << 0;
+    const PF: u8 = 1 << 1;
+    const ZF: u8 = 1 << 2;
+    const SF: u8 = 1 << 3;
+    const OF: u8 = 1 << 4;
+
+    /// All flags clear.
+    pub fn new() -> Self {
+        Flags(0)
+    }
+
+    /// Constructs from a raw bit pattern (low 5 bits used).
+    pub fn from_bits(bits: u8) -> Self {
+        Flags(bits & 0x1F)
+    }
+
+    /// Raw bit pattern.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Carry flag.
+    pub fn cf(self) -> bool {
+        self.0 & Self::CF != 0
+    }
+
+    /// Parity flag (even parity of low result byte).
+    pub fn pf(self) -> bool {
+        self.0 & Self::PF != 0
+    }
+
+    /// Zero flag.
+    pub fn zf(self) -> bool {
+        self.0 & Self::ZF != 0
+    }
+
+    /// Sign flag.
+    pub fn sf(self) -> bool {
+        self.0 & Self::SF != 0
+    }
+
+    /// Overflow flag.
+    pub fn of(self) -> bool {
+        self.0 & Self::OF != 0
+    }
+
+    /// Returns a copy with the carry flag set to `v`.
+    pub fn with_cf(self, v: bool) -> Self {
+        self.with(Self::CF, v)
+    }
+
+    /// Returns a copy with the parity flag set to `v`.
+    pub fn with_pf(self, v: bool) -> Self {
+        self.with(Self::PF, v)
+    }
+
+    /// Returns a copy with the zero flag set to `v`.
+    pub fn with_zf(self, v: bool) -> Self {
+        self.with(Self::ZF, v)
+    }
+
+    /// Returns a copy with the sign flag set to `v`.
+    pub fn with_sf(self, v: bool) -> Self {
+        self.with(Self::SF, v)
+    }
+
+    /// Returns a copy with the overflow flag set to `v`.
+    pub fn with_of(self, v: bool) -> Self {
+        self.with(Self::OF, v)
+    }
+
+    fn with(self, bit: u8, v: bool) -> Self {
+        if v {
+            Flags(self.0 | bit)
+        } else {
+            Flags(self.0 & !bit)
+        }
+    }
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}{}{}{}{}]",
+            if self.cf() { 'C' } else { '-' },
+            if self.pf() { 'P' } else { '-' },
+            if self.zf() { 'Z' } else { '-' },
+            if self.sf() { 'S' } else { '-' },
+            if self.of() { 'O' } else { '-' },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_names_roundtrip_at_all_widths() {
+        for r in Gpr::ALL {
+            for w in Width::ALL {
+                let name = r.name(w);
+                let (r2, w2) = Gpr::parse(name).expect("name parses");
+                assert_eq!((r, w), (r2, w2), "roundtrip for {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!(Gpr::parse("rax"), Some((Gpr::Rax, Width::Q)));
+        assert_eq!(Gpr::parse("eAx"), Some((Gpr::Rax, Width::D)));
+        assert_eq!(Gpr::parse("nope"), None);
+    }
+
+    #[test]
+    fn width_masks_and_extension() {
+        assert_eq!(Width::B.mask(), 0xFF);
+        assert_eq!(Width::W.mask(), 0xFFFF);
+        assert_eq!(Width::D.mask(), 0xFFFF_FFFF);
+        assert_eq!(Width::Q.mask(), u64::MAX);
+        assert_eq!(Width::B.sext(0x80), 0xFFFF_FFFF_FFFF_FF80);
+        assert_eq!(Width::B.sext(0x7F), 0x7F);
+        assert_eq!(Width::D.sext(0x8000_0000), 0xFFFF_FFFF_8000_0000);
+    }
+
+    #[test]
+    fn write_merge_semantics_match_x86() {
+        let old = 0x1122_3344_5566_7788u64;
+        assert_eq!(Width::Q.merge_into(old, 0xAA), 0xAA);
+        assert_eq!(Width::D.merge_into(old, 0xDEAD_BEEF_CAFE_F00Du64), 0xCAFE_F00D);
+        assert_eq!(Width::W.merge_into(old, 0xABCD), 0x1122_3344_5566_ABCD);
+        assert_eq!(Width::B.merge_into(old, 0xEF), 0x1122_3344_5566_77EF);
+    }
+
+    #[test]
+    fn flags_accessors() {
+        let f = Flags::new().with_zf(true).with_cf(true);
+        assert!(f.zf() && f.cf() && !f.sf() && !f.of() && !f.pf());
+        let f = f.with_zf(false);
+        assert!(!f.zf() && f.cf());
+        assert_eq!(format!("{f}"), "[C----]");
+    }
+
+    #[test]
+    fn flags_bits_roundtrip() {
+        for bits in 0..32u8 {
+            assert_eq!(Flags::from_bits(bits).bits(), bits);
+        }
+        // High bits are masked off.
+        assert_eq!(Flags::from_bits(0xFF).bits(), 0x1F);
+    }
+}

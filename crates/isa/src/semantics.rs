@@ -1,0 +1,325 @@
+//! Architectural semantics of µx86 ALU operations.
+//!
+//! Both the architectural emulator (the leakage-model substrate) and the
+//! out-of-order simulator call these functions, so the two engines cannot
+//! drift apart semantically. Where real x86 leaves flags *undefined* (shifts
+//! with count > 1, `IMUL`), we define them deterministically — this is sound
+//! for relational testing because both engines share the definition.
+
+use crate::instr::{AluOp, UnOp};
+use crate::reg::{Flags, Width};
+
+/// Result of an ALU operation: the (width-truncated) value and new FLAGS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AluResult {
+    /// Result truncated to the operation width (low bits significant).
+    pub value: u64,
+    /// Flag state after the operation.
+    pub flags: Flags,
+}
+
+fn parity_even(value: u64) -> bool {
+    (value as u8).count_ones().is_multiple_of(2)
+}
+
+fn zsp(flags: Flags, w: Width, value: u64) -> Flags {
+    let v = w.trunc(value);
+    flags
+        .with_zf(v == 0)
+        .with_sf(v & w.sign_bit() != 0)
+        .with_pf(parity_even(v))
+}
+
+fn add_with_carry(w: Width, a: u64, b: u64, carry_in: bool, flags: Flags) -> AluResult {
+    let (a, b) = (w.trunc(a), w.trunc(b));
+    let sum = a as u128 + b as u128 + carry_in as u128;
+    let value = w.trunc(sum as u64);
+    let cf = sum > w.mask() as u128;
+    // Signed overflow: operands same sign, result different sign.
+    let of = ((a ^ value) & (b ^ value) & w.sign_bit()) != 0;
+    AluResult {
+        value,
+        flags: zsp(flags.with_cf(cf).with_of(of), w, value),
+    }
+}
+
+fn sub_with_borrow(w: Width, a: u64, b: u64, borrow_in: bool, flags: Flags) -> AluResult {
+    let (a, b) = (w.trunc(a), w.trunc(b));
+    let rhs = b as u128 + borrow_in as u128;
+    let value = w.trunc((a as u128).wrapping_sub(rhs) as u64);
+    let cf = (a as u128) < rhs;
+    let of = ((a ^ b) & (a ^ value) & w.sign_bit()) != 0;
+    AluResult {
+        value,
+        flags: zsp(flags.with_cf(cf).with_of(of), w, value),
+    }
+}
+
+fn logic(w: Width, value: u64, flags: Flags) -> AluResult {
+    let value = w.trunc(value);
+    AluResult {
+        value,
+        flags: zsp(flags.with_cf(false).with_of(false), w, value),
+    }
+}
+
+/// Executes a two-operand ALU operation.
+///
+/// `dst` and `src` are the operand values (only the low `width` bits are
+/// significant). For `CMP`/`TEST` the returned value equals the computed
+/// result but callers must discard it (see [`AluOp::discards_result`]).
+pub fn alu(op: AluOp, w: Width, dst: u64, src: u64, flags: Flags) -> AluResult {
+    match op {
+        AluOp::Add => add_with_carry(w, dst, src, false, flags),
+        AluOp::Adc => add_with_carry(w, dst, src, flags.cf(), flags),
+        AluOp::Sub | AluOp::Cmp => sub_with_borrow(w, dst, src, false, flags),
+        AluOp::Sbb => sub_with_borrow(w, dst, src, flags.cf(), flags),
+        AluOp::And | AluOp::Test => logic(w, w.trunc(dst) & w.trunc(src), flags),
+        AluOp::Or => logic(w, w.trunc(dst) | w.trunc(src), flags),
+        AluOp::Xor => logic(w, w.trunc(dst) ^ w.trunc(src), flags),
+        AluOp::Shl => {
+            let count = shift_count(w, src);
+            if count == 0 {
+                return AluResult {
+                    value: w.trunc(dst),
+                    flags,
+                };
+            }
+            let d = w.trunc(dst);
+            let value = w.trunc(d.wrapping_shl(count));
+            // CF = last bit shifted out.
+            let cf = count <= w.bits() && (d >> (w.bits() - count)) & 1 != 0;
+            let of = ((value & w.sign_bit()) != 0) != cf;
+            AluResult {
+                value,
+                flags: zsp(flags.with_cf(cf).with_of(of), w, value),
+            }
+        }
+        AluOp::Shr => {
+            let count = shift_count(w, src);
+            if count == 0 {
+                return AluResult {
+                    value: w.trunc(dst),
+                    flags,
+                };
+            }
+            let d = w.trunc(dst);
+            let value = d.wrapping_shr(count);
+            let cf = (d >> (count - 1)) & 1 != 0;
+            let of = d & w.sign_bit() != 0;
+            AluResult {
+                value,
+                flags: zsp(flags.with_cf(cf).with_of(of), w, value),
+            }
+        }
+        AluOp::Sar => {
+            let count = shift_count(w, src);
+            if count == 0 {
+                return AluResult {
+                    value: w.trunc(dst),
+                    flags,
+                };
+            }
+            let d = w.sext(dst) as i64;
+            let value = w.trunc((d >> count.min(63)) as u64);
+            let cf = (w.sext(dst) >> (count - 1)) & 1 != 0;
+            AluResult {
+                value,
+                flags: zsp(flags.with_cf(cf).with_of(false), w, value),
+            }
+        }
+        AluOp::Imul => {
+            let a = w.sext(dst) as i64 as i128;
+            let b = w.sext(src) as i64 as i128;
+            let product = a * b;
+            let value = w.trunc(product as u64);
+            let fits = product == w.sext(value) as i64 as i128;
+            AluResult {
+                value,
+                flags: zsp(flags.with_cf(!fits).with_of(!fits), w, value),
+            }
+        }
+    }
+}
+
+fn shift_count(w: Width, src: u64) -> u32 {
+    let mask = if w == Width::Q { 0x3F } else { 0x1F };
+    (src as u32) & mask
+}
+
+/// Executes a one-operand ALU operation.
+pub fn unary(op: UnOp, w: Width, val: u64, flags: Flags) -> AluResult {
+    match op {
+        UnOp::Not => AluResult {
+            value: w.trunc(!val),
+            flags,
+        },
+        UnOp::Neg => {
+            let r = sub_with_borrow(w, 0, val, false, flags);
+            AluResult {
+                value: r.value,
+                flags: r.flags.with_cf(w.trunc(val) != 0),
+            }
+        }
+        UnOp::Inc => {
+            // INC preserves CF.
+            let cf = flags.cf();
+            let r = add_with_carry(w, val, 1, false, flags);
+            AluResult {
+                value: r.value,
+                flags: r.flags.with_cf(cf),
+            }
+        }
+        UnOp::Dec => {
+            let cf = flags.cf();
+            let r = sub_with_borrow(w, val, 1, false, flags);
+            AluResult {
+                value: r.value,
+                flags: r.flags.with_cf(cf),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f() -> Flags {
+        Flags::new()
+    }
+
+    #[test]
+    fn add_sets_carry_and_overflow() {
+        let r = alu(AluOp::Add, Width::B, 0xFF, 1, f());
+        assert_eq!(r.value, 0);
+        assert!(r.flags.cf() && r.flags.zf() && !r.flags.of());
+
+        let r = alu(AluOp::Add, Width::B, 0x7F, 1, f());
+        assert_eq!(r.value, 0x80);
+        assert!(r.flags.of() && r.flags.sf() && !r.flags.cf());
+    }
+
+    #[test]
+    fn sub_and_cmp_agree() {
+        let a = alu(AluOp::Sub, Width::Q, 5, 7, f());
+        let b = alu(AluOp::Cmp, Width::Q, 5, 7, f());
+        assert_eq!(a, b);
+        assert!(a.flags.cf(), "borrow sets CF");
+        assert!(a.flags.sf());
+        assert_eq!(a.value, (-2i64) as u64);
+    }
+
+    #[test]
+    fn signed_overflow_on_sub() {
+        // i8: -128 - 1 overflows.
+        let r = alu(AluOp::Sub, Width::B, 0x80, 1, f());
+        assert_eq!(r.value, 0x7F);
+        assert!(r.flags.of() && !r.flags.sf());
+    }
+
+    #[test]
+    fn adc_sbb_chain_carry() {
+        let flags = f().with_cf(true);
+        assert_eq!(alu(AluOp::Adc, Width::Q, 1, 1, flags).value, 3);
+        assert_eq!(alu(AluOp::Sbb, Width::Q, 3, 1, flags).value, 1);
+    }
+
+    #[test]
+    fn logic_clears_cf_of() {
+        let flags = f().with_cf(true).with_of(true);
+        let r = alu(AluOp::And, Width::D, 0xF0F0, 0x0FF0, flags);
+        assert_eq!(r.value, 0x00F0);
+        assert!(!r.flags.cf() && !r.flags.of() && !r.flags.zf());
+    }
+
+    #[test]
+    fn test_matches_and() {
+        let a = alu(AluOp::Test, Width::W, 0xAAAA, 0x5555, f());
+        assert!(a.flags.zf());
+        assert_eq!(a.value, 0);
+    }
+
+    #[test]
+    fn parity_of_low_byte_only() {
+        // 0x103: low byte 0x03 has two bits -> even parity -> PF set.
+        let r = alu(AluOp::Or, Width::W, 0x103, 0, f());
+        assert!(r.flags.pf());
+        // 0x1 -> one bit -> odd parity -> PF clear.
+        let r = alu(AluOp::Or, Width::W, 0x100 | 0x1, 0, f());
+        assert!(!r.flags.pf());
+    }
+
+    #[test]
+    fn shl_shifts_and_sets_cf() {
+        let r = alu(AluOp::Shl, Width::B, 0b1000_0001, 1, f());
+        assert_eq!(r.value, 0b0000_0010);
+        assert!(r.flags.cf());
+        // Zero count leaves flags untouched.
+        let dirty = f().with_cf(true).with_zf(true);
+        let r = alu(AluOp::Shl, Width::Q, 5, 0, dirty);
+        assert_eq!(r.value, 5);
+        assert_eq!(r.flags, dirty);
+    }
+
+    #[test]
+    fn shift_count_masking_matches_x86() {
+        // 32-bit operands mask the count with 0x1F: shifting EAX by 32 is a no-op count of 0.
+        let dirty = f().with_cf(true);
+        let r = alu(AluOp::Shl, Width::D, 7, 32, dirty);
+        assert_eq!(r.value, 7);
+        assert_eq!(r.flags, dirty);
+        // 64-bit operands mask with 0x3F.
+        let r = alu(AluOp::Shl, Width::Q, 1, 65, f());
+        assert_eq!(r.value, 2);
+    }
+
+    #[test]
+    fn shr_vs_sar_sign_handling() {
+        let r = alu(AluOp::Shr, Width::B, 0x80, 1, f());
+        assert_eq!(r.value, 0x40);
+        let r = alu(AluOp::Sar, Width::B, 0x80, 1, f());
+        assert_eq!(r.value, 0xC0, "SAR keeps the sign bit");
+        assert!(!r.flags.of());
+    }
+
+    #[test]
+    fn imul_overflow_detection() {
+        let r = alu(AluOp::Imul, Width::B, 10, 10, f());
+        assert_eq!(r.value, 100);
+        assert!(!r.flags.cf() && !r.flags.of());
+        let r = alu(AluOp::Imul, Width::B, 100, 2, f());
+        assert_eq!(r.value, 200); // -56 as i8
+        assert!(r.flags.cf() && r.flags.of());
+    }
+
+    #[test]
+    fn neg_sets_cf_unless_zero() {
+        let r = unary(UnOp::Neg, Width::Q, 5, f());
+        assert_eq!(r.value, (-5i64) as u64);
+        assert!(r.flags.cf());
+        let r = unary(UnOp::Neg, Width::Q, 0, f());
+        assert_eq!(r.value, 0);
+        assert!(!r.flags.cf() && r.flags.zf());
+    }
+
+    #[test]
+    fn inc_dec_preserve_cf() {
+        let flags = f().with_cf(true);
+        let r = unary(UnOp::Inc, Width::B, 0xFF, flags);
+        assert_eq!(r.value, 0);
+        assert!(r.flags.cf(), "INC must not clobber CF");
+        assert!(r.flags.zf());
+        let r = unary(UnOp::Dec, Width::B, 0, f());
+        assert_eq!(r.value, 0xFF);
+        assert!(!r.flags.cf(), "DEC must not set CF");
+    }
+
+    #[test]
+    fn not_leaves_flags() {
+        let dirty = f().with_zf(true).with_cf(true);
+        let r = unary(UnOp::Not, Width::W, 0x00FF, dirty);
+        assert_eq!(r.value, 0xFF00);
+        assert_eq!(r.flags, dirty);
+    }
+}

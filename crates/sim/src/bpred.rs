@@ -1,0 +1,229 @@
+//! Branch prediction and memory-dependence prediction.
+//!
+//! - [`Gshare`]: a global-history branch direction predictor (GHR xor PC
+//!   indexing a table of 2-bit counters). Its table + history form part of
+//!   the "BP state" µarch trace format of §4.3.
+//! - [`MemDepPredictor`]: per-PC 2-bit conflict counters deciding whether a
+//!   load may bypass older stores with unresolved addresses — the mechanism
+//!   behind Spectre-v4 and the paper's CT-COND violations.
+//!
+//! Both predictors are snapshot/restorable: AMuLeT-Opt preserves predictor
+//! state between inputs of a program (§3.2), and violation validation re-runs
+//! inputs under exchanged initial µarch contexts.
+
+use std::collections::HashMap;
+
+/// Saturating 2-bit counter helpers.
+fn sat_up(c: u8) -> u8 {
+    (c + 1).min(3)
+}
+fn sat_down(c: u8) -> u8 {
+    c.saturating_sub(1)
+}
+
+/// A gshare branch direction predictor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gshare {
+    table: Vec<u8>,
+    ghr: u64,
+    ghr_mask: u64,
+}
+
+impl Gshare {
+    /// Creates a predictor with `entries` 2-bit counters (power of two) and
+    /// `ghr_bits` bits of global history, initialised weakly-not-taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize, ghr_bits: u32) -> Self {
+        assert!(entries.is_power_of_two(), "PHT entries must be a power of two");
+        Gshare {
+            table: vec![1; entries],
+            ghr: 0,
+            ghr_mask: (1u64 << ghr_bits) - 1,
+        }
+    }
+
+    fn index(&self, pc: usize) -> usize {
+        ((pc as u64) ^ (self.ghr & self.ghr_mask)) as usize & (self.table.len() - 1)
+    }
+
+    /// Predicts the direction of the conditional branch at `pc`.
+    pub fn predict(&self, pc: usize) -> bool {
+        self.table[self.index(pc)] >= 2
+    }
+
+    /// Speculatively shifts the predicted outcome into the history and
+    /// returns the pre-update history for squash recovery.
+    pub fn push_history(&mut self, taken: bool) -> u64 {
+        let old = self.ghr;
+        self.ghr = ((self.ghr << 1) | taken as u64) & self.ghr_mask;
+        old
+    }
+
+    /// Restores the history to a snapshot (mis-speculation recovery), then
+    /// shifts in the actual outcome.
+    pub fn recover_history(&mut self, snapshot: u64, actual: bool) {
+        self.ghr = ((snapshot << 1) | actual as u64) & self.ghr_mask;
+    }
+
+    /// Trains the counter the prediction was made with.
+    ///
+    /// `history` must be the pre-prediction GHR (returned by
+    /// [`Gshare::push_history`]) so training hits the same table entry.
+    pub fn train(&mut self, pc: usize, history: u64, taken: bool) {
+        let idx = ((pc as u64) ^ (history & self.ghr_mask)) as usize & (self.table.len() - 1);
+        self.table[idx] = if taken {
+            sat_up(self.table[idx])
+        } else {
+            sat_down(self.table[idx])
+        };
+    }
+
+    /// The raw counter table + history — the "BP state" µarch trace.
+    pub fn state(&self) -> (Vec<u8>, u64) {
+        (self.table.clone(), self.ghr)
+    }
+
+    /// Restores a previously captured state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table size does not match.
+    pub fn set_state(&mut self, table: Vec<u8>, ghr: u64) {
+        assert_eq!(table.len(), self.table.len(), "PHT size mismatch");
+        self.table = table;
+        self.ghr = ghr & self.ghr_mask;
+    }
+}
+
+/// Per-PC memory-dependence predictor (2-bit conflict counters).
+///
+/// Counter ≥ 2 predicts the load conflicts with an older store and must wait
+/// for all older store addresses to resolve; otherwise the load may bypass
+/// them speculatively.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemDepPredictor {
+    counters: HashMap<usize, u8>,
+}
+
+impl MemDepPredictor {
+    /// Creates an empty predictor (everything predicts "no conflict").
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` if the load at `pc` is predicted to conflict (must wait).
+    pub fn predicts_conflict(&self, pc: usize) -> bool {
+        self.counters.get(&pc).copied().unwrap_or(0) >= 2
+    }
+
+    /// Trains towards "conflict" after a memory-order violation at `pc`.
+    pub fn train_violation(&mut self, pc: usize) {
+        self.counters.insert(pc, 3);
+    }
+
+    /// Decays towards "no conflict" after a clean bypass at `pc`.
+    pub fn train_no_conflict(&mut self, pc: usize) {
+        if let Some(c) = self.counters.get_mut(&pc) {
+            *c = sat_down(*c);
+        }
+    }
+
+    /// Snapshot of the table (sorted for determinism).
+    pub fn state(&self) -> Vec<(usize, u8)> {
+        let mut v: Vec<(usize, u8)> = self.counters.iter().map(|(&k, &v)| (k, v)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Restores a previously captured state.
+    pub fn set_state(&mut self, state: Vec<(usize, u8)>) {
+        self.counters = state.into_iter().collect();
+    }
+}
+
+/// The preserved µarch context of AMuLeT-Opt: predictor state carried across
+/// inputs and exchanged during violation validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UarchContext {
+    /// Branch-predictor table.
+    pub bp_table: Vec<u8>,
+    /// Global history register.
+    pub ghr: u64,
+    /// Memory-dependence predictor table.
+    pub mdp: Vec<(usize, u8)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gshare_learns_a_direction() {
+        let mut g = Gshare::new(64, 4);
+        assert!(!g.predict(5), "weakly not-taken initially");
+        // Train the entry for (pc=5, history=0) — the current history.
+        g.train(5, 0, true);
+        assert!(g.predict(5), "trained taken");
+        g.train(5, 0, false);
+        g.train(5, 0, false);
+        assert!(!g.predict(5), "trained back to not-taken");
+    }
+
+    #[test]
+    fn gshare_history_affects_index() {
+        let mut g = Gshare::new(64, 4);
+        // Train pc=5 taken under history 0 only.
+        g.train(5, 0, true);
+        g.train(5, 0, true);
+        assert!(g.predict(5));
+        g.push_history(true); // history changes -> different entry
+        assert!(!g.predict(5));
+    }
+
+    #[test]
+    fn gshare_recover_rewinds_wrong_history() {
+        let mut g = Gshare::new(64, 4);
+        let snap = g.push_history(true); // predicted taken
+        g.push_history(true); // deeper speculation
+        g.recover_history(snap, false); // actually not taken
+        let (_, ghr) = g.state();
+        assert_eq!(ghr, 0b0);
+    }
+
+    #[test]
+    fn gshare_state_roundtrip() {
+        let mut g = Gshare::new(16, 4);
+        g.push_history(true);
+        g.train(3, 0, true);
+        let (t, h) = g.state();
+        let mut g2 = Gshare::new(16, 4);
+        g2.set_state(t.clone(), h);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn mdp_trains_and_decays() {
+        let mut m = MemDepPredictor::new();
+        assert!(!m.predicts_conflict(9));
+        m.train_violation(9);
+        assert!(m.predicts_conflict(9));
+        m.train_no_conflict(9);
+        assert!(m.predicts_conflict(9), "hysteresis: still >= 2");
+        m.train_no_conflict(9);
+        assert!(!m.predicts_conflict(9));
+    }
+
+    #[test]
+    fn mdp_state_roundtrip() {
+        let mut m = MemDepPredictor::new();
+        m.train_violation(4);
+        m.train_violation(8);
+        let s = m.state();
+        let mut m2 = MemDepPredictor::new();
+        m2.set_state(s);
+        assert_eq!(m, m2);
+    }
+}

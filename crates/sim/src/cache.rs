@@ -1,0 +1,327 @@
+//! A set-associative cache model with LRU replacement and undo support.
+//!
+//! The cache tracks *tags only* — data always lives in the architectural
+//! sandbox. That is exactly the observational power of the paper's µarch
+//! trace ("a snapshot of the final cache and TLB states ... L1D-cache tags").
+//! Lines carry bookkeeping needed by the defenses: a dirty bit (writebacks
+//! occupy MSHRs), and a "touched by a non-speculative access" bit used by the
+//! optional CleanupSpec `noClean` mitigation.
+
+use crate::config::CacheConfig;
+
+/// One resident cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Line {
+    /// Line-aligned address.
+    pub addr: u64,
+    /// LRU stamp (higher = more recent).
+    pub lru: u64,
+    /// Written since fill.
+    pub dirty: bool,
+    /// Touched by a non-speculative (safe) access since fill.
+    pub nonspec_touch: bool,
+}
+
+/// What happened on a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillOutcome {
+    /// The victim line evicted to make room, if the set was full.
+    pub evicted: Option<Line>,
+    /// `true` if the line was already present (fill became a touch).
+    pub already_present: bool,
+}
+
+/// A set-associative, LRU, tag-only cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    stamp: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        Cache {
+            sets: vec![Vec::with_capacity(cfg.ways); cfg.sets],
+            cfg,
+            stamp: 0,
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    fn next_stamp(&mut self) -> u64 {
+        self.stamp += 1;
+        self.stamp
+    }
+
+    /// Whether `addr`'s line is resident.
+    pub fn contains(&self, addr: u64) -> bool {
+        let line = self.cfg.line_of(addr);
+        self.sets[self.cfg.set_of(addr)]
+            .iter()
+            .any(|l| l.addr == line)
+    }
+
+    /// Whether the set containing `addr` has a free way.
+    pub fn set_has_room(&self, addr: u64) -> bool {
+        self.sets[self.cfg.set_of(addr)].len() < self.cfg.ways
+    }
+
+    /// Touches a resident line (LRU update + flags). Returns `true` on hit.
+    pub fn touch(&mut self, addr: u64, write: bool, nonspec: bool) -> bool {
+        let line_addr = self.cfg.line_of(addr);
+        let set = self.cfg.set_of(addr);
+        let stamp = self.next_stamp();
+        if let Some(l) = self.sets[set].iter_mut().find(|l| l.addr == line_addr) {
+            l.lru = stamp;
+            l.dirty |= write;
+            l.nonspec_touch |= nonspec;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Probes without updating any state. Returns `true` on hit.
+    pub fn probe(&self, addr: u64) -> bool {
+        self.contains(addr)
+    }
+
+    /// Fills `addr`'s line, evicting the LRU victim if the set is full.
+    pub fn fill(&mut self, addr: u64, write: bool, nonspec: bool) -> FillOutcome {
+        let line_addr = self.cfg.line_of(addr);
+        if self.touch(addr, write, nonspec) {
+            return FillOutcome {
+                evicted: None,
+                already_present: true,
+            };
+        }
+        let set = self.cfg.set_of(addr);
+        let evicted = if self.sets[set].len() >= self.cfg.ways {
+            Some(self.evict_lru(set))
+        } else {
+            None
+        };
+        let stamp = self.next_stamp();
+        self.sets[set].push(Line {
+            addr: line_addr,
+            lru: stamp,
+            dirty: write,
+            nonspec_touch: nonspec,
+        });
+        FillOutcome {
+            evicted,
+            already_present: false,
+        }
+    }
+
+    fn evict_lru(&mut self, set: usize) -> Line {
+        let (idx, _) = self.sets[set]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.lru)
+            .expect("evict_lru called on empty set");
+        self.sets[set].swap_remove(idx)
+    }
+
+    /// Evicts the LRU victim of `addr`'s set without installing anything —
+    /// the InvisiSpec UV1 bug behaviour (replacement triggered by a
+    /// speculative load that itself stays invisible).
+    pub fn evict_victim_of(&mut self, addr: u64) -> Option<Line> {
+        let set = self.cfg.set_of(addr);
+        if self.sets[set].is_empty() {
+            None
+        } else {
+            Some(self.evict_lru(set))
+        }
+    }
+
+    /// Invalidates `addr`'s line if resident (CleanupSpec undo). Returns the
+    /// removed line.
+    pub fn invalidate(&mut self, addr: u64) -> Option<Line> {
+        let line_addr = self.cfg.line_of(addr);
+        let set = self.cfg.set_of(addr);
+        let idx = self.sets[set].iter().position(|l| l.addr == line_addr)?;
+        Some(self.sets[set].swap_remove(idx))
+    }
+
+    /// Reinstates an evicted line at LRU position (CleanupSpec undo of an
+    /// eviction). No-op if the set is full or the line is already present.
+    pub fn restore(&mut self, line: Line) -> bool {
+        let set = self.cfg.set_of(line.addr);
+        if self.sets[set].len() >= self.cfg.ways || self.sets[set].iter().any(|l| l.addr == line.addr)
+        {
+            return false;
+        }
+        // Insert with the *oldest* stamp so the restored line is the next
+        // victim, approximating "put back where it was".
+        let min = self.sets[set].iter().map(|l| l.lru).min().unwrap_or(1);
+        self.sets[set].push(Line {
+            lru: min.saturating_sub(1),
+            ..line
+        });
+        true
+    }
+
+    /// The nonspec-touch flag of a resident line.
+    pub fn nonspec_touched(&self, addr: u64) -> bool {
+        let line_addr = self.cfg.line_of(addr);
+        self.sets[self.cfg.set_of(addr)]
+            .iter()
+            .find(|l| l.addr == line_addr)
+            .is_some_and(|l| l.nonspec_touch)
+    }
+
+    /// Invalidates everything.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Sorted list of resident line addresses — the µarch-trace snapshot.
+    pub fn snapshot(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.sets.iter().flatten().map(|l| l.addr).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// `true` if no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        Cache::new(CacheConfig {
+            sets: 2,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+        })
+    }
+
+    #[test]
+    fn fill_and_hit() {
+        let mut c = small();
+        let out = c.fill(0x1000, false, true);
+        assert!(out.evicted.is_none() && !out.already_present);
+        assert!(c.contains(0x1000));
+        assert!(c.contains(0x103F), "same line");
+        assert!(!c.contains(0x1040), "next line (other set)");
+        assert!(c.touch(0x1000, false, false));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small();
+        // Set 0 lines: addresses with bit 6 clear.
+        c.fill(0x0000, false, true);
+        c.fill(0x0080, false, true);
+        // Touch 0x0000 so 0x0080 is LRU.
+        c.touch(0x0000, false, true);
+        let out = c.fill(0x0100, false, true);
+        assert_eq!(out.evicted.unwrap().addr, 0x0080);
+        assert!(c.contains(0x0000) && c.contains(0x0100));
+    }
+
+    #[test]
+    fn fill_present_line_is_touch() {
+        let mut c = small();
+        c.fill(0x0000, false, true);
+        let out = c.fill(0x0000, true, false);
+        assert!(out.already_present);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn buggy_eviction_without_install() {
+        let mut c = small();
+        c.fill(0x0000, false, true);
+        c.fill(0x0080, false, true);
+        let v = c.evict_victim_of(0x0100).unwrap();
+        assert_eq!(v.addr, 0x0000, "LRU victim evicted");
+        assert!(!c.contains(0x0100), "nothing installed");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_and_restore_roundtrip() {
+        let mut c = small();
+        c.fill(0x0000, false, true);
+        c.fill(0x0080, false, true);
+        let out = c.fill(0x0100, false, false); // evicts 0x0000
+        let victim = out.evicted.unwrap();
+        // CleanupSpec undo: remove the speculative install, restore victim.
+        assert!(c.invalidate(0x0100).is_some());
+        assert!(c.restore(victim));
+        assert!(c.contains(0x0000) && c.contains(0x0080));
+        assert!(!c.contains(0x0100));
+    }
+
+    #[test]
+    fn restore_refuses_full_set_or_duplicate() {
+        let mut c = small();
+        c.fill(0x0000, false, true);
+        c.fill(0x0080, false, true);
+        let dup = Line {
+            addr: 0x0000,
+            lru: 0,
+            dirty: false,
+            nonspec_touch: false,
+        };
+        assert!(!c.restore(dup), "already present");
+        let other = Line {
+            addr: 0x0100,
+            lru: 0,
+            dirty: false,
+            nonspec_touch: false,
+        };
+        assert!(!c.restore(other), "set full");
+    }
+
+    #[test]
+    fn restored_line_is_next_victim() {
+        let mut c = small();
+        c.fill(0x0000, false, true);
+        c.fill(0x0080, false, true);
+        let v = c.invalidate(0x0000).unwrap();
+        c.restore(v);
+        let out = c.fill(0x0100, false, true);
+        assert_eq!(out.evicted.unwrap().addr, 0x0000);
+    }
+
+    #[test]
+    fn snapshot_sorted() {
+        let mut c = small();
+        c.fill(0x0100, false, true);
+        c.fill(0x0000, false, true);
+        c.fill(0x0040, false, true);
+        assert_eq!(c.snapshot(), vec![0x0000, 0x0040, 0x0100]);
+        c.flush();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn nonspec_touch_tracking() {
+        let mut c = small();
+        c.fill(0x0000, false, false);
+        assert!(!c.nonspec_touched(0x0000));
+        c.touch(0x0000, false, true);
+        assert!(c.nonspec_touched(0x0000));
+    }
+}

@@ -1,0 +1,284 @@
+//! The structured debug log — AMuLeT-rs's analogue of gem5 debug traces.
+//!
+//! The paper's violation analysis (§3.3, Figure 3) parses gem5 debug logs to
+//! root-cause violations and to build regex "signatures" that filter
+//! duplicates. Our simulator emits typed events instead, and the analysis
+//! layer matches on them directly.
+
+use std::fmt;
+
+/// Why a squash happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SquashReason {
+    /// Branch misprediction.
+    BranchMispredict,
+    /// Memory-order (store→load) violation — the Spectre-v4 mechanism.
+    MemOrderViolation,
+}
+
+/// One simulator event. `seq` fields refer to ROB sequence numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DebugEvent {
+    /// A branch was predicted at fetch.
+    Predict { cycle: u64, pc: usize, taken: bool },
+    /// A load issued its memory request. `spec` = not yet safe.
+    LoadIssue {
+        cycle: u64,
+        seq: usize,
+        pc: usize,
+        addr: u64,
+        spec: bool,
+        l1_hit: bool,
+    },
+    /// A store resolved its address at execute.
+    StoreResolve {
+        cycle: u64,
+        seq: usize,
+        pc: usize,
+        addr: u64,
+        spec: bool,
+    },
+    /// A fill landed in the L1D.
+    Fill { cycle: u64, seq: usize, addr: u64 },
+    /// A line was evicted from the L1D. `spec` marks evictions triggered by
+    /// speculative requests (the InvisiSpec UV1 bug signature).
+    Replace {
+        cycle: u64,
+        seq: usize,
+        victim: u64,
+        spec: bool,
+    },
+    /// An InvisiSpec expose request was issued.
+    Expose { cycle: u64, seq: usize, addr: u64 },
+    /// A request stalled waiting for a free MSHR (UV2 signature).
+    MshrStall { cycle: u64, seq: usize, addr: u64 },
+    /// A request crossed a cache-line boundary (UV4 signature).
+    SplitReq { cycle: u64, seq: usize, addr: u64 },
+    /// A D-TLB entry was installed. `store`/`tainted` give the KV3 signature.
+    TlbFill {
+        cycle: u64,
+        seq: usize,
+        page: u64,
+        store: bool,
+        spec: bool,
+        tainted: bool,
+    },
+    /// CleanupSpec undid a speculative fill.
+    Undo {
+        cycle: u64,
+        seq: usize,
+        addr: u64,
+        restored: Option<u64>,
+    },
+    /// A squashed fill had no cleanup metadata (UV3/UV4 bug signatures).
+    CleanupMissing { cycle: u64, seq: usize, addr: u64 },
+    /// SpecLFB parked a speculative miss in the line-fill buffer.
+    LfbPark { cycle: u64, seq: usize, addr: u64 },
+    /// SpecLFB installed a parked line after the load became safe.
+    LfbInstall { cycle: u64, seq: usize, addr: u64 },
+    /// SpecLFB let an *unsafe* load fill directly (the UV6 bug signature:
+    /// `isReallyUnsafe` cleared for the first speculative load).
+    LfbUnsafeFill { cycle: u64, seq: usize, addr: u64 },
+    /// STT delayed an instruction because an operand was tainted.
+    TaintDelay { cycle: u64, seq: usize, pc: usize },
+    /// A squash occurred: entries younger than (and for memory-order
+    /// violations, including) `from_seq` were flushed.
+    Squash {
+        cycle: u64,
+        from_seq: usize,
+        reason: SquashReason,
+    },
+    /// The test case finished (EXIT committed).
+    Exit { cycle: u64 },
+}
+
+impl DebugEvent {
+    /// The cycle at which the event occurred.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            DebugEvent::Predict { cycle, .. }
+            | DebugEvent::LoadIssue { cycle, .. }
+            | DebugEvent::StoreResolve { cycle, .. }
+            | DebugEvent::Fill { cycle, .. }
+            | DebugEvent::Replace { cycle, .. }
+            | DebugEvent::Expose { cycle, .. }
+            | DebugEvent::MshrStall { cycle, .. }
+            | DebugEvent::SplitReq { cycle, .. }
+            | DebugEvent::TlbFill { cycle, .. }
+            | DebugEvent::Undo { cycle, .. }
+            | DebugEvent::CleanupMissing { cycle, .. }
+            | DebugEvent::LfbPark { cycle, .. }
+            | DebugEvent::LfbInstall { cycle, .. }
+            | DebugEvent::LfbUnsafeFill { cycle, .. }
+            | DebugEvent::TaintDelay { cycle, .. }
+            | DebugEvent::Squash { cycle, .. }
+            | DebugEvent::Exit { cycle } => cycle,
+        }
+    }
+}
+
+impl fmt::Display for DebugEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DebugEvent::Predict { cycle, pc, taken } => {
+                write!(f, "{cycle:>6} Predict pc={pc} taken={taken}")
+            }
+            DebugEvent::LoadIssue { cycle, seq, pc, addr, spec, l1_hit } => write!(
+                f,
+                "{cycle:>6} {} seq={seq} pc={pc} addr={addr:#x} l1_hit={l1_hit}",
+                if spec { "SpecLd" } else { "Load" }
+            ),
+            DebugEvent::StoreResolve { cycle, seq, pc, addr, spec } => write!(
+                f,
+                "{cycle:>6} {} seq={seq} pc={pc} addr={addr:#x}",
+                if spec { "SpecSt" } else { "Store" }
+            ),
+            DebugEvent::Fill { cycle, seq, addr } => {
+                write!(f, "{cycle:>6} Fill seq={seq} addr={addr:#x}")
+            }
+            DebugEvent::Replace { cycle, seq, victim, spec } => write!(
+                f,
+                "{cycle:>6} Replace seq={seq} victim={victim:#x} spec={spec}"
+            ),
+            DebugEvent::Expose { cycle, seq, addr } => {
+                write!(f, "{cycle:>6} Expose seq={seq} addr={addr:#x}")
+            }
+            DebugEvent::MshrStall { cycle, seq, addr } => {
+                write!(f, "{cycle:>6} MshrStall seq={seq} addr={addr:#x}")
+            }
+            DebugEvent::SplitReq { cycle, seq, addr } => {
+                write!(f, "{cycle:>6} SplitReq seq={seq} addr={addr:#x}")
+            }
+            DebugEvent::TlbFill { cycle, seq, page, store, spec, tainted } => write!(
+                f,
+                "{cycle:>6} TlbFill seq={seq} page={page:#x} store={store} spec={spec} tainted={tainted}"
+            ),
+            DebugEvent::Undo { cycle, seq, addr, restored } => match restored {
+                Some(r) => write!(f, "{cycle:>6} Undo seq={seq} addr={addr:#x} restored={r:#x}"),
+                None => write!(f, "{cycle:>6} Undo seq={seq} addr={addr:#x}"),
+            },
+            DebugEvent::CleanupMissing { cycle, seq, addr } => {
+                write!(f, "{cycle:>6} CleanupMissing seq={seq} addr={addr:#x}")
+            }
+            DebugEvent::LfbPark { cycle, seq, addr } => {
+                write!(f, "{cycle:>6} LfbPark seq={seq} addr={addr:#x}")
+            }
+            DebugEvent::LfbInstall { cycle, seq, addr } => {
+                write!(f, "{cycle:>6} LfbInstall seq={seq} addr={addr:#x}")
+            }
+            DebugEvent::LfbUnsafeFill { cycle, seq, addr } => {
+                write!(f, "{cycle:>6} LfbUnsafeFill seq={seq} addr={addr:#x}")
+            }
+            DebugEvent::TaintDelay { cycle, seq, pc } => {
+                write!(f, "{cycle:>6} TaintDelay seq={seq} pc={pc}")
+            }
+            DebugEvent::Squash { cycle, from_seq, reason } => {
+                write!(f, "{cycle:>6} Squash from_seq={from_seq} reason={reason:?}")
+            }
+            DebugEvent::Exit { cycle } => write!(f, "{cycle:>6} m5exit"),
+        }
+    }
+}
+
+/// An append-only, size-capped event log.
+#[derive(Debug, Clone, Default)]
+pub struct DebugLog {
+    events: Vec<DebugEvent>,
+    cap: usize,
+    dropped: usize,
+}
+
+impl DebugLog {
+    /// Creates a log capped at `cap` events (further events are counted but
+    /// dropped).
+    pub fn new(cap: usize) -> Self {
+        DebugLog {
+            events: Vec::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event (dropping it if the cap is reached).
+    pub fn push(&mut self, e: DebugEvent) {
+        if self.events.len() < self.cap {
+            self.events.push(e);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[DebugEvent] {
+        &self.events
+    }
+
+    /// Number of events dropped due to the cap.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// `true` if any event matches the predicate.
+    pub fn any(&self, pred: impl Fn(&DebugEvent) -> bool) -> bool {
+        self.events.iter().any(pred)
+    }
+
+    /// Clears the log.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+impl fmt::Display for DebugLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        if self.dropped > 0 {
+            writeln!(f, "... {} events dropped", self.dropped)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut log = DebugLog::new(10);
+        log.push(DebugEvent::Exit { cycle: 7 });
+        assert_eq!(log.events().len(), 1);
+        assert!(log.any(|e| matches!(e, DebugEvent::Exit { .. })));
+        assert!(!log.any(|e| matches!(e, DebugEvent::Squash { .. })));
+        assert_eq!(log.events()[0].cycle(), 7);
+    }
+
+    #[test]
+    fn cap_drops_and_counts() {
+        let mut log = DebugLog::new(2);
+        for c in 0..5 {
+            log.push(DebugEvent::Exit { cycle: c });
+        }
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.dropped(), 3);
+        log.clear();
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn display_formats_events() {
+        let e = DebugEvent::LoadIssue {
+            cycle: 12,
+            seq: 3,
+            pc: 5,
+            addr: 0x4010,
+            spec: true,
+            l1_hit: false,
+        };
+        let s = e.to_string();
+        assert!(s.contains("SpecLd") && s.contains("0x4010"), "{s}");
+    }
+}

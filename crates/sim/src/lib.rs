@@ -1,0 +1,45 @@
+//! The speculative out-of-order CPU simulator — AMuLeT-rs's gem5 substitute.
+//!
+//! The paper tests secure-speculation countermeasures *in simulators*
+//! (requirement R1: early in the design phase). This crate is that
+//! simulator: a deterministic, cycle-stepped out-of-order core with branch
+//! prediction, memory-dependence speculation, a timed cache hierarchy with
+//! finite MSHRs, a D-TLB, and — crucially — a [`Defense`] hook interface so
+//! countermeasures are small policy modules, mirroring the paper's
+//! portability claim (§5.1, Table 11).
+//!
+//! What the attacker sees is a [`UarchSnapshot`]: final L1D/L1I/TLB tags,
+//! branch-predictor state, and the memory-access/branch-prediction orders —
+//! the four µarch trace formats compared in §4.3.
+//!
+//! # Examples
+//!
+//! ```
+//! use amulet_sim::{SimConfig, Simulator, InsecureBaseline};
+//! use amulet_isa::{parse_program, TestInput};
+//!
+//! let flat = parse_program("MOV RAX, qword ptr [R14 + 8]\nEXIT").unwrap().flatten();
+//! let mut sim = Simulator::new(SimConfig::default(), Box::new(InsecureBaseline));
+//! sim.load_test(&flat, &TestInput::zeroed(1));
+//! let result = sim.run();
+//! assert!(result.exit_cycle.is_some());
+//! assert!(sim.snapshot().l1d.contains(&0x4000));
+//! ```
+
+pub mod bpred;
+pub mod cache;
+pub mod config;
+pub mod debuglog;
+pub mod defense;
+pub mod memsys;
+pub mod pipeline;
+pub mod tlb;
+
+pub use bpred::{Gshare, MemDepPredictor, UarchContext};
+pub use cache::Cache;
+pub use config::{CacheConfig, SimConfig};
+pub use debuglog::{DebugEvent, DebugLog, SquashReason};
+pub use defense::{Defense, InsecureBaseline, LoadCtx, LoadPlan, SquashPlan, StoreCtx, StorePlan};
+pub use memsys::{AccessOutcome, FillMode, MemSys};
+pub use pipeline::{SimResult, Simulator, UarchSnapshot};
+pub use tlb::Tlb;

@@ -1,0 +1,1423 @@
+//! The speculative out-of-order pipeline.
+//!
+//! A deterministic, cycle-stepped core with the structures every paper
+//! finding depends on:
+//!
+//! - gshare-predicted fetch with wrong-path execution (Spectre-v1),
+//! - an ROB with register renaming and in-order commit,
+//! - an LSQ with store→load forwarding and a memory-dependence predictor
+//!   that lets loads bypass unresolved stores (Spectre-v4),
+//! - the timed memory system of [`crate::memsys`] (MSHRs, in-order
+//!   controller queue, pending fills),
+//! - D-TLB fills at address translation (STT's KV3),
+//! - post-exit and wrong-path instruction fetch-ahead into the L1I
+//!   (KV1 / KV2),
+//! - defense hooks at load issue, store execute, safe-point and squash.
+//!
+//! Architectural semantics are shared with the emulator via
+//! [`amulet_isa::semantics`], so the simulator's committed state is
+//! bit-identical to the leakage model's (tested by cross-crate property
+//! tests).
+
+use crate::bpred::{Gshare, MemDepPredictor, UarchContext};
+use crate::config::SimConfig;
+use crate::debuglog::{DebugEvent, DebugLog, SquashReason};
+use crate::defense::{Defense, LoadCtx, StoreCtx};
+use crate::memsys::{FillMode, MemSys};
+use amulet_emu::Sandbox;
+use amulet_isa::semantics::{alu, unary};
+use amulet_isa::{code_addr, FlatProgram, Flags, Gpr, Instr, LoopKind};
+use amulet_isa::{Operand, TestInput, UnOp, Width};
+use amulet_isa::instr::MemEffect;
+
+const FLAGS_IDX: usize = 16;
+
+/// A register (or FLAGS) source captured at dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SrcVal {
+    /// Value was architecturally final at dispatch.
+    Ready(u64),
+    /// Produced by the ROB entry at this index.
+    Producer(usize),
+}
+
+/// Memory state of a load/store/RMW entry.
+#[derive(Debug, Clone)]
+struct MemState {
+    effect: MemEffect,
+    /// Wrapped virtual address, set at issue (address resolution).
+    addr: Option<u64>,
+    split: bool,
+    /// Loaded value (loads / RMW).
+    load_value: Option<u64>,
+    issued: bool,
+    /// Load bypassed at least one older unresolved store (MDP speculation).
+    bypassed: bool,
+    /// Load forwarded its value from this store entry.
+    forwarded_from: Option<usize>,
+    /// The fill used a `FillUndo { record: false }` mode (bug signature).
+    unrecorded_fill: bool,
+    /// The load was parked in the LFB (SpecLFB).
+    parked: bool,
+}
+
+/// Execution state of an ROB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EState {
+    Waiting,
+    Executing { done: u64 },
+    Done { at: u64 },
+}
+
+/// One reorder-buffer entry. Entries are never removed (the whole history
+/// backs the debug log); `commit_ptr` advances past them.
+#[derive(Debug, Clone)]
+struct RobEntry {
+    pc: usize,
+    instr: Instr,
+    srcs: Vec<(usize, SrcVal)>,
+    state: EState,
+    /// Register result (merged to full 64-bit width), or store data.
+    result: Option<u64>,
+    out_flags: Option<Flags>,
+    writes: Option<(Gpr, Width)>,
+    writes_flags: bool,
+    mem: Option<MemState>,
+    // Branch bookkeeping.
+    is_cond_branch: bool,
+    predicted_taken: Option<bool>,
+    ghr_at_fetch: u64,
+    resolved_taken: Option<bool>,
+    branch_target: usize,
+    // Lifecycle.
+    squashed: bool,
+    committed: bool,
+    safe_at: Option<u64>,
+    issued_unsafe_load: bool,
+    needs_expose: bool,
+    exposed: bool,
+    tainted: bool,
+}
+
+/// Outcome of one simulated test case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimResult {
+    /// Cycle at which `EXIT` committed (`None` if the cycle cap was hit).
+    pub exit_cycle: Option<u64>,
+    /// Committed instructions.
+    pub committed: usize,
+    /// Fetched instructions (including squashed paths).
+    pub fetched: usize,
+    /// Total squashes.
+    pub squashes: usize,
+}
+
+/// The final µarch state snapshot — raw material for every µarch trace
+/// format of §4.3.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct UarchSnapshot {
+    /// Sorted L1D line addresses.
+    pub l1d: Vec<u64>,
+    /// Sorted L1I line addresses.
+    pub l1i: Vec<u64>,
+    /// Sorted D-TLB page numbers.
+    pub dtlb: Vec<u64>,
+    /// Branch-predictor table.
+    pub bp_table: Vec<u8>,
+    /// Global history register.
+    pub ghr: u64,
+    /// All memory requests in issue order: (pc, line address, is_store).
+    pub mem_order: Vec<(usize, u64, bool)>,
+    /// All branch predictions in fetch order: (pc, predicted taken).
+    pub branch_order: Vec<(usize, bool)>,
+}
+
+/// The simulator: a [`SimConfig`]-shaped core plus a [`Defense`].
+#[derive(Debug)]
+pub struct Simulator {
+    cfg: SimConfig,
+    defense: Box<dyn Defense>,
+    /// The memory system (public for harness prefill/flush hooks).
+    pub mem: MemSys,
+    bp: Gshare,
+    mdp: MemDepPredictor,
+    log: DebugLog,
+
+    program: FlatProgram,
+    sandbox: Sandbox,
+    regs: [u64; 16],
+    flags: Flags,
+
+    rob: Vec<RobEntry>,
+    rename: [Option<usize>; 17],
+    commit_ptr: usize,
+    in_flight: usize,
+    fetch_pc: usize,
+    halted_fetch: bool,
+    cycle: u64,
+    fetch_stall_until: u64,
+    commit_stall_until: u64,
+    exit_cycle: Option<u64>,
+    fetched: usize,
+    committed_count: usize,
+    squashes: usize,
+
+    mem_order: Vec<(usize, u64, bool)>,
+    branch_order: Vec<(usize, bool)>,
+}
+
+impl Simulator {
+    /// Creates a simulator with empty caches and untrained predictors.
+    pub fn new(cfg: SimConfig, defense: Box<dyn Defense>) -> Self {
+        let mem = MemSys::new(&cfg);
+        let bp = Gshare::new(cfg.bp_entries, cfg.ghr_bits);
+        let sandbox = Sandbox::new(cfg.sandbox_base, cfg.sandbox_size);
+        Simulator {
+            mem,
+            bp,
+            mdp: MemDepPredictor::new(),
+            log: DebugLog::new(200_000),
+            program: FlatProgram {
+                instrs: vec![Instr::Exit],
+                block_start: vec![0],
+                origin_block: vec![0],
+                labels: vec![".empty".into()],
+            },
+            sandbox,
+            regs: [0; 16],
+            flags: Flags::new(),
+            rob: Vec::new(),
+            rename: [None; 17],
+            commit_ptr: 0,
+            in_flight: 0,
+            fetch_pc: 0,
+            halted_fetch: false,
+            cycle: 0,
+            fetch_stall_until: 0,
+            commit_stall_until: 0,
+            exit_cycle: None,
+            fetched: 0,
+            committed_count: 0,
+            squashes: 0,
+            mem_order: Vec::new(),
+            branch_order: Vec::new(),
+            cfg,
+            defense,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The defense under test.
+    pub fn defense_name(&self) -> &'static str {
+        self.defense.name()
+    }
+
+    /// Loads a (program, input) pair: resets architectural and transient
+    /// pipeline state. Caches and predictors are *preserved* (AMuLeT-Opt
+    /// semantics, §3.2); the harness resets them explicitly when needed.
+    pub fn load_test(&mut self, flat: &FlatProgram, input: &TestInput) {
+        self.program = flat.clone();
+        self.sandbox = Sandbox::from_bytes(self.cfg.sandbox_base, &padded(input, self.cfg.sandbox_size));
+        self.regs = input.regs;
+        self.regs[Gpr::SANDBOX_BASE.index()] = self.cfg.sandbox_base;
+        self.regs[Gpr::Rsp.index()] = 0;
+        self.flags = Flags::from_bits(input.flags_bits);
+        self.rob.clear();
+        self.rename = [None; 17];
+        self.commit_ptr = 0;
+        self.in_flight = 0;
+        self.fetch_pc = 0;
+        self.halted_fetch = false;
+        self.cycle = 0;
+        self.fetch_stall_until = 0;
+        self.commit_stall_until = 0;
+        self.exit_cycle = None;
+        self.fetched = 0;
+        self.committed_count = 0;
+        self.squashes = 0;
+        self.mem_order.clear();
+        self.branch_order.clear();
+        self.mem.reset_transient();
+        self.log.clear();
+        self.defense.reset();
+    }
+
+    /// Runs the loaded test case to completion (EXIT commit) or the cycle
+    /// cap.
+    pub fn run(&mut self) -> SimResult {
+        while self.exit_cycle.is_none() && self.cycle < self.cfg.max_cycles {
+            self.mem.tick(self.cycle, &mut self.log);
+            self.complete_stage();
+            self.update_safety();
+            if self.defense.needs_taint() {
+                self.recompute_taint();
+            }
+            self.issue_stage();
+            self.commit_stage();
+            if self.exit_cycle.is_some() {
+                break;
+            }
+            self.fetch_stage();
+            self.cycle += 1;
+        }
+        if let Some(exit) = self.exit_cycle {
+            self.mem.drain(exit, &mut self.log);
+        }
+        SimResult {
+            exit_cycle: self.exit_cycle,
+            committed: self.committed_count,
+            fetched: self.fetched,
+            squashes: self.squashes,
+        }
+    }
+
+    /// The final µarch snapshot (call after [`Simulator::run`]).
+    pub fn snapshot(&self) -> UarchSnapshot {
+        let (bp_table, ghr) = self.bp.state();
+        UarchSnapshot {
+            l1d: self.mem.l1d.snapshot(),
+            l1i: self.mem.l1i.snapshot(),
+            dtlb: self.mem.dtlb.snapshot(),
+            bp_table,
+            ghr,
+            mem_order: self.mem_order.clone(),
+            branch_order: self.branch_order.clone(),
+        }
+    }
+
+    /// The debug log of the last run.
+    pub fn log(&self) -> &DebugLog {
+        &self.log
+    }
+
+    /// Committed architectural registers (for emulator-equivalence tests).
+    pub fn arch_regs(&self) -> &[u64; 16] {
+        &self.regs
+    }
+
+    /// Committed architectural flags.
+    pub fn arch_flags(&self) -> Flags {
+        self.flags
+    }
+
+    /// Committed sandbox contents.
+    pub fn sandbox_bytes(&self) -> &[u8] {
+        self.sandbox.bytes()
+    }
+
+    /// Captures the preserved µarch context (predictor state).
+    pub fn context(&self) -> UarchContext {
+        let (bp_table, ghr) = self.bp.state();
+        UarchContext {
+            bp_table,
+            ghr,
+            mdp: self.mdp.state(),
+        }
+    }
+
+    /// Restores a previously captured µarch context.
+    pub fn set_context(&mut self, ctx: &UarchContext) {
+        self.bp.set_state(ctx.bp_table.clone(), ctx.ghr);
+        self.mdp.set_state(ctx.mdp.clone());
+    }
+
+    /// Resets predictors to their power-on state (AMuLeT-Naive semantics).
+    pub fn reset_predictors(&mut self) {
+        self.bp = Gshare::new(self.cfg.bp_entries, self.cfg.ghr_bits);
+        self.mdp = MemDepPredictor::new();
+    }
+
+    /// Flushes all caches and the TLB (the direct "simulator hook" reset).
+    pub fn flush_caches(&mut self) {
+        self.mem.flush_all();
+    }
+
+    /// Fills every L1D set with out-of-sandbox conflicting addresses — the
+    /// paper's cache initialisation ("64 x 8 addresses for an 8-way, 32KB L1
+    /// cache") that makes both installs *and evictions* observable.
+    pub fn prefill_l1d_conflicting(&mut self) {
+        let sets = self.cfg.l1d.sets;
+        let ways = self.cfg.l1d.ways;
+        let line = self.cfg.l1d.line_bytes;
+        let base = self.prefill_base();
+        for way in 0..ways {
+            for set in 0..sets {
+                let addr = base + way as u64 * (sets as u64 * line * 2) + set as u64 * line;
+                self.mem.l1d.fill(addr, false, true);
+            }
+        }
+    }
+
+    /// Base address of the prefill region (far outside the sandbox).
+    pub fn prefill_base(&self) -> u64 {
+        self.cfg.sandbox_base + 0x100_0000
+    }
+
+    // ----- pipeline stages -------------------------------------------------
+
+    /// Moves finished executions to `Done`, resolving branches.
+    fn complete_stage(&mut self) {
+        for idx in self.commit_ptr..self.rob.len() {
+            if self.rob[idx].squashed || self.rob[idx].committed {
+                continue;
+            }
+            let EState::Executing { done } = self.rob[idx].state else {
+                continue;
+            };
+            if done > self.cycle {
+                continue;
+            }
+            self.rob[idx].state = EState::Done { at: done };
+            if self.rob[idx].is_cond_branch {
+                self.resolve_branch(idx);
+                // resolve_branch may squash everything younger; restart scan.
+                if self.rob[idx].squashed {
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn resolve_branch(&mut self, idx: usize) {
+        let e = &self.rob[idx];
+        let pc = e.pc;
+        let history = e.ghr_at_fetch;
+        let predicted = e.predicted_taken.unwrap_or(true);
+        let actual = e.resolved_taken.expect("branch resolved at execute");
+        let actual_next = if actual { e.branch_target } else { pc + 1 };
+        self.bp.train(pc, history, actual);
+        if predicted != actual {
+            self.bp.recover_history(history, actual);
+            self.squash_after(idx, actual_next, SquashReason::BranchMispredict);
+        }
+    }
+
+    /// Squashes every entry younger than `idx` and redirects fetch.
+    fn squash_after(&mut self, idx: usize, new_fetch_pc: usize, reason: SquashReason) {
+        self.squash_range(idx + 1, new_fetch_pc, reason);
+    }
+
+    /// Squashes entries `from..` (inclusive) and redirects fetch.
+    fn squash_range(&mut self, from: usize, new_fetch_pc: usize, reason: SquashReason) {
+        self.squashes += 1;
+        self.log.push(DebugEvent::Squash {
+            cycle: self.cycle,
+            from_seq: from,
+            reason,
+        });
+        let plan = self.defense.squash_plan();
+        let mut cleanup_ops = 0usize;
+        for i in from..self.rob.len() {
+            if self.rob[i].squashed || self.rob[i].committed {
+                continue;
+            }
+            self.rob[i].squashed = true;
+            self.in_flight -= 1;
+            // SpecLFB: parked lines of squashed loads are always dropped.
+            if self.rob[i].mem.as_ref().is_some_and(|m| m.parked) {
+                self.mem.cancel_for(i);
+            }
+            if plan.cleanup {
+                cleanup_ops += self.mem.undo_for(i, self.cycle, plan.no_clean, &mut self.log);
+                self.mem.cancel_recorded_for(i);
+            }
+            if let Some(m) = &self.rob[i].mem {
+                if m.unrecorded_fill && m.issued {
+                    let addr = m.addr.unwrap_or(0);
+                    self.log.push(DebugEvent::CleanupMissing {
+                        cycle: self.cycle,
+                        seq: i,
+                        addr,
+                    });
+                }
+            }
+        }
+        // Rebuild the rename map from surviving entries.
+        self.rename = [None; 17];
+        for i in self.commit_ptr..self.rob.len() {
+            let e = &self.rob[i];
+            if e.squashed || e.committed {
+                continue;
+            }
+            if let Some((r, _)) = e.writes {
+                self.rename[r.index()] = Some(i);
+            }
+            if e.writes_flags {
+                self.rename[FLAGS_IDX] = Some(i);
+            }
+        }
+        // Cleanup executes in the memory system: it delays *execution*
+        // (commit) but the front-end keeps fetching — which is exactly how
+        // unXpec's timing difference becomes visible through post-exit
+        // instruction fetch-ahead (KV2).
+        let cleanup_delay = plan.cleanup_latency_per_op * cleanup_ops as u64;
+        self.fetch_pc = new_fetch_pc;
+        self.halted_fetch = self.exit_in_flight();
+        self.fetch_stall_until = self.cycle + 1 + self.cfg.redirect_penalty;
+        self.commit_stall_until = self.commit_stall_until.max(self.cycle + cleanup_delay);
+    }
+
+    fn exit_in_flight(&self) -> bool {
+        self.rob[self.commit_ptr..]
+            .iter()
+            .any(|e| !e.squashed && !e.committed && matches!(e.instr, Instr::Exit))
+    }
+
+    /// Marks entries that reached the visibility point and triggers
+    /// safe-point actions (exposes, LFB installs).
+    fn update_safety(&mut self) {
+        let mut blocked = false;
+        for idx in self.commit_ptr..self.rob.len() {
+            if self.rob[idx].squashed {
+                continue;
+            }
+            if !blocked && self.rob[idx].safe_at.is_none() {
+                self.rob[idx].safe_at = Some(self.cycle);
+                self.on_safe(idx);
+            }
+            let e = &self.rob[idx];
+            // Unresolved conditional branches block younger safety.
+            if e.is_cond_branch && !matches!(e.state, EState::Done { .. }) {
+                blocked = true;
+            }
+            // Stores with unresolved addresses block younger safety.
+            if let Some(m) = &e.mem {
+                if m.effect.writes() && m.addr.is_none() {
+                    blocked = true;
+                }
+            }
+            if blocked && self.rob[idx].safe_at.is_none() {
+                // Entries past the first blocker stay unsafe this cycle.
+                continue;
+            }
+        }
+    }
+
+    fn on_safe(&mut self, idx: usize) {
+        let needs_expose = {
+            let e = &self.rob[idx];
+            e.needs_expose && !e.exposed && e.mem.as_ref().is_some_and(|m| m.issued)
+        };
+        if needs_expose {
+            self.rob[idx].exposed = true;
+            let (addr, width, split) = {
+                let m = self.rob[idx].mem.as_ref().unwrap();
+                (m.addr.unwrap(), m.effect.mem_ref().width, m.split)
+            };
+            self.log.push(DebugEvent::Expose {
+                cycle: self.cycle,
+                seq: idx,
+                addr: self.cfg.l1d.line_of(addr),
+            });
+            self.mem
+                .request(idx, addr, false, true, self.cycle, FillMode::Fill, &mut self.log);
+            if split {
+                let second = addr + width.bytes() - 1;
+                self.mem
+                    .request(idx, second, false, true, self.cycle, FillMode::Fill, &mut self.log);
+            }
+        }
+        if self.rob[idx].mem.as_ref().is_some_and(|m| m.parked) {
+            self.mem.release_parked(idx, self.cycle, &mut self.log);
+            if let Some(m) = self.rob[idx].mem.as_mut() {
+                m.parked = false;
+            }
+        }
+    }
+
+    /// Recomputes STT taint over the in-flight window.
+    fn recompute_taint(&mut self) {
+        for idx in self.commit_ptr..self.rob.len() {
+            if self.rob[idx].squashed || self.rob[idx].committed {
+                self.rob[idx].tainted = false;
+                continue;
+            }
+            let is_access_load = self.rob[idx]
+                .mem
+                .as_ref()
+                .is_some_and(|m| m.effect.reads());
+            let mut tainted = is_access_load && self.rob[idx].safe_at.is_none();
+            if !tainted {
+                for &(_, src) in &self.rob[idx].srcs {
+                    if let SrcVal::Producer(p) = src {
+                        if self.rob[p].tainted {
+                            tainted = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            self.rob[idx].tainted = tainted;
+        }
+    }
+
+    fn src_tainted(&self, idx: usize, regs: impl Iterator<Item = Gpr>) -> bool {
+        let wanted: Vec<usize> = regs.map(|r| r.index()).collect();
+        self.rob[idx].srcs.iter().any(|&(ri, src)| {
+            wanted.contains(&ri)
+                && matches!(src, SrcVal::Producer(p) if self.rob[p].tainted)
+        })
+    }
+
+    fn data_tainted(&self, idx: usize, addr_regs: impl Iterator<Item = Gpr>) -> bool {
+        let addr: Vec<usize> = addr_regs.map(|r| r.index()).collect();
+        self.rob[idx].srcs.iter().any(|&(ri, src)| {
+            !addr.contains(&ri)
+                && matches!(src, SrcVal::Producer(p) if self.rob[p].tainted)
+        })
+    }
+
+    /// Attempts to issue every ready entry, oldest first.
+    fn issue_stage(&mut self) {
+        for idx in self.commit_ptr..self.rob.len() {
+            if self.rob[idx].squashed
+                || self.rob[idx].committed
+                || !matches!(self.rob[idx].state, EState::Waiting)
+            {
+                // An unexecuted fence blocks everything younger.
+                if !self.rob[idx].squashed
+                    && matches!(self.rob[idx].instr, Instr::Fence)
+                    && !matches!(self.rob[idx].state, EState::Done { .. })
+                {
+                    break;
+                }
+                continue;
+            }
+            if matches!(self.rob[idx].instr, Instr::Fence) {
+                // LFENCE: waits for all older entries to finish.
+                let older_done = self.rob[self.commit_ptr..idx]
+                    .iter()
+                    .all(|e| e.squashed || e.committed || matches!(e.state, EState::Done { .. }));
+                if older_done {
+                    self.rob[idx].state = EState::Done { at: self.cycle };
+                    continue;
+                }
+                break;
+            }
+            if !self.srcs_ready(idx) {
+                continue;
+            }
+            let has_mem = self.rob[idx].mem.is_some();
+            if has_mem {
+                self.issue_mem(idx);
+            } else {
+                self.issue_alu(idx);
+            }
+        }
+    }
+
+    fn srcs_ready(&self, idx: usize) -> bool {
+        self.rob[idx].srcs.iter().all(|&(_, src)| match src {
+            SrcVal::Ready(_) => true,
+            SrcVal::Producer(p) => matches!(self.rob[p].state, EState::Done { .. }),
+        })
+    }
+
+    fn src_value(&self, idx: usize, reg_idx: usize) -> u64 {
+        for &(ri, src) in &self.rob[idx].srcs {
+            if ri == reg_idx {
+                return match src {
+                    SrcVal::Ready(v) => v,
+                    SrcVal::Producer(p) => {
+                        if ri == FLAGS_IDX {
+                            self.rob[p].out_flags.expect("producer done").bits() as u64
+                        } else {
+                            self.rob[p].result.expect("producer done")
+                        }
+                    }
+                };
+            }
+        }
+        unreachable!("source register {reg_idx} not captured at dispatch");
+    }
+
+    fn src_flags(&self, idx: usize) -> Flags {
+        Flags::from_bits(self.src_value(idx, FLAGS_IDX) as u8)
+    }
+
+    fn operand_value(&self, idx: usize, op: &Operand) -> u64 {
+        match op {
+            Operand::Reg(r, w) => w.trunc(self.src_value(idx, r.index())),
+            Operand::Imm(v) => *v as u64,
+            Operand::Mem(_) => self.rob[idx]
+                .mem
+                .as_ref()
+                .and_then(|m| m.load_value)
+                .expect("memory operand loaded before use"),
+        }
+    }
+
+    /// Executes a non-memory instruction (1-cycle latency).
+    fn issue_alu(&mut self, idx: usize) {
+        let instr = self.rob[idx].instr;
+        let done = self.cycle + 1;
+        match instr {
+            Instr::Mov { dst, src } => {
+                let v = self.operand_value(idx, &src);
+                let Operand::Reg(r, w) = dst else { unreachable!("reg mov") };
+                let old = self.src_value_or_zero(idx, r.index());
+                self.rob[idx].result = Some(w.merge_into(old, v));
+            }
+            Instr::Alu { op, dst, src, .. } => {
+                let Operand::Reg(r, w) = dst else { unreachable!("reg alu") };
+                let dv = w.trunc(self.src_value(idx, r.index()));
+                let sv = self.operand_value(idx, &src);
+                let f = self.src_flags_or_default(idx, op.reads_flags());
+                let res = alu(op, w, dv, sv, f);
+                self.rob[idx].out_flags = Some(res.flags);
+                if !op.discards_result() {
+                    let old = self.src_value(idx, r.index());
+                    self.rob[idx].result = Some(w.merge_into(old, res.value));
+                }
+            }
+            Instr::Un { op, dst, .. } => {
+                let Operand::Reg(r, w) = dst else { unreachable!("reg un") };
+                let dv = w.trunc(self.src_value(idx, r.index()));
+                let f = self.src_flags_or_default(idx, matches!(op, UnOp::Inc | UnOp::Dec));
+                let res = unary(op, w, dv, f);
+                if !matches!(op, UnOp::Not) {
+                    self.rob[idx].out_flags = Some(res.flags);
+                }
+                let old = self.src_value(idx, r.index());
+                self.rob[idx].result = Some(w.merge_into(old, res.value));
+            }
+            Instr::Cmov { cond, dst, src } => {
+                let Operand::Reg(r, w) = dst else { unreachable!("reg cmov") };
+                let f = self.src_flags(idx);
+                let old = self.src_value(idx, r.index());
+                let v = if cond.eval(f) {
+                    self.operand_value(idx, &src)
+                } else {
+                    w.trunc(old)
+                };
+                self.rob[idx].result = Some(w.merge_into(old, v));
+            }
+            Instr::Set { cond, dst } => {
+                let Operand::Reg(r, w) = dst else { unreachable!("reg set") };
+                let f = self.src_flags(idx);
+                let old = self.src_value(idx, r.index());
+                self.rob[idx].result = Some(w.merge_into(old, cond.eval(f) as u64));
+            }
+            Instr::Jcc { cond, .. } => {
+                let f = self.src_flags(idx);
+                self.rob[idx].resolved_taken = Some(cond.eval(f));
+            }
+            Instr::Loop { kind, .. } => {
+                let rcx = self.src_value(idx, Gpr::Rcx.index()).wrapping_sub(1);
+                self.rob[idx].result = Some(rcx);
+                let zf = match kind {
+                    LoopKind::Loop => false,
+                    _ => self.src_flags(idx).zf(),
+                };
+                let taken = rcx != 0
+                    && match kind {
+                        LoopKind::Loop => true,
+                        LoopKind::Loope => zf,
+                        LoopKind::Loopne => !zf,
+                    };
+                self.rob[idx].resolved_taken = Some(taken);
+            }
+            Instr::Jmp { .. } | Instr::Exit | Instr::Fence => unreachable!("handled elsewhere"),
+        }
+        self.rob[idx].state = EState::Executing { done };
+    }
+
+    fn src_value_or_zero(&self, idx: usize, reg_idx: usize) -> u64 {
+        if self.rob[idx].srcs.iter().any(|&(ri, _)| ri == reg_idx) {
+            self.src_value(idx, reg_idx)
+        } else {
+            0
+        }
+    }
+
+    fn src_flags_or_default(&self, idx: usize, reads: bool) -> Flags {
+        if reads {
+            self.src_flags(idx)
+        } else {
+            Flags::new()
+        }
+    }
+
+    /// Issues a memory instruction: address resolution, LSQ protocol,
+    /// defense hooks, cache/TLB requests.
+    fn issue_mem(&mut self, idx: usize) {
+        let mref = *self.rob[idx].mem.as_ref().unwrap().effect.mem_ref();
+        let width = mref.width;
+        let vaddr = mref.effective_addr(|r| self.src_value(idx, r.index()));
+        let addr = self.sandbox.wrap(vaddr);
+        let split = self.cfg.l1d.line_of(addr) != self.cfg.l1d.line_of(addr + width.bytes() - 1);
+        let reads = self.rob[idx].mem.as_ref().unwrap().effect.reads();
+        let writes = self.rob[idx].mem.as_ref().unwrap().effect.writes();
+        let safe = self.rob[idx].safe_at.is_some();
+        let tainted_addr =
+            self.defense.needs_taint() && self.src_tainted(idx, mref.addr_regs());
+
+        if reads {
+            // ----- load / RMW-load path -----
+            match self.scan_store_queue(idx, addr, width) {
+                StoreScan::WaitFor(_) => return, // retry next cycle
+                StoreScan::Forward(store_idx) => {
+                    let plan = self.plan_load(idx, addr, width, split, safe, tainted_addr);
+                    let Some(plan) = plan else { return };
+                    let value = width.trunc(self.rob[store_idx].result.expect("store data"));
+                    self.finish_load(idx, addr, width, split, value, None, plan.tlb, safe);
+                    let done = self.cycle + self.cfg.forward_latency;
+                    self.set_load_result(idx, value, done);
+                    if let Some(m) = self.rob[idx].mem.as_mut() {
+                        m.forwarded_from = Some(store_idx);
+                    }
+                    if writes {
+                        self.check_memory_order_violation(idx, addr, width);
+                    }
+                    return;
+                }
+                StoreScan::Bypass(any_unresolved) => {
+                    let plan = self.plan_load(idx, addr, width, split, safe, tainted_addr);
+                    let Some(plan) = plan else { return };
+                    let mode = if safe { FillMode::Fill } else { plan.fill };
+                    if plan.flag_unsafe_fill && !safe {
+                        self.log.push(DebugEvent::LfbUnsafeFill {
+                            cycle: self.cycle,
+                            seq: idx,
+                            addr: self.cfg.l1d.line_of(addr),
+                        });
+                    }
+                    let out =
+                        self.mem
+                            .request(idx, addr, false, safe, self.cycle, mode, &mut self.log);
+                    let mut completion = out.completion;
+                    if split {
+                        self.log.push(DebugEvent::SplitReq {
+                            cycle: self.cycle,
+                            seq: idx,
+                            addr,
+                        });
+                        let second = addr + width.bytes() - 1;
+                        let out2 = self
+                            .mem
+                            .request(idx, second, false, safe, self.cycle, mode, &mut self.log);
+                        completion = completion.max(out2.completion);
+                    }
+                    self.log.push(DebugEvent::LoadIssue {
+                        cycle: self.cycle,
+                        seq: idx,
+                        pc: self.rob[idx].pc,
+                        addr,
+                        spec: !safe,
+                        l1_hit: out.l1_hit,
+                    });
+                    let value = self.sandbox.read(addr, width);
+                    self.finish_load(idx, addr, width, split, value, Some(mode), plan.tlb, safe);
+                    self.set_load_result(idx, value, completion);
+                    if let Some(m) = self.rob[idx].mem.as_mut() {
+                        m.bypassed = any_unresolved;
+                        m.issued = true;
+                        m.unrecorded_fill =
+                            matches!(mode, FillMode::FillUndo { record: false });
+                        m.parked = matches!(mode, FillMode::Park);
+                    }
+                    self.rob[idx].issued_unsafe_load = !safe;
+                    if plan.expose_at_safe && !safe {
+                        self.rob[idx].needs_expose = true;
+                    }
+                    // An RMW resolves its store address here too: younger
+                    // loads that already bypassed it must be checked.
+                    if writes {
+                        self.log.push(DebugEvent::StoreResolve {
+                            cycle: self.cycle,
+                            seq: idx,
+                            pc: self.rob[idx].pc,
+                            addr,
+                            spec: !safe,
+                        });
+                        self.check_memory_order_violation(idx, addr, width);
+                    }
+                    return;
+                }
+            }
+        }
+
+        if writes && !reads {
+            // ----- pure store path (address resolution at execute) -----
+            let tainted_data =
+                self.defense.needs_taint() && self.data_tainted(idx, mref.addr_regs());
+            let ctx = StoreCtx {
+                seq: idx,
+                pc: self.rob[idx].pc,
+                addr,
+                width,
+                split,
+                safe,
+                tainted_addr,
+                tainted_data,
+                cycle: self.cycle,
+            };
+            let plan = self.defense.plan_store(&ctx);
+            if plan.delay {
+                self.log.push(DebugEvent::TaintDelay {
+                    cycle: self.cycle,
+                    seq: idx,
+                    pc: self.rob[idx].pc,
+                });
+                return;
+            }
+            self.resolve_store(idx, addr, width, split, plan.tlb, plan.rfo, safe, tainted_addr);
+        }
+    }
+
+    /// Completes the store-execute path shared by pure stores and RMWs.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_store(
+        &mut self,
+        idx: usize,
+        addr: u64,
+        width: Width,
+        split: bool,
+        tlb: bool,
+        rfo: Option<FillMode>,
+        safe: bool,
+        tainted_addr: bool,
+    ) {
+        // Store data value.
+        let data = match self.rob[idx].instr {
+            Instr::Mov { src, .. } => self.store_src_value(idx, &src, width),
+            Instr::Set { cond, .. } => cond.eval(self.src_flags(idx)) as u64,
+            _ => 0, // RMW data comes from its ALU result at commit.
+        };
+        if !matches!(self.rob[idx].instr, Instr::Alu { .. } | Instr::Un { .. }) {
+            self.rob[idx].result = Some(data);
+        }
+        if tlb {
+            self.touch_dtlb(idx, addr, width, true, !safe, tainted_addr);
+        }
+        if let Some(mode) = rfo {
+            let out = self
+                .mem
+                .request(idx, addr, true, safe, self.cycle, mode, &mut self.log);
+            let _ = out;
+            if split {
+                let second = addr + width.bytes() - 1;
+                self.mem
+                    .request(idx, second, true, safe, self.cycle, mode, &mut self.log);
+                self.log.push(DebugEvent::SplitReq {
+                    cycle: self.cycle,
+                    seq: idx,
+                    addr,
+                });
+            }
+            if let Some(m) = self.rob[idx].mem.as_mut() {
+                m.issued = true;
+                m.unrecorded_fill = matches!(mode, FillMode::FillUndo { record: false });
+            }
+        }
+        self.mem_order.push((
+            self.rob[idx].pc,
+            self.cfg.l1d.line_of(addr),
+            true,
+        ));
+        self.log.push(DebugEvent::StoreResolve {
+            cycle: self.cycle,
+            seq: idx,
+            pc: self.rob[idx].pc,
+            addr,
+            spec: !safe,
+        });
+        if let Some(m) = self.rob[idx].mem.as_mut() {
+            m.addr = Some(addr);
+            m.split = split;
+        }
+        self.rob[idx].state = EState::Executing {
+            done: self.cycle + 1,
+        };
+        self.check_memory_order_violation(idx, addr, width);
+    }
+
+    fn store_src_value(&self, idx: usize, src: &Operand, width: Width) -> u64 {
+        match src {
+            Operand::Reg(r, w) => w.trunc(self.src_value(idx, r.index())),
+            Operand::Imm(v) => width.trunc(*v as u64),
+            Operand::Mem(_) => unreachable!("store source cannot be memory"),
+        }
+    }
+
+    /// When a store resolves, any younger load that already issued to an
+    /// overlapping address without forwarding from it read stale data —
+    /// a memory-order violation (the Spectre-v4 mechanism).
+    fn check_memory_order_violation(&mut self, store_idx: usize, addr: u64, width: Width) {
+        let s_lo = addr;
+        let s_hi = addr + width.bytes();
+        for lidx in store_idx + 1..self.rob.len() {
+            let e = &self.rob[lidx];
+            if e.squashed || e.committed {
+                continue;
+            }
+            let Some(m) = &e.mem else { continue };
+            if !m.effect.reads() || !m.issued {
+                continue;
+            }
+            let Some(laddr) = m.addr else { continue };
+            let l_lo = laddr;
+            let l_hi = laddr + m.effect.mem_ref().width.bytes();
+            let overlap = l_lo < s_hi && s_lo < l_hi;
+            if overlap && m.forwarded_from != Some(store_idx) {
+                let pc = e.pc;
+                self.mdp.train_violation(pc);
+                self.squash_range(lidx, pc, SquashReason::MemOrderViolation);
+                return;
+            }
+        }
+    }
+
+    /// Scans older stores for forwarding/conflicts.
+    fn scan_store_queue(&self, load_idx: usize, addr: u64, width: Width) -> StoreScan {
+        let l_lo = addr;
+        let l_hi = addr + width.bytes();
+        let mut any_unresolved = false;
+        // Youngest-first scan of older stores.
+        for sidx in (self.commit_ptr..load_idx).rev() {
+            let e = &self.rob[sidx];
+            if e.squashed || e.committed {
+                continue;
+            }
+            let Some(m) = &e.mem else { continue };
+            if !m.effect.writes() {
+                continue;
+            }
+            match m.addr {
+                None => {
+                    any_unresolved = true;
+                }
+                Some(saddr) => {
+                    let s_lo = saddr;
+                    let s_hi = saddr + m.effect.mem_ref().width.bytes();
+                    let overlap = l_lo < s_hi && s_lo < l_hi;
+                    if !overlap {
+                        continue;
+                    }
+                    // Exact match with available data: forward. RMW data is
+                    // only final once the entry finished executing.
+                    let exact = saddr == addr && m.effect.mem_ref().width == width;
+                    let data_ready = matches!(e.state, EState::Done { .. })
+                        && self.rob[sidx].result.is_some();
+                    if exact && data_ready && !any_unresolved {
+                        return StoreScan::Forward(sidx);
+                    }
+                    // Partial overlap (or data not ready): wait.
+                    return StoreScan::WaitFor(sidx);
+                }
+            }
+        }
+        if any_unresolved && self.mdp.predicts_conflict(self.rob[load_idx].pc) {
+            return StoreScan::WaitFor(load_idx);
+        }
+        StoreScan::Bypass(any_unresolved)
+    }
+
+    /// Asks the defense for a load plan, handling delays. Returns `None` if
+    /// the load must retry next cycle.
+    fn plan_load(
+        &mut self,
+        idx: usize,
+        addr: u64,
+        width: Width,
+        split: bool,
+        safe: bool,
+        tainted_addr: bool,
+    ) -> Option<crate::defense::LoadPlan> {
+        let first_unsafe_load = !self.rob[self.commit_ptr..idx].iter().any(|e| {
+            !e.squashed && !e.committed && e.issued_unsafe_load && e.safe_at.is_none()
+        });
+        let ctx = LoadCtx {
+            seq: idx,
+            pc: self.rob[idx].pc,
+            addr,
+            width,
+            split,
+            safe,
+            tainted_addr,
+            first_unsafe_load,
+            cycle: self.cycle,
+        };
+        let plan = self.defense.plan_load(&ctx);
+        if plan.delay {
+            self.log.push(DebugEvent::TaintDelay {
+                cycle: self.cycle,
+                seq: idx,
+                pc: self.rob[idx].pc,
+            });
+            return None;
+        }
+        Some(plan)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_load(
+        &mut self,
+        idx: usize,
+        addr: u64,
+        width: Width,
+        split: bool,
+        _value: u64,
+        mode: Option<FillMode>,
+        tlb: bool,
+        safe: bool,
+    ) {
+        if tlb {
+            self.touch_dtlb(idx, addr, width, false, !safe, false);
+        }
+        self.mem_order
+            .push((self.rob[idx].pc, self.cfg.l1d.line_of(addr), false));
+        if let Some(m) = self.rob[idx].mem.as_mut() {
+            m.addr = Some(addr);
+            m.split = split;
+        }
+        let _ = mode;
+    }
+
+    /// Computes the entry's register result from a loaded value and marks it
+    /// executing until `done`.
+    fn set_load_result(&mut self, idx: usize, loaded: u64, done: u64) {
+        let instr = self.rob[idx].instr;
+        if let Some(m) = self.rob[idx].mem.as_mut() {
+            m.load_value = Some(loaded);
+        }
+        match instr {
+            Instr::Mov { dst: Operand::Reg(r, w), .. } => {
+                let old = self.src_value_or_zero(idx, r.index());
+                self.rob[idx].result = Some(w.merge_into(old, loaded));
+            }
+            Instr::Cmov { cond, dst: Operand::Reg(r, w), .. } => {
+                let f = self.src_flags(idx);
+                let old = self.src_value(idx, r.index());
+                let v = if cond.eval(f) { loaded } else { w.trunc(old) };
+                self.rob[idx].result = Some(w.merge_into(old, v));
+            }
+            Instr::Alu { op, dst, src, .. } => {
+                let width = dst.width().or_else(|| src.width()).expect("alu width");
+                let (dv, sv, merge_reg) = match (dst, src) {
+                    (Operand::Mem(_), s) => {
+                        // RMW / CMP-with-memory-destination: dst is memory.
+                        (loaded, self.reg_or_imm(idx, &s, width), None)
+                    }
+                    (Operand::Reg(r, w), Operand::Mem(_)) => {
+                        (w.trunc(self.src_value(idx, r.index())), loaded, Some((r, w)))
+                    }
+                    _ => unreachable!("load-form ALU"),
+                };
+                let f = self.src_flags_or_default(idx, op.reads_flags());
+                let res = alu(op, width, dv, sv, f);
+                self.rob[idx].out_flags = Some(res.flags);
+                if !op.discards_result() {
+                    match merge_reg {
+                        Some((r, w)) => {
+                            let old = self.src_value(idx, r.index());
+                            self.rob[idx].result = Some(w.merge_into(old, res.value));
+                        }
+                        None => {
+                            // RMW: result is the store data.
+                            self.rob[idx].result = Some(res.value);
+                        }
+                    }
+                }
+            }
+            Instr::Un { op, dst: Operand::Mem(m), .. } => {
+                let f = self.src_flags_or_default(idx, matches!(op, UnOp::Inc | UnOp::Dec));
+                let res = unary(op, m.width, loaded, f);
+                if !matches!(op, UnOp::Not) {
+                    self.rob[idx].out_flags = Some(res.flags);
+                }
+                self.rob[idx].result = Some(res.value);
+            }
+            _ => unreachable!("load-form instruction"),
+        }
+        self.rob[idx].state = EState::Executing { done };
+    }
+
+    fn reg_or_imm(&self, idx: usize, op: &Operand, width: Width) -> u64 {
+        match op {
+            Operand::Reg(r, w) => w.trunc(self.src_value(idx, r.index())),
+            Operand::Imm(v) => width.trunc(*v as u64),
+            Operand::Mem(_) => unreachable!("two memory operands"),
+        }
+    }
+
+    fn touch_dtlb(
+        &mut self,
+        seq: usize,
+        addr: u64,
+        width: Width,
+        store: bool,
+        spec: bool,
+        tainted: bool,
+    ) {
+        let pages = [addr, addr + width.bytes() - 1];
+        let mut seen_first = None;
+        for a in pages {
+            let page = self.mem.dtlb.page_of(a);
+            if seen_first == Some(page) {
+                continue;
+            }
+            seen_first = Some(page);
+            if !self.mem.dtlb.access(a) {
+                self.log.push(DebugEvent::TlbFill {
+                    cycle: self.cycle,
+                    seq,
+                    page,
+                    store,
+                    spec,
+                    tainted,
+                });
+            }
+        }
+    }
+
+    /// Commits finished entries in order.
+    fn commit_stage(&mut self) {
+        if self.cycle < self.commit_stall_until {
+            return;
+        }
+        let mut budget = self.cfg.commit_width;
+        while budget > 0 {
+            while self.commit_ptr < self.rob.len()
+                && (self.rob[self.commit_ptr].squashed || self.rob[self.commit_ptr].committed)
+            {
+                self.commit_ptr += 1;
+            }
+            if self.commit_ptr >= self.rob.len() {
+                return;
+            }
+            let idx = self.commit_ptr;
+            let EState::Done { at } = self.rob[idx].state else {
+                return;
+            };
+            if at > self.cycle {
+                return;
+            }
+            if matches!(self.rob[idx].instr, Instr::Exit) {
+                self.rob[idx].committed = true;
+                self.in_flight -= 1;
+                self.committed_count += 1;
+                self.exit_cycle = Some(self.cycle);
+                self.log.push(DebugEvent::Exit { cycle: self.cycle });
+                return;
+            }
+            // Architectural effects.
+            if let Some((r, _)) = self.rob[idx].writes {
+                self.regs[r.index()] = self.rob[idx].result.expect("result at commit");
+                if self.rename[r.index()] == Some(idx) {
+                    self.rename[r.index()] = None;
+                }
+            }
+            if self.rob[idx].writes_flags {
+                if let Some(f) = self.rob[idx].out_flags {
+                    self.flags = f;
+                }
+                if self.rename[FLAGS_IDX] == Some(idx) {
+                    self.rename[FLAGS_IDX] = None;
+                }
+            }
+            if let Some(m) = self.rob[idx].mem.clone() {
+                if m.effect.writes() {
+                    let addr = m.addr.expect("store resolved before commit");
+                    let width = m.effect.mem_ref().width;
+                    let data = match m.effect {
+                        MemEffect::Store(_) | MemEffect::Rmw(_) => {
+                            self.rob[idx].result.expect("store data at commit")
+                        }
+                        MemEffect::Load(_) => unreachable!(),
+                    };
+                    self.sandbox.write(addr, width, data);
+                    self.mem
+                        .request(idx, addr, true, true, self.cycle, FillMode::Fill, &mut self.log);
+                    if m.split {
+                        let second = addr + width.bytes() - 1;
+                        self.mem.request(
+                            idx,
+                            second,
+                            true,
+                            true,
+                            self.cycle,
+                            FillMode::Fill,
+                            &mut self.log,
+                        );
+                    }
+                }
+                if m.effect.reads() && m.bypassed {
+                    self.mdp.train_no_conflict(self.rob[idx].pc);
+                }
+            }
+            self.rob[idx].committed = true;
+            self.in_flight -= 1;
+            self.committed_count += 1;
+            self.commit_ptr += 1;
+            budget -= 1;
+        }
+    }
+
+    /// Fetches along the predicted path; touches the L1I; dispatches into
+    /// the ROB.
+    fn fetch_stage(&mut self) {
+        if self.cycle < self.fetch_stall_until {
+            return;
+        }
+        if self.halted_fetch || self.fetch_pc >= self.program.len() {
+            // Fetch-ahead: sequential I-lines past EXIT / off a wrong path
+            // (the KV1/KV2 channels).
+            self.mem.fetch_line(code_addr(self.fetch_pc));
+            self.fetch_pc += self.cfg.fetch_width;
+            return;
+        }
+        for _ in 0..self.cfg.fetch_width {
+            if self.in_flight >= self.cfg.rob_size || self.fetched >= self.cfg.max_fetched {
+                return;
+            }
+            if self.fetch_pc >= self.program.len() {
+                return;
+            }
+            let pc = self.fetch_pc;
+            let instr = self.program.instrs[pc];
+            self.mem.fetch_line(code_addr(pc));
+            self.fetched += 1;
+            let taken_break = self.dispatch(pc, instr);
+            if taken_break {
+                return;
+            }
+        }
+    }
+
+    /// Dispatches one instruction; returns `true` if fetch must stop this
+    /// cycle (taken branch or EXIT).
+    fn dispatch(&mut self, pc: usize, instr: Instr) -> bool {
+        let eff = instr.effects();
+        let idx = self.rob.len();
+        let mut srcs: Vec<(usize, SrcVal)> = Vec::new();
+        let add_src = |rename: &[Option<usize>; 17], regs: &[u64; 16], flags: Flags, srcs: &mut Vec<(usize, SrcVal)>, ri: usize| {
+            if srcs.iter().any(|&(i, _)| i == ri) {
+                return;
+            }
+            let v = match rename[ri] {
+                Some(p) => SrcVal::Producer(p),
+                None if ri == FLAGS_IDX => SrcVal::Ready(flags.bits() as u64),
+                None => SrcVal::Ready(regs[ri]),
+            };
+            srcs.push((ri, v));
+        };
+        for r in &eff.reads {
+            add_src(&self.rename, &self.regs, self.flags, &mut srcs, r.index());
+        }
+        // Partial-width writes merge into the old value: the destination is
+        // an implicit source.
+        if let Some((r, w)) = eff.writes {
+            if matches!(w, Width::B | Width::W) {
+                add_src(&self.rename, &self.regs, self.flags, &mut srcs, r.index());
+            }
+        }
+        if eff.reads_flags {
+            add_src(&self.rename, &self.regs, self.flags, &mut srcs, FLAGS_IDX);
+        }
+
+        let ghr_at_fetch = self.bp.state().1;
+        let mut predicted_taken = None;
+        let mut branch_target = 0usize;
+        let mut stop_fetch = false;
+        let mut state = EState::Waiting;
+
+        match instr {
+            Instr::Jmp { target } => {
+                branch_target = self.program.target_index(target);
+                self.fetch_pc = branch_target;
+                state = EState::Done { at: self.cycle };
+                stop_fetch = true;
+            }
+            Instr::Jcc { target, .. } | Instr::Loop { target, .. } => {
+                branch_target = self.program.target_index(target);
+                let taken = self.bp.predict(pc);
+                predicted_taken = Some(taken);
+                self.branch_order.push((pc, taken));
+                self.log.push(DebugEvent::Predict {
+                    cycle: self.cycle,
+                    pc,
+                    taken,
+                });
+                self.bp.push_history(taken);
+                self.fetch_pc = if taken { branch_target } else { pc + 1 };
+                stop_fetch = true;
+            }
+            Instr::Exit => {
+                state = EState::Done { at: self.cycle };
+                self.halted_fetch = true;
+                self.fetch_pc = pc + 1;
+                stop_fetch = true;
+            }
+            _ => {
+                self.fetch_pc = pc + 1;
+            }
+        }
+
+        let entry = RobEntry {
+            pc,
+            instr,
+            srcs,
+            state,
+            result: None,
+            out_flags: None,
+            writes: eff.writes,
+            writes_flags: eff.writes_flags,
+            mem: eff.mem.map(|effect| MemState {
+                effect,
+                addr: None,
+                split: false,
+                load_value: None,
+                issued: false,
+                bypassed: false,
+                forwarded_from: None,
+                unrecorded_fill: false,
+                parked: false,
+            }),
+            is_cond_branch: instr.is_cond_branch(),
+            predicted_taken,
+            ghr_at_fetch,
+            resolved_taken: None,
+            branch_target,
+            squashed: false,
+            committed: false,
+            safe_at: None,
+            issued_unsafe_load: false,
+            needs_expose: false,
+            exposed: false,
+            tainted: false,
+        };
+        if let Some((r, _)) = eff.writes {
+            self.rename[r.index()] = Some(idx);
+        }
+        if eff.writes_flags {
+            self.rename[FLAGS_IDX] = Some(idx);
+        }
+        self.rob.push(entry);
+        self.in_flight += 1;
+        stop_fetch
+    }
+}
+
+/// Pads (or truncates) the input memory image to the configured sandbox
+/// size; wrapping semantics make any consistent size valid.
+fn padded(input: &TestInput, size: usize) -> Vec<u8> {
+    let mut v = input.mem.clone();
+    v.resize(size, 0);
+    v
+}
+
+/// What the LSQ scan decided for a load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StoreScan {
+    /// Stall: retry next cycle (partial overlap or predicted conflict).
+    WaitFor(usize),
+    /// Forward the value from this store entry.
+    Forward(usize),
+    /// Proceed to memory; `true` if unresolved older stores were bypassed.
+    Bypass(bool),
+}

@@ -1,0 +1,211 @@
+//! A compact growable bit set used for taint labels and coverage tracking.
+
+/// A growable set of `usize` indices backed by `u64` words.
+///
+/// Used by the emulator's taint engine (each bit is an input element label)
+/// and by campaign coverage accounting. Operations are O(words).
+///
+/// # Examples
+///
+/// ```
+/// use amulet_util::BitSet;
+/// let mut s = BitSet::new();
+/// s.insert(3);
+/// s.insert(130);
+/// assert!(s.contains(3) && s.contains(130) && !s.contains(4));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 130]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty set with capacity for indices below `bits`.
+    pub fn with_capacity(bits: usize) -> Self {
+        Self {
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    /// Inserts `index`, growing storage as needed. Returns `true` if newly set.
+    pub fn insert(&mut self, index: usize) -> bool {
+        let (w, b) = (index / 64, index % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Removes `index` if present. Returns `true` if it was present.
+    pub fn remove(&mut self, index: usize) -> bool {
+        let (w, b) = (index / 64, index % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Returns `true` if `index` is in the set.
+    pub fn contains(&self, index: usize) -> bool {
+        let (w, b) = (index / 64, index % 64);
+        self.words.get(w).is_some_and(|&word| word & (1 << b) != 0)
+    }
+
+    /// Unions `other` into `self`. Returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut changed = false;
+        for (dst, &src) in self.words.iter_mut().zip(&other.words) {
+            let before = *dst;
+            *dst |= src;
+            changed |= *dst != before;
+        }
+        changed
+    }
+
+    /// Returns `true` if the sets share any element.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(&a, &b)| a & b != 0)
+    }
+
+    /// Returns `true` if no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Removes all elements (retains capacity).
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Iterates over set indices in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = BitSet::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for i in iter {
+            self.insert(i);
+        }
+    }
+}
+
+/// Iterator over set bits, produced by [`BitSet::iter`].
+#[derive(Debug)]
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.bits != 0 {
+                let b = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(self.word * 64 + b);
+            }
+            self.word += 1;
+            if self.word >= self.set.words.len() {
+                return None;
+            }
+            self.bits = self.set.words[self.word];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let mut s = BitSet::new();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(!s.contains(5));
+    }
+
+    #[test]
+    fn grows_transparently() {
+        let mut s = BitSet::new();
+        s.insert(1000);
+        assert!(s.contains(1000));
+        assert!(!s.contains(999));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn union_and_intersect() {
+        let a: BitSet = [1, 2, 3].into_iter().collect();
+        let mut b: BitSet = [3, 400].into_iter().collect();
+        assert!(a.intersects(&b));
+        assert!(b.union_with(&a));
+        assert!(!b.union_with(&a), "second union is a no-op");
+        assert_eq!(b.len(), 4);
+        let c: BitSet = [70].into_iter().collect();
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s: BitSet = [64, 0, 65, 7, 128].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 7, 64, 65, 128]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s: BitSet = [1, 2, 3].into_iter().collect();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        let s = BitSet::new();
+        assert!(!s.contains(10_000));
+    }
+}

@@ -1,0 +1,25 @@
+//! Small dependency-free utilities shared across the AMuLeT workspace:
+//! a deterministic PRNG, a compact bit set, and streaming statistics.
+//!
+//! Everything in this crate is deterministic on purpose: the whole point of
+//! model-based relational testing is reproducibility, so AMuLeT never touches
+//! ambient entropy — every random choice flows from an explicit seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use amulet_util::Xoshiro256;
+//!
+//! let mut rng = Xoshiro256::seed_from_u64(42);
+//! let a = rng.next_u64();
+//! let mut rng2 = Xoshiro256::seed_from_u64(42);
+//! assert_eq!(a, rng2.next_u64());
+//! ```
+
+pub mod bitset;
+pub mod rng;
+pub mod stats;
+
+pub use bitset::BitSet;
+pub use rng::{SplitMix64, Xoshiro256};
+pub use stats::{fmt_duration_s, Summary};

@@ -1,0 +1,150 @@
+//! Streaming summary statistics for campaign reporting.
+
+use std::fmt;
+
+/// Streaming mean / min / max / count accumulator.
+///
+/// Campaigns feed per-test measurements (detection latency, throughput,
+/// validation counts) into `Summary` and report aggregate rows, mirroring the
+/// "averaged over N parallel runs" presentation of the paper's tables.
+///
+/// # Examples
+///
+/// ```
+/// use amulet_util::Summary;
+/// let mut s = Summary::new();
+/// s.add(1.0);
+/// s.add(3.0);
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            write!(f, "n=0")
+        } else {
+            write!(
+                f,
+                "n={} mean={:.3} min={:.3} max={:.3}",
+                self.count, self.mean(), self.min, self.max
+            )
+        }
+    }
+}
+
+/// Formats a number of seconds as a human-readable duration (paper style:
+/// "1 hr 2 min", "18 min", "2.5 s").
+pub fn fmt_duration_s(secs: f64) -> String {
+    if secs >= 3600.0 {
+        let h = (secs / 3600.0).floor();
+        let m = ((secs - h * 3600.0) / 60.0).round();
+        format!("{h:.0} hr {m:.0} min")
+    } else if secs >= 60.0 {
+        format!("{:.0} min", (secs / 60.0).round())
+    } else if secs >= 1.0 {
+        format!("{secs:.1} s")
+    } else {
+        format!("{:.1} ms", secs * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(format!("{s}"), "n=0");
+    }
+
+    #[test]
+    fn accumulates_and_merges() {
+        let mut a = Summary::new();
+        a.add(2.0);
+        a.add(4.0);
+        let mut b = Summary::new();
+        b.add(6.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.mean(), 4.0);
+        assert_eq!(a.min(), Some(2.0));
+        assert_eq!(a.max(), Some(6.0));
+    }
+
+    #[test]
+    fn duration_formatting_matches_paper_style() {
+        assert_eq!(fmt_duration_s(3720.0), "1 hr 2 min");
+        assert_eq!(fmt_duration_s(1080.0), "18 min");
+        assert_eq!(fmt_duration_s(2.5), "2.5 s");
+        assert_eq!(fmt_duration_s(0.0105), "10.5 ms");
+    }
+}

@@ -1,0 +1,96 @@
+//! Audit a secure-speculation defense, paper-style: run a testing campaign
+//! against its claimed contract and classify every confirmed violation
+//! against the paper's finding catalogue (UV1–UV6, KV1–KV3).
+//!
+//! ```sh
+//! cargo run --release --example audit_defense -- invisispec
+//! cargo run --release --example audit_defense -- speclfb ct-seq
+//! cargo run --release --example audit_defense -- stt arch-seq
+//! cargo run --release --example audit_defense -- all
+//! ```
+
+use amulet::contracts::ContractKind;
+use amulet::defenses::DefenseKind;
+use amulet::fuzz::{Campaign, CampaignConfig, CampaignReport};
+use std::env;
+
+fn parse_defense(name: &str) -> Option<DefenseKind> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "baseline" => DefenseKind::Baseline,
+        "invisispec" => DefenseKind::InvisiSpec,
+        "invisispec-patched" => DefenseKind::InvisiSpecPatched,
+        "cleanupspec" => DefenseKind::CleanupSpec,
+        "cleanupspec-patched" => DefenseKind::CleanupSpecPatched,
+        "stt" => DefenseKind::Stt,
+        "stt-patched" => DefenseKind::SttPatched,
+        "speclfb" => DefenseKind::SpecLfb,
+        "speclfb-patched" => DefenseKind::SpecLfbPatched,
+        "ghostminion" => DefenseKind::GhostMinion,
+        _ => return None,
+    })
+}
+
+fn parse_contract(name: &str) -> Option<ContractKind> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "ct-seq" => ContractKind::CtSeq,
+        "ct-cond" => ContractKind::CtCond,
+        "arch-seq" => ContractKind::ArchSeq,
+        "ct-bpas" => ContractKind::CtBpas,
+        _ => return None,
+    })
+}
+
+/// The contract each defense claims (paper §3.1): CT-SEQ for the memory-
+/// system defenses, ARCH-SEQ for STT's non-interference guarantee.
+fn claimed_contract(defense: DefenseKind) -> ContractKind {
+    match defense {
+        DefenseKind::Stt | DefenseKind::SttPatched => ContractKind::ArchSeq,
+        _ => ContractKind::CtSeq,
+    }
+}
+
+fn audit(defense: DefenseKind, contract: ContractKind, programs: usize) -> CampaignReport {
+    let mut cfg = CampaignConfig::quick(defense, contract);
+    // KV3 is the paper's rarest finding (3 hours on gem5); give STT a
+    // bigger program budget so the default audit still surfaces it.
+    let stt = matches!(defense, DefenseKind::Stt | DefenseKind::SttPatched);
+    cfg.programs_per_instance = if stt { programs * 2 } else { programs };
+    cfg.instances = env_usize("AMULET_INSTANCES", 4);
+    Campaign::new(cfg).run()
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let programs = env_usize("AMULET_PROGRAMS", 30);
+    let targets: Vec<DefenseKind> = match args.first().map(String::as_str) {
+        Some("all") | None => vec![
+            DefenseKind::Baseline,
+            DefenseKind::InvisiSpec,
+            DefenseKind::CleanupSpec,
+            DefenseKind::SpecLfb,
+            DefenseKind::Stt,
+        ],
+        Some(name) => match parse_defense(name) {
+            Some(d) => vec![d],
+            None => {
+                eprintln!("unknown defense `{name}`");
+                std::process::exit(1);
+            }
+        },
+    };
+    let contract_override = args.get(1).and_then(|c| parse_contract(c));
+
+    println!("{}", CampaignReport::summary_header());
+    for defense in targets {
+        let contract = contract_override.unwrap_or_else(|| claimed_contract(defense));
+        let report = audit(defense, contract, programs);
+        println!("{}", report.summary_row());
+        for (class, count) in report.unique_classes() {
+            println!("    {count:>4} x {class}");
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: test the unprotected out-of-order CPU against CT-SEQ and
+//! watch AMuLeT find a Spectre-v1 contract violation within seconds.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use amulet::contracts::{ContractKind, LeakageModel};
+use amulet::defenses::DefenseKind;
+use amulet::fuzz::{
+    classify, minimize, Campaign, CampaignConfig, CampaignReport, Detector, Executor,
+    ExecutorConfig,
+};
+
+fn main() {
+    // A small campaign: 2 parallel instances, a few dozen random programs,
+    // 28 boosted inputs per program, against the CT-SEQ contract (constant-
+    // time w.r.t. cache addresses, sequential execution only).
+    let mut cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+    cfg.programs_per_instance = 40;
+    cfg.stop_on_first = true;
+
+    println!(
+        "testing {} against {} ({} instances x {} programs x {} inputs)...\n",
+        cfg.defense,
+        cfg.contract,
+        cfg.instances,
+        cfg.programs_per_instance,
+        cfg.inputs.total()
+    );
+
+    let report: CampaignReport = Campaign::new(cfg).run();
+
+    println!("{}", CampaignReport::summary_header());
+    println!("{}", report.summary_row());
+
+    if let Some((violation, _)) = report.violations.first() {
+        println!("\nfirst confirmed violation ({}):", classify(violation));
+        println!("{}", violation.report());
+
+        // Shrink the test case before root-causing (Revizor-style).
+        let detector = Detector::new(LeakageModel::new(report.config.contract));
+        let mut executor = Executor::new(ExecutorConfig::new(report.config.defense));
+        let reduced = minimize(violation, &detector, &mut executor);
+        println!(
+            "minimised: removed {} instructions ({} checks); reduced program:\n{}",
+            reduced.removed, reduced.attempts, reduced.program
+        );
+    } else {
+        println!("\nno violation found — try more programs (AMULET_PROGRAMS).");
+    }
+}

@@ -1,0 +1,36 @@
+//! AMuLeT-rs — a Rust reproduction of *AMuLeT: Automated Design-Time Testing
+//! of Secure Speculation Countermeasures* (ASPLOS 2025).
+//!
+//! This facade crate re-exports every subsystem of the workspace under one
+//! roof, which is what the examples and integration tests use:
+//!
+//! - [`isa`]: the µx86 instruction set (registers, programs, assembler).
+//! - [`emu`]: the architectural emulator + taint engine (Unicorn substitute).
+//! - [`contracts`]: leakage contracts — CT-SEQ, CT-COND, ARCH-SEQ.
+//! - [`sim`]: the speculative out-of-order simulator (gem5 substitute).
+//! - [`defenses`]: InvisiSpec, CleanupSpec, STT, SpecLFB (+ the bugs the
+//!   paper found, individually toggleable).
+//! - [`fuzz`]: the AMuLeT fuzzer itself — generators, executors, violation
+//!   detection, campaigns, and analysis.
+//! - [`util`]: deterministic PRNG and helpers.
+//!
+//! # Quick start
+//!
+//! ```
+//! use amulet::fuzz::{CampaignConfig, Campaign};
+//! use amulet::defenses::DefenseKind;
+//! use amulet::contracts::ContractKind;
+//!
+//! let cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+//! let report = Campaign::new(cfg).run();
+//! // The unprotected out-of-order CPU leaks under CT-SEQ (Spectre-v1).
+//! assert!(report.violation_found());
+//! ```
+
+pub use amulet_contracts as contracts;
+pub use amulet_core as fuzz;
+pub use amulet_defenses as defenses;
+pub use amulet_emu as emu;
+pub use amulet_isa as isa;
+pub use amulet_sim as sim;
+pub use amulet_util as util;

@@ -1,0 +1,72 @@
+//! Properties of the contract lattice (paper §2.1/§3.3):
+//!
+//! - Richer contracts refine poorer ones: equal CT-COND traces imply equal
+//!   CT-SEQ traces (the CT-SEQ observations are a projection), and likewise
+//!   CT-BPAS → CT-COND and ARCH-SEQ → CT-SEQ.
+//! - Filtering with a leakage-specific contract works: the baseline CPU's
+//!   Spectre-v1 violations vanish under CT-COND, and its v4 family vanishes
+//!   under CT-BPAS — the paper's "use leakage-specific contract" triage arm
+//!   (Figure 3).
+
+use amulet::contracts::{ContractKind, LeakageModel};
+use amulet::defenses::DefenseKind;
+use amulet::fuzz::{boosted_inputs, Campaign, CampaignConfig, Generator, GeneratorConfig, InputGenConfig};
+use amulet::util::Xoshiro256;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Inputs grouped as equal by a richer contract are equal under the
+    /// poorer contract it refines.
+    #[test]
+    fn refinement_projections_hold(seed in 0u64..1_000_000) {
+        let pairs = [
+            (ContractKind::CtCond, ContractKind::CtSeq),
+            (ContractKind::CtBpas, ContractKind::CtCond),
+            (ContractKind::CtBpas, ContractKind::CtSeq),
+            (ContractKind::ArchSeq, ContractKind::CtSeq),
+        ];
+        let mut generator = Generator::new(GeneratorConfig::default(), seed);
+        let program = generator.program();
+        let flat = program.flatten();
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x5a5a);
+        let cfg = InputGenConfig { base_inputs: 2, mutations: 3, pages: 1 };
+        for (rich, poor) in pairs {
+            let rich_model = LeakageModel::new(rich);
+            let poor_model = LeakageModel::new(poor);
+            let inputs = boosted_inputs(&rich_model, &flat, &cfg, &mut rng);
+            for group in inputs.chunks(1 + cfg.mutations) {
+                let rich_ref = rich_model.ctrace(&flat, &group[0]);
+                let poor_ref = poor_model.ctrace(&flat, &group[0]);
+                for m in &group[1..] {
+                    if rich_model.ctrace(&flat, m) == rich_ref {
+                        prop_assert_eq!(
+                            poor_model.ctrace(&flat, m).digest(),
+                            poor_ref.digest(),
+                            "{} equality did not imply {} equality\n{}",
+                            rich, poor, program
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The paper's triage filter: testing the baseline against CT-BPAS (which
+/// admits both branch and store-bypass speculation) absorbs the v1 *and* v4
+/// families, leaving the insecure CPU clean — evidence that those two
+/// mechanisms explain the baseline's violations.
+#[test]
+fn ct_bpas_absorbs_baseline_leaks() {
+    let mut cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtBpas);
+    cfg.programs_per_instance = 30;
+    cfg.instances = 4;
+    let report = Campaign::new(cfg).run();
+    assert!(
+        report.violations.is_empty(),
+        "CT-BPAS should absorb baseline speculation leaks: {:?}",
+        report.unique_classes()
+    );
+}
