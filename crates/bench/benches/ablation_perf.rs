@@ -69,7 +69,11 @@ fn main() {
             kind.name(),
             cycles,
             100.0 * (cycles / base - 1.0),
-            if report.violation_found() { "YES" } else { "no" },
+            if report.violation_found() {
+                "YES"
+            } else {
+                "no"
+            },
             report.unique_violation_count(),
         );
     }

@@ -46,7 +46,10 @@ fn run(defense: InvisiSpec, secret: u64) -> Vec<u64> {
 }
 
 fn main() {
-    banner("Figure 4", "InvisiSpec UV1: speculative L1D eviction leak (paper asm)");
+    banner(
+        "Figure 4",
+        "InvisiSpec UV1: speculative L1D eviction leak (paper asm)",
+    );
     println!("{}", parse_program(FIG4).unwrap());
     for (name, defense) in [
         ("InvisiSpec (published)", InvisiSpec::published()),

@@ -7,12 +7,15 @@
 
 use amulet_bench::{banner, bench_config, run_campaign};
 use amulet_contracts::ContractKind;
-use amulet_core::{ViolationClass};
+use amulet_core::ViolationClass;
 use amulet_defenses::DefenseKind;
 use amulet_sim::{DebugEvent, SimConfig};
 
 fn main() {
-    banner("Figure 6 / Table 7", "InvisiSpec UV2 found by amplified fuzzing");
+    banner(
+        "Figure 6 / Table 7",
+        "InvisiSpec UV2 found by amplified fuzzing",
+    );
     let mut cfg = bench_config(DefenseKind::InvisiSpecPatched, ContractKind::CtSeq);
     cfg.sim = SimConfig::default().amplified(2, 2);
     cfg.programs_per_instance *= 2;

@@ -28,7 +28,10 @@ fn run(kind: DefenseKind, secret: u64) -> (Vec<u64>, bool) {
 }
 
 fn main() {
-    banner("Figure 8", "SpecLFB UV6: first speculative load unprotected");
+    banner(
+        "Figure 8",
+        "SpecLFB UV6: first speculative load unprotected",
+    );
     println!(
         "victim shape (paper Fig. 8b: secret in RBX, single speculative load):\n{}\n",
         gadgets::spectre_v1(gadgets::payload::SINGLE_LOAD)
@@ -36,11 +39,7 @@ fn main() {
     for kind in [DefenseKind::SpecLfb, DefenseKind::SpecLfbPatched] {
         let (a, bug_a) = run(kind, 0xA00);
         let (b, _) = run(kind, 0x300);
-        println!(
-            "{:<18} A: {a:x?}\n{:<18} B: {b:x?}",
-            kind.name(),
-            ""
-        );
+        println!("{:<18} A: {a:x?}\n{:<18} B: {b:x?}", kind.name(), "");
         println!(
             "{:<18} isReallyUnsafe-cleared fill seen: {}  => {}\n",
             "",

@@ -1,8 +1,12 @@
-//! Criterion micro-benchmarks of the substrate: simulator cycles/second,
-//! emulator throughput, contract-trace extraction, taint-based boosting,
-//! and program generation — the per-component costs that the paper's
-//! Table 2 breaks down for gem5.
+//! Micro-benchmarks of the substrate: simulator cycles/second, emulator
+//! throughput, contract-trace extraction, taint-based boosting, and program
+//! generation — the per-component costs that the paper's Table 2 breaks
+//! down for gem5.
+//!
+//! Self-timed (median-of-batches) harness; the workspace carries no
+//! external benchmarking dependency.
 
+use amulet_bench::time_fn;
 use amulet_contracts::{ContractKind, LeakageModel};
 use amulet_core::{boosted_inputs, Generator, GeneratorConfig, InputGenConfig};
 use amulet_defenses::DefenseKind;
@@ -10,25 +14,22 @@ use amulet_emu::{Emulator, NullObserver};
 use amulet_isa::TestInput;
 use amulet_sim::{SimConfig, Simulator};
 use amulet_util::Xoshiro256;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn fixture() -> (amulet_isa::FlatProgram, TestInput) {
+fn fixture() -> (amulet_isa::SharedProgram, TestInput) {
     let mut generator = Generator::new(GeneratorConfig::default(), 7);
     let program = generator.program();
     let mut rng = Xoshiro256::seed_from_u64(8);
     let input = TestInput::random(&mut rng, 1);
-    (program.flatten(), input)
+    (program.flatten_shared(), input)
 }
 
-fn bench_simulator(c: &mut Criterion) {
+fn bench_simulator() {
     let (flat, input) = fixture();
     let mut sim = Simulator::new(SimConfig::default(), DefenseKind::Baseline.build());
-    c.bench_function("simulator_run_one_case", |b| {
-        b.iter(|| {
-            sim.load_test(black_box(&flat), black_box(&input));
-            black_box(sim.run())
-        })
+    time_fn("simulator_run_one_case", || {
+        sim.load_test_shared(black_box(&flat), black_box(&input));
+        black_box(sim.run());
     });
 
     let mut stt = Simulator::new(
@@ -36,59 +37,56 @@ fn bench_simulator(c: &mut Criterion) {
         DefenseKind::Stt.build(),
     );
     let input128 = TestInput::random(&mut Xoshiro256::seed_from_u64(9), 128);
-    c.bench_function("simulator_run_one_case_stt", |b| {
-        b.iter(|| {
-            stt.load_test(black_box(&flat), black_box(&input128));
-            black_box(stt.run())
-        })
+    time_fn("simulator_run_one_case_stt", || {
+        stt.load_test_shared(black_box(&flat), black_box(&input128));
+        black_box(stt.run());
     });
 }
 
-fn bench_emulator(c: &mut Criterion) {
+fn bench_emulator() {
     let (flat, input) = fixture();
-    c.bench_function("emulator_run_one_case", |b| {
-        b.iter(|| {
-            let mut emu = Emulator::new(black_box(&flat), 0x4000, black_box(&input));
-            black_box(emu.run(&mut NullObserver, 100_000).unwrap())
-        })
+    time_fn("emulator_run_one_case", || {
+        let mut emu = Emulator::new(black_box(&flat), 0x4000, black_box(&input));
+        black_box(emu.run(&mut NullObserver, 100_000).unwrap());
     });
 }
 
-fn bench_contracts(c: &mut Criterion) {
+fn bench_contracts() {
     let (flat, input) = fixture();
     for kind in [ContractKind::CtSeq, ContractKind::CtCond] {
         let model = LeakageModel::new(kind);
-        c.bench_function(&format!("ctrace_{}", kind.name()), |b| {
-            b.iter(|| black_box(model.ctrace(black_box(&flat), black_box(&input))))
+        time_fn(&format!("ctrace_{}", kind.name()), || {
+            black_box(model.ctrace(black_box(&flat), black_box(&input)));
         });
     }
     let model = LeakageModel::new(ContractKind::CtSeq);
-    c.bench_function("taint_relevant_labels", |b| {
-        b.iter(|| black_box(model.relevant_labels(black_box(&flat), black_box(&input))))
+    time_fn("taint_relevant_labels", || {
+        black_box(model.relevant_labels(black_box(&flat), black_box(&input)));
     });
 }
 
-fn bench_generation(c: &mut Criterion) {
-    c.bench_function("generate_program", |b| {
-        let mut generator = Generator::new(GeneratorConfig::default(), 1);
-        b.iter(|| black_box(generator.program()))
+fn bench_generation() {
+    let mut generator = Generator::new(GeneratorConfig::default(), 1);
+    time_fn("generate_program", || {
+        black_box(generator.program());
     });
     let (flat, _) = fixture();
     let model = LeakageModel::new(ContractKind::CtSeq);
-    c.bench_function("boosted_inputs_4x6", |b| {
-        let mut rng = Xoshiro256::seed_from_u64(2);
-        let cfg = InputGenConfig {
-            base_inputs: 4,
-            mutations: 6,
-            pages: 1,
-        };
-        b.iter(|| black_box(boosted_inputs(&model, &flat, &cfg, &mut rng)))
+    let mut rng = Xoshiro256::seed_from_u64(2);
+    let cfg = InputGenConfig {
+        base_inputs: 4,
+        mutations: 6,
+        pages: 1,
+    };
+    time_fn("boosted_inputs_4x6", || {
+        black_box(boosted_inputs(&model, &flat, &cfg, &mut rng));
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_simulator, bench_emulator, bench_contracts, bench_generation
+fn main() {
+    println!("micro: per-component costs (median of batches)");
+    bench_simulator();
+    bench_emulator();
+    bench_contracts();
+    bench_generation();
 }
-criterion_main!(benches);

@@ -34,13 +34,22 @@ fn run(wrong_path_offset: u64) -> (u64, usize, Vec<DebugEvent>) {
 }
 
 fn main() {
-    banner("Table 10", "CleanupSpec KV2 (unXpec): cleanup time leaks via the L1I");
+    banner(
+        "Table 10",
+        "CleanupSpec KV2 (unXpec): cleanup time leaks via the L1I",
+    );
     let (cycles_a, l1i_a, _) = run(0x8); // wrong-path L1 hit: no cleanup
     let (cycles_b, l1i_b, log_b) = run(0x740); // wrong-path miss: cleanup on the squash path
 
-    println!("{:<34} {:>12} {:>12}", "", "Input A (hit)", "Input B (miss)");
+    println!(
+        "{:<34} {:>12} {:>12}",
+        "", "Input A (hit)", "Input B (miss)"
+    );
     println!("{:<34} {:>12} {:>12}", "exit cycle", cycles_a, cycles_b);
-    println!("{:<34} {:>12} {:>12}", "L1I lines (fetch-ahead footprint)", l1i_a, l1i_b);
+    println!(
+        "{:<34} {:>12} {:>12}",
+        "L1I lines (fetch-ahead footprint)", l1i_a, l1i_b
+    );
 
     println!("\nInput B squash-path events:");
     for e in log_b.iter().filter(|e| {

@@ -38,7 +38,7 @@ fn measured(mode: ExecMode, programs: usize, inputs: usize) {
     for _ in 0..programs {
         let t = Instant::now();
         let program = generator.program();
-        let flat = program.flatten();
+        let flat = program.flatten_shared();
         t_gen += t.elapsed().as_secs_f64();
 
         let t = Instant::now();
@@ -50,7 +50,7 @@ fn measured(mode: ExecMode, programs: usize, inputs: usize) {
 
         for input in &inputs {
             let t = Instant::now();
-            let run = executor.run_case(&flat, input);
+            let run = executor.run_case_traced(&flat, input);
             t_sim += t.elapsed().as_secs_f64();
             let t = Instant::now();
             let _utrace: &UTrace = &run.utrace;
@@ -62,26 +62,44 @@ fn measured(mode: ExecMode, programs: usize, inputs: usize) {
     let others = (total - t_gen - t_ctrace - t_sim - t_trace).max(0.0);
     println!("\nMeasured on this substrate ({mode:?}, {programs} programs, {cases} cases):");
     let row = |name: &str, v: f64| {
-        println!("  {name:<22} {:>9.1} ms ({:>5.1}%)", v * 1e3, 100.0 * v / total)
+        println!(
+            "  {name:<22} {:>9.1} ms ({:>5.1}%)",
+            v * 1e3,
+            100.0 * v / total
+        )
     };
     row("simulate + startup", t_sim);
     row("uTrace extraction", t_trace);
     row("test generation", t_gen);
     row("ctrace extraction", t_ctrace);
     row("others", others);
-    println!("  {:<22} {:>9.1} ms  ({:.0} cases/s)", "total", total * 1e3, cases as f64 / total);
+    println!(
+        "  {:<22} {:>9.1} ms  ({:.0} cases/s)",
+        "total",
+        total * 1e3,
+        cases as f64 / total
+    );
 }
 
 fn main() {
-    banner("Table 2", "time per test program: AMuLeT-Naive vs AMuLeT-Opt");
+    banner(
+        "Table 2",
+        "time per test program: AMuLeT-Naive vs AMuLeT-Opt",
+    );
     let model = CostModel::default();
     for mode in [ExecMode::Naive, ExecMode::Opt] {
-        println!("\n--- {} (modelled, gem5-calibrated, 140 inputs/program) ---", mode.name());
+        println!(
+            "\n--- {} (modelled, gem5-calibrated, 140 inputs/program) ---",
+            mode.name()
+        );
         print!("{}", model.per_program(mode, 140));
     }
     let naive = model.per_program(ExecMode::Naive, 140).total();
     let opt = model.per_program(ExecMode::Opt, 140).total();
-    println!("\nmodelled speedup Opt vs Naive: {:.1}x (paper: 13x)", naive / opt);
+    println!(
+        "\nmodelled speedup Opt vs Naive: {:.1}x (paper: 13x)",
+        naive / opt
+    );
 
     let programs = env_usize("AMULET_PROGRAMS", 30).min(30);
     for mode in [ExecMode::Naive, ExecMode::Opt] {

@@ -14,7 +14,10 @@ use amulet_core::CampaignReport;
 use amulet_defenses::DefenseKind;
 
 fn main() {
-    banner("Table 4", "testing campaigns on the baseline and four defenses");
+    banner(
+        "Table 4",
+        "testing campaigns on the baseline and four defenses",
+    );
     println!("{}", CampaignReport::summary_header());
     let rows = [
         (DefenseKind::Baseline, ContractKind::CtSeq, 1.0),
@@ -27,8 +30,7 @@ fn main() {
     ];
     for (defense, contract, scale) in rows {
         let mut cfg = bench_config(defense, contract);
-        cfg.programs_per_instance =
-            ((cfg.programs_per_instance as f64) * scale).round() as usize;
+        cfg.programs_per_instance = ((cfg.programs_per_instance as f64) * scale).round() as usize;
         let report = run_campaign(cfg);
         println!("{}", report.summary_row());
         for (class, n) in report.unique_classes() {

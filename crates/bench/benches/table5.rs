@@ -19,14 +19,17 @@ fn covered_by_baseline(v: &Violation) -> bool {
         format: TraceFormat::L1dTlb,
         ..ExecutorConfig::new(DefenseKind::Baseline)
     });
-    let flat = v.program.flatten();
+    let flat = v.program.flatten_shared();
     let a = executor.run_case_with_ctx(&flat, &v.input_a, &v.ctx_a);
     let b = executor.run_case_with_ctx(&flat, &v.input_b, &v.ctx_a);
     a.utrace != b.utrace
 }
 
 fn main() {
-    banner("Table 5", "µarch trace formats: throughput vs violation coverage");
+    banner(
+        "Table 5",
+        "µarch trace formats: throughput vs violation coverage",
+    );
     let mut results = Vec::new();
     for format in TraceFormat::ALL {
         let mut cfg = bench_config(DefenseKind::Baseline, ContractKind::CtSeq);
@@ -54,7 +57,10 @@ fn main() {
         let cov = if report.violations.is_empty() {
             "-".to_string()
         } else {
-            format!("{:.0}%", 100.0 * covered as f64 / report.violations.len() as f64)
+            format!(
+                "{:.0}%",
+                100.0 * covered as f64 / report.violations.len() as f64
+            )
         };
         println!(
             "{:<28} {:>10.0}/s {:>11} {:>9.1}% {:>18}",

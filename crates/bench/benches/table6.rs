@@ -10,11 +10,22 @@ use amulet_sim::SimConfig;
 use amulet_util::fmt_duration_s;
 
 fn main() {
-    banner("Table 6", "InvisiSpec (patched) with smaller µarch structures");
+    banner(
+        "Table 6",
+        "InvisiSpec (patched) with smaller µarch structures",
+    );
     let configs = [
         ("Patched, 8-way L1D, 256 MSHRs", SimConfig::default(), 1.0),
-        ("Patched, 2-way L1D, 256 MSHRs", SimConfig::default().amplified(2, 256), 1.0),
-        ("Patched, 2-way L1D,   2 MSHRs", SimConfig::default().amplified(2, 2), 2.0),
+        (
+            "Patched, 2-way L1D, 256 MSHRs",
+            SimConfig::default().amplified(2, 256),
+            1.0,
+        ),
+        (
+            "Patched, 2-way L1D,   2 MSHRs",
+            SimConfig::default().amplified(2, 2),
+            2.0,
+        ),
     ];
     println!(
         "{:<32} {:>10} {:>10} {:>10}",
@@ -23,8 +34,7 @@ fn main() {
     for (name, sim, scale) in configs {
         let mut cfg = bench_config(DefenseKind::InvisiSpecPatched, ContractKind::CtSeq);
         cfg.sim = sim;
-        cfg.programs_per_instance =
-            ((cfg.programs_per_instance as f64) * scale).round() as usize;
+        cfg.programs_per_instance = ((cfg.programs_per_instance as f64) * scale).round() as usize;
         let report = run_campaign(cfg);
         let uv2 = report
             .unique_classes()

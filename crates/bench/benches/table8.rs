@@ -18,20 +18,31 @@ fn classes_for(defense: DefenseKind) -> BTreeMap<ViolationClass, usize> {
 }
 
 fn main() {
-    banner("Table 8", "CleanupSpec violation types: Original vs Patched");
+    banner(
+        "Table 8",
+        "CleanupSpec violation types: Original vs Patched",
+    );
     let original = classes_for(DefenseKind::CleanupSpec);
     let patched = classes_for(DefenseKind::CleanupSpecPatched);
 
     let mark = |m: &BTreeMap<ViolationClass, usize>, c: ViolationClass| {
-        m.get(&c).map(|n| format!("YES ({n})")).unwrap_or_else(|| "-".into())
+        m.get(&c)
+            .map(|n| format!("YES ({n})"))
+            .unwrap_or_else(|| "-".into())
     };
     println!(
         "{:<36} {:>12} {:>12}",
         "Violation Type", "Original", "Patched"
     );
     for (label, class) in [
-        ("Speculative Store Not Cleaned (UV3)", ViolationClass::SpecStoreNotCleaned),
-        ("Split Requests Not Cleaned (UV4)", ViolationClass::SplitNotCleaned),
+        (
+            "Speculative Store Not Cleaned (UV3)",
+            ViolationClass::SpecStoreNotCleaned,
+        ),
+        (
+            "Split Requests Not Cleaned (UV4)",
+            ViolationClass::SplitNotCleaned,
+        ),
         ("Too Much Cleaning (UV5)", ViolationClass::TooMuchCleaning),
     ] {
         println!(

@@ -48,11 +48,19 @@ fn print_ops(label: &str, log: &[DebugEvent], l1d: &[u64]) {
     println!("{:>7} {:>5} {:<8} {:>10}", "Cycle", "PC", "Type", "Addr");
     for e in log {
         match *e {
-            DebugEvent::LoadIssue { cycle, pc, addr, spec, .. } => println!(
+            DebugEvent::LoadIssue {
+                cycle,
+                pc,
+                addr,
+                spec,
+                ..
+            } => println!(
                 "{cycle:>7} {pc:>5} {:<8} {addr:>#10x}",
                 if spec { "SpecLd" } else { "Load" }
             ),
-            DebugEvent::Undo { cycle, seq, addr, .. } => {
+            DebugEvent::Undo {
+                cycle, seq, addr, ..
+            } => {
                 println!("{cycle:>7} {seq:>5} {:<8} {addr:>#10x}", "Undo")
             }
             _ => {}
@@ -62,7 +70,10 @@ fn print_ops(label: &str, log: &[DebugEvent], l1d: &[u64]) {
 }
 
 fn main() {
-    banner("Table 9", "CleanupSpec UV5: too-much-cleaning operation sequence");
+    banner(
+        "Table 9",
+        "CleanupSpec UV5: too-much-cleaning operation sequence",
+    );
     println!("{}\n", parse_program(UV5_SRC).unwrap());
     let (log_a, l1d_a) = run(192); // SL == NSL line (0x40C0)
     let (log_b, l1d_b) = run(0x300); // SL elsewhere

@@ -37,11 +37,55 @@ pub fn run_campaign(cfg: CampaignConfig) -> CampaignReport {
     Campaign::new(cfg).run()
 }
 
+/// Times a closure with a self-calibrating batch harness and prints the
+/// median per-iteration cost — the workspace-internal substitute for an
+/// external benchmarking framework.
+pub fn time_fn(name: &str, mut f: impl FnMut()) {
+    use std::time::Instant;
+    // Calibrate a batch size that takes ≥ ~5 ms.
+    let mut batch = 1u32;
+    loop {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        if t.elapsed().as_secs_f64() >= 5e-3 || batch >= 1 << 20 {
+            break;
+        }
+        batch *= 4;
+    }
+    // Median of 9 batches.
+    let mut samples: Vec<f64> = (0..9)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            t.elapsed().as_secs_f64() / batch as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let per_iter = samples[samples.len() / 2];
+    let (value, unit) = if per_iter >= 1e-3 {
+        (per_iter * 1e3, "ms")
+    } else if per_iter >= 1e-6 {
+        (per_iter * 1e6, "µs")
+    } else {
+        (per_iter * 1e9, "ns")
+    };
+    println!(
+        "{name:<32} {value:>10.2} {unit}/iter  ({:.0} iters/s)",
+        1.0 / per_iter
+    );
+}
+
 /// Prints the standard bench banner.
 pub fn banner(id: &str, what: &str) {
     println!("================================================================");
     println!("{id}: {what}");
-    println!("(scale with AMULET_INSTANCES / AMULET_PROGRAMS / AMULET_BASE_INPUTS / AMULET_MUTATIONS)");
+    println!(
+        "(scale with AMULET_INSTANCES / AMULET_PROGRAMS / AMULET_BASE_INPUTS / AMULET_MUTATIONS)"
+    );
     println!("================================================================");
 }
 

@@ -4,8 +4,10 @@
 
 use crate::trace::{CTrace, CTraceBuilder, Observation};
 use crate::ContractKind;
-use amulet_emu::{Emulator, NullObserver, Observer, StepError, StepEvent, TaintConfig, TaintEngine};
 use amulet_emu::SANDBOX_BASE_VA;
+use amulet_emu::{
+    Emulator, NullObserver, Observer, StepError, StepEvent, TaintConfig, TaintEngine,
+};
 use amulet_isa::{FlatProgram, Instr, Operand, TestInput};
 use amulet_util::BitSet;
 
@@ -217,17 +219,16 @@ impl LeakageModel {
 /// `true` for instructions whose only architectural effect is a memory store
 /// (the candidates for store-bypass speculation).
 fn is_pure_store(instr: &Instr) -> bool {
-    match instr {
+    matches!(
+        instr,
         Instr::Mov {
             dst: Operand::Mem(_),
             ..
-        } => true,
-        Instr::Set {
+        } | Instr::Set {
             dst: Operand::Mem(_),
             ..
-        } => true,
-        _ => false,
-    }
+        }
+    )
 }
 
 #[cfg(test)]

@@ -127,9 +127,8 @@ pub fn classify(v: &Violation) -> ViolationClass {
     }
     // Too much cleaning: an undone line shows up in the diff.
     let undone_in_diff = |log: &[DebugEvent]| {
-        log.iter().any(|e| {
-            matches!(e, DebugEvent::Undo { addr, .. } if l1d_diff.contains(addr))
-        })
+        log.iter()
+            .any(|e| matches!(e, DebugEvent::Undo { addr, .. } if l1d_diff.contains(addr)))
     };
     if undone_in_diff(&v.log_a) || undone_in_diff(&v.log_b) {
         return ViolationClass::TooMuchCleaning;
@@ -140,7 +139,10 @@ pub fn classify(v: &Violation) -> ViolationClass {
     // Fill for the same sequence number.)
     let eviction_without_fill = |log: &[DebugEvent]| {
         log.iter().any(|e| {
-            if let DebugEvent::Replace { spec: true, seq, .. } = e {
+            if let DebugEvent::Replace {
+                spec: true, seq, ..
+            } = e
+            {
                 !log.iter()
                     .any(|f| matches!(f, DebugEvent::Fill { seq: fs, .. } if fs == seq))
             } else {
@@ -221,8 +223,8 @@ impl ViolationFilter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::executor::{Executor, ExecutorConfig};
     use crate::detect::Detector;
+    use crate::executor::{Executor, ExecutorConfig};
     use amulet_contracts::{ContractKind, LeakageModel};
     use amulet_defenses::gadgets::{self, payload};
     use amulet_defenses::DefenseKind;
@@ -231,7 +233,7 @@ mod tests {
     fn find_violation(defense: DefenseKind, payload: &str, secrets: (u64, u64)) -> Violation {
         let src = gadgets::spectre_v1(payload);
         let program = parse_program(&src).unwrap();
-        let flat = program.flatten();
+        let flat = program.flatten_shared();
         let mut executor = Executor::new(ExecutorConfig::new(defense));
         for _ in 0..12 {
             executor.run_case(&flat, &gadgets::train_input(1));
@@ -242,7 +244,10 @@ mod tests {
         b.regs[1] = secrets.1;
         let detector = Detector::new(LeakageModel::new(ContractKind::CtSeq));
         let (violations, stats) = detector.scan(&program, &flat, &[a, b], &mut executor);
-        assert!(!violations.is_empty(), "{defense}: no violation ({stats:?})");
+        assert!(
+            !violations.is_empty(),
+            "{defense}: no violation ({stats:?})"
+        );
         violations.into_iter().next().unwrap()
     }
 

@@ -44,6 +44,12 @@ pub struct CampaignConfig {
     pub stop_on_first: bool,
     /// Suppress already-root-caused violation classes.
     pub filter: ViolationFilter,
+    /// Skip µarch execution for singleton contract-trace classes (see
+    /// [`Detector::skip_singletons`]). Default off.
+    pub skip_singletons: bool,
+    /// Record debug events on the hot path too (determinism regression
+    /// tests / legacy-hot-path benchmarking). Default off.
+    pub log_hot_path: bool,
 }
 
 impl CampaignConfig {
@@ -72,6 +78,8 @@ impl CampaignConfig {
             seed: 2025,
             stop_on_first: false,
             filter: ViolationFilter::none(),
+            skip_singletons: false,
+            log_hot_path: false,
         }
     }
 
@@ -201,7 +209,10 @@ impl Campaign {
                     scope.spawn(move || run_instance(cfg, i))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("instance panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("instance panicked"))
+                .collect()
         });
         let wall = start.elapsed();
 
@@ -233,7 +244,8 @@ fn run_instance(cfg: &CampaignConfig, index: usize) -> InstanceResult {
     let mut rng = Xoshiro256::seed_from_u64(cfg.seed.wrapping_add(index as u64));
     let mut generator = Generator::new(cfg.generator.clone(), rng.next_u64());
     let model = LeakageModel::new(cfg.contract);
-    let detector = Detector::new(model.clone());
+    let mut detector = Detector::new(model.clone());
+    detector.skip_singletons = cfg.skip_singletons;
     let mut executor = Executor::new(ExecutorConfig {
         mode: cfg.mode,
         defense: cfg.defense,
@@ -241,12 +253,13 @@ fn run_instance(cfg: &CampaignConfig, index: usize) -> InstanceResult {
         include_l1i: cfg.include_l1i,
         sim: cfg.sim.clone(),
         keep_sandbox: false,
+        log_hot_path: cfg.log_hot_path,
     });
 
     let mut out = InstanceResult::default();
     for _ in 0..cfg.programs_per_instance {
         let program = generator.program();
-        let flat = program.flatten();
+        let flat = program.flatten_shared();
         let inputs = boosted_inputs(&model, &flat, &cfg.inputs, &mut rng);
         let (violations, stats) = detector.scan(&program, &flat, &inputs, &mut executor);
         out.stats.merge(&stats);
@@ -301,6 +314,29 @@ mod tests {
             report.unique_classes()
         );
         assert!(report.stats.cases > 0);
+    }
+
+    /// Boosted inputs are built as groups sharing a contract trace, so
+    /// singleton classes are the exception — and skipping them must not
+    /// change what the quick campaign confirms.
+    #[test]
+    fn skip_singletons_preserves_quick_campaign_findings() {
+        let run = |skip: bool| {
+            let mut cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+            cfg.programs_per_instance = 40;
+            cfg.skip_singletons = skip;
+            let r = Campaign::new(cfg).run();
+            (r.unique_classes(), r.stats.confirmed, r.stats.candidates)
+        };
+        let (classes_all, confirmed_all, candidates_all) = run(false);
+        let (classes_skip, confirmed_skip, candidates_skip) = run(true);
+        assert!(
+            confirmed_all > 0,
+            "quick baseline campaign finds violations"
+        );
+        assert_eq!(classes_all, classes_skip);
+        assert_eq!(confirmed_all, confirmed_skip);
+        assert_eq!(candidates_all, candidates_skip);
     }
 
     #[test]

@@ -7,11 +7,32 @@
 //! stem from differing *initial µarch contexts* rather than the inputs —
 //! candidates are therefore validated by re-running both inputs under each
 //! other's starting context and confirming the difference persists (§3.2).
+//!
+//! # Digest-first detection
+//!
+//! The first pass over the inputs only needs µarch-trace *equality*, never
+//! trace contents: candidates are decided by comparing, confirmed
+//! violations are built from validation re-runs. [`Detector::scan`]
+//! therefore runs the hot path with [`Executor::run_case`], which returns a
+//! streaming 64-bit [`CaseDigest`](crate::executor::CaseDigest) computed by
+//! the simulator in the selected trace format — no snapshot clone, no
+//! [`UTrace`] materialisation, no event logging. Only the candidate pairs
+//! that reach [`Detector::validate`] re-run with logging on and full traces;
+//! [`UTrace`] remains the analysis/report type carried by [`Violation`].
+//! Up to 64-bit hash collisions (~2⁻⁶⁴ per pair), the confirmed violations
+//! are bit-identical to comparing materialised traces.
+//!
+//! With [`Detector::skip_singletons`], inputs whose contract-trace class has
+//! a single member skip µarch execution entirely — they can never pair into
+//! a candidate. This is off by default because skipped runs change how
+//! predictor state evolves across an Opt-mode scan (§3.2 relies on that
+//! evolution for detection variety), not because skipped singletons could
+//! themselves be violations.
 
-use crate::executor::Executor;
+use crate::executor::{CaseDigest, Executor};
 use crate::trace::UTrace;
 use amulet_contracts::LeakageModel;
-use amulet_isa::{FlatProgram, Program, TestInput};
+use amulet_isa::{Program, SharedProgram, TestInput};
 use amulet_sim::{DebugEvent, UarchContext};
 use std::collections::HashMap;
 
@@ -76,6 +97,11 @@ pub struct Detector {
     pub max_per_program: usize,
     /// Cap on debug-log events retained per violation.
     pub log_cap: usize,
+    /// Skip µarch execution for inputs whose contract-trace class has a
+    /// single member (they can never form a candidate pair). Off by default:
+    /// skipping runs changes Opt-mode predictor-state evolution across the
+    /// scan, which the paper's detection variety relies on.
+    pub skip_singletons: bool,
 }
 
 impl Detector {
@@ -85,6 +111,7 @@ impl Detector {
             model,
             max_per_program: 4,
             log_cap: 20_000,
+            skip_singletons: false,
         }
     }
 
@@ -98,7 +125,7 @@ impl Detector {
     pub fn scan(
         &self,
         program: &Program,
-        flat: &FlatProgram,
+        flat: &SharedProgram,
         inputs: &[TestInput],
         executor: &mut Executor,
     ) -> (Vec<Violation>, ScanStats) {
@@ -107,20 +134,29 @@ impl Detector {
 
         // Effective classes by contract trace.
         let mut classes: HashMap<u64, Vec<usize>> = HashMap::new();
-        let mut ctr_digests = Vec::with_capacity(inputs.len());
+        let mut class_of = Vec::with_capacity(inputs.len());
         for (i, input) in inputs.iter().enumerate() {
             let ct = self.model.ctrace(flat, input);
             classes.entry(ct.digest()).or_default().push(i);
-            ctr_digests.push(ct.digest());
+            class_of.push(ct.digest());
         }
         stats.classes = classes.len();
 
-        // µarch traces for all inputs.
-        let runs: Vec<_> = inputs
+        // µarch trace digests, in input order (Opt-mode predictor state
+        // evolves run to run, so order is semantics). Singleton-class inputs
+        // optionally skip execution.
+        let runs: Vec<Option<CaseDigest>> = inputs
             .iter()
-            .map(|input| executor.run_case(flat, input))
+            .enumerate()
+            .map(|(i, input)| {
+                if self.skip_singletons && classes[&class_of[i]].len() < 2 {
+                    None
+                } else {
+                    Some(executor.run_case(flat, input))
+                }
+            })
             .collect();
-        stats.cases = runs.len();
+        stats.cases = runs.iter().filter(|r| r.is_some()).count();
 
         // Sort classes by smallest member for determinism.
         let mut ordered: Vec<(u64, Vec<usize>)> = classes.into_iter().collect();
@@ -137,20 +173,15 @@ impl Detector {
                 if violations.len() >= self.max_per_program {
                     break;
                 }
-                if runs[rep].utrace == runs[other].utrace {
+                let (Some(rep_run), Some(other_run)) = (&runs[rep], &runs[other]) else {
+                    unreachable!("class members with >=2 inputs always execute");
+                };
+                if rep_run.digest == other_run.digest {
                     continue;
                 }
                 stats.candidates += 1;
                 if let Some(v) = self.validate(
-                    program,
-                    flat,
-                    inputs,
-                    &runs,
-                    rep,
-                    other,
-                    digest,
-                    executor,
-                    &mut stats,
+                    program, flat, inputs, &runs, rep, other, digest, executor, &mut stats,
                 ) {
                     stats.confirmed += 1;
                     violations.push(v);
@@ -163,30 +194,29 @@ impl Detector {
     /// Validation: Definition 2.1 quantifies over a *single* µarch context
     /// µ, so a candidate is confirmed when the µarch traces differ with both
     /// inputs started from the *same* context — checked under each of the
-    /// two original contexts (either suffices).
+    /// two original contexts (either suffices). These re-runs log events and
+    /// materialise full traces; only candidates pay this cost.
     #[allow(clippy::too_many_arguments)]
     fn validate(
         &self,
         program: &Program,
-        flat: &FlatProgram,
+        flat: &SharedProgram,
         inputs: &[TestInput],
-        runs: &[crate::executor::CaseRun],
+        runs: &[Option<CaseDigest>],
         a: usize,
         b: usize,
         digest: u64,
         executor: &mut Executor,
         stats: &mut ScanStats,
     ) -> Option<Violation> {
-        let ctx_a = runs[a].start_ctx.clone();
-        let ctx_b = runs[b].start_ctx.clone();
+        let ctx_a = runs[a].as_ref().expect("candidate ran").start_ctx.clone();
+        let ctx_b = runs[b].as_ref().expect("candidate ran").start_ctx.clone();
 
         // Under context A.
         let ra_ca = executor.run_case_with_ctx(flat, &inputs[a], &ctx_a);
-        let mut log_a = executor.last_log();
-        log_a.truncate(self.log_cap);
+        let log_a = executor.last_log_capped(self.log_cap);
         let rb_ca = executor.run_case_with_ctx(flat, &inputs[b], &ctx_a);
-        let mut log_b = executor.last_log();
-        log_b.truncate(self.log_cap);
+        let log_b = executor.last_log_capped(self.log_cap);
         stats.validation_runs += 2;
         if ra_ca.utrace != rb_ca.utrace {
             return Some(Violation {
@@ -205,11 +235,9 @@ impl Detector {
 
         // Under context B.
         let ra_cb = executor.run_case_with_ctx(flat, &inputs[a], &ctx_b);
-        let mut log_a = executor.last_log();
-        log_a.truncate(self.log_cap);
+        let log_a = executor.last_log_capped(self.log_cap);
         let rb_cb = executor.run_case_with_ctx(flat, &inputs[b], &ctx_b);
-        let mut log_b = executor.last_log();
-        log_b.truncate(self.log_cap);
+        let log_b = executor.last_log_capped(self.log_cap);
         stats.validation_runs += 2;
         if ra_cb.utrace == rb_cb.utrace {
             return None;
@@ -236,7 +264,11 @@ impl Violation {
     pub fn report(&self) -> String {
         use std::fmt::Write;
         let mut s = String::new();
-        let _ = writeln!(s, "=== contract violation (ctrace {:#018x}) ===", self.ctrace_digest);
+        let _ = writeln!(
+            s,
+            "=== contract violation (ctrace {:#018x}) ===",
+            self.ctrace_digest
+        );
         let _ = writeln!(s, "--- program ---\n{}", self.program);
         let _ = writeln!(s, "--- µtrace A: {}", self.utrace_a);
         let _ = writeln!(s, "--- µtrace B: {}", self.utrace_b);
@@ -271,7 +303,7 @@ mod tests {
     fn detects_spectre_v1_violation_on_baseline() {
         let src = gadgets::spectre_v1(payload::SINGLE_LOAD);
         let program = parse_program(&src).unwrap();
-        let flat = program.flatten();
+        let flat = program.flatten_shared();
         let model = LeakageModel::new(ContractKind::CtSeq);
         let mut executor = Executor::new(ExecutorConfig::new(DefenseKind::Baseline));
 
@@ -314,7 +346,7 @@ mod tests {
     fn ct_cond_filters_v1_as_expected_leakage() {
         let src = gadgets::spectre_v1(payload::SINGLE_LOAD);
         let program = parse_program(&src).unwrap();
-        let flat = program.flatten();
+        let flat = program.flatten_shared();
         let model = LeakageModel::new(ContractKind::CtCond);
         let mut executor = Executor::new(ExecutorConfig::new(DefenseKind::Baseline));
         for _ in 0..12 {
@@ -328,8 +360,7 @@ mod tests {
         // wrong-path load address is exposed), so they land in different
         // classes and can never be flagged.
         let detector = Detector::new(model);
-        let (violations, stats) =
-            detector.scan(&program, &flat, &[a, b], &mut executor);
+        let (violations, stats) = detector.scan(&program, &flat, &[a, b], &mut executor);
         assert_eq!(stats.classes, 2);
         assert!(violations.is_empty());
     }
@@ -342,7 +373,7 @@ mod tests {
         // must not be confirmed.
         let src = gadgets::spectre_v1(payload::SINGLE_LOAD);
         let program = parse_program(&src).unwrap();
-        let flat = program.flatten();
+        let flat = program.flatten_shared();
         let model = LeakageModel::new(ContractKind::CtSeq);
         let mut executor = Executor::new(ExecutorConfig::new(DefenseKind::Baseline));
 
@@ -366,6 +397,50 @@ mod tests {
         );
     }
 
+    /// `skip_singletons` skips µarch execution for inputs that cannot pair
+    /// (singleton contract-trace classes) without changing what is
+    /// confirmed: inputs preceding the singleton see identical executor
+    /// state either way.
+    #[test]
+    fn skip_singletons_skips_unpaired_inputs_and_preserves_detection() {
+        let src = gadgets::spectre_v1(payload::SINGLE_LOAD);
+        let program = parse_program(&src).unwrap();
+        let flat = program.flatten_shared();
+        let model = LeakageModel::new(ContractKind::CtSeq);
+
+        let scan = |skip: bool| {
+            let mut executor = Executor::new(ExecutorConfig::new(DefenseKind::Baseline));
+            for _ in 0..12 {
+                executor.run_case(&flat, &gadgets::train_input(1));
+            }
+            let mut a = gadgets::victim_input(1);
+            a.regs[1] = 0x740;
+            let mut b = gadgets::victim_input(1);
+            b.regs[1] = 0x100;
+            // The training input takes the branch architecturally — a
+            // different contract trace, so a singleton class.
+            let inputs = vec![a, b, gadgets::train_input(1)];
+            let mut detector = Detector::new(model.clone());
+            detector.skip_singletons = skip;
+            detector.scan(&program, &flat, &inputs, &mut executor)
+        };
+
+        let (v_all, s_all) = scan(false);
+        let (v_skip, s_skip) = scan(true);
+        assert_eq!(s_all.classes, 2);
+        assert_eq!(s_all.cases, 3, "all inputs execute by default");
+        assert_eq!(s_skip.cases, 2, "the singleton is skipped");
+        assert_eq!(s_all.confirmed, s_skip.confirmed);
+        assert_eq!(v_all.len(), v_skip.len());
+        for (x, y) in v_all.iter().zip(&v_skip) {
+            assert_eq!(x.ctrace_digest, y.ctrace_digest);
+            assert_eq!(
+                x.utrace_a.l1d_diff(&x.utrace_b),
+                y.utrace_a.l1d_diff(&y.utrace_b)
+            );
+        }
+    }
+
     #[test]
     fn naive_mode_also_detects_with_fresh_predictors() {
         // In Naive mode the predictor is always fresh (weakly not-taken),
@@ -378,7 +453,7 @@ mod tests {
         // within a small random sweep instead.
         let src = gadgets::spectre_v1(payload::SINGLE_LOAD);
         let program = parse_program(&src).unwrap();
-        let flat = program.flatten();
+        let flat = program.flatten_shared();
         let model = LeakageModel::new(ContractKind::CtSeq);
         let mut executor = Executor::new(ExecutorConfig {
             mode: ExecMode::Naive,

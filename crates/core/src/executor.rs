@@ -17,8 +17,8 @@
 
 use crate::trace::{TraceFormat, UTrace};
 use amulet_defenses::DefenseKind;
-use amulet_isa::{FlatProgram, TestInput};
-use amulet_sim::{DebugEvent, SimConfig, SimResult, Simulator, UarchContext};
+use amulet_isa::{SharedProgram, TestInput};
+use amulet_sim::{DebugEvent, LogMode, SimConfig, SimResult, Simulator, UarchContext};
 
 /// Naive vs. Opt execution (§3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -56,6 +56,11 @@ pub struct ExecutorConfig {
     pub sim: SimConfig,
     /// Keep `sim.sandbox_size` instead of the defense harness hint.
     pub keep_sandbox: bool,
+    /// Record debug events on the [`Executor::run_case`] hot path too
+    /// (normally only validation re-runs log). Simulation results are
+    /// bit-identical either way; this exists for determinism regression
+    /// tests and for benchmarking the always-log legacy hot path.
+    pub log_hot_path: bool,
 }
 
 impl ExecutorConfig {
@@ -69,6 +74,7 @@ impl ExecutorConfig {
             include_l1i: false,
             sim: SimConfig::default(),
             keep_sandbox: false,
+            log_hot_path: false,
         }
     }
 
@@ -90,7 +96,24 @@ impl ExecutorConfig {
     }
 }
 
-/// The outcome of one executed test case.
+/// The hot-path outcome of one executed test case: a trace digest instead of
+/// a materialised trace. `digest` equality is (up to 64-bit hash collisions)
+/// equivalent to [`UTrace`] equality in the executor's configured format, so
+/// the detector's first pass compares digests and only candidate pairs pay
+/// for full traces via validation re-runs.
+#[derive(Debug, Clone)]
+pub struct CaseDigest {
+    /// Streaming digest of the µarch trace in the configured format.
+    pub digest: u64,
+    /// µarch context (predictor state) *before* the run — needed for
+    /// violation validation.
+    pub start_ctx: UarchContext,
+    /// Raw simulation result.
+    pub result: SimResult,
+}
+
+/// The outcome of one executed test case with a materialised µarch trace
+/// (validation re-runs and analysis tooling).
 #[derive(Debug, Clone)]
 pub struct CaseRun {
     /// The µarch trace.
@@ -123,9 +146,34 @@ impl Executor {
         &self.cfg
     }
 
-    /// Runs one test case, resetting state per the execution mode, and
-    /// returns its µarch trace.
-    pub fn run_case(&mut self, flat: &FlatProgram, input: &TestInput) -> CaseRun {
+    /// Runs one test case on the hot path: logging off (unless
+    /// `log_hot_path`), no trace materialisation — the simulator streams a
+    /// digest of the configured trace format instead. State resets per the
+    /// execution mode.
+    pub fn run_case(&mut self, flat: &SharedProgram, input: &TestInput) -> CaseDigest {
+        if self.cfg.mode == ExecMode::Naive {
+            self.sim.reset_predictors();
+        }
+        self.reset_caches();
+        let start_ctx = self.sim.context();
+        self.sim.set_log_mode(if self.cfg.log_hot_path {
+            LogMode::Record
+        } else {
+            LogMode::Off
+        });
+        self.sim.load_test_shared(flat, input);
+        let result = self.sim.run();
+        CaseDigest {
+            digest: self.sim.trace_digest(self.digest_kind()),
+            start_ctx,
+            result,
+        }
+    }
+
+    /// Runs one test case with logging on and a materialised µarch trace —
+    /// analysis tooling and benches; same reset semantics as
+    /// [`Executor::run_case`].
+    pub fn run_case_traced(&mut self, flat: &SharedProgram, input: &TestInput) -> CaseRun {
         if self.cfg.mode == ExecMode::Naive {
             self.sim.reset_predictors();
         }
@@ -136,16 +184,28 @@ impl Executor {
 
     /// Runs a test case under an explicit starting µarch context — the
     /// validation step of §3.2 ("re-running the violating inputs with the
-    /// other test case's µarch starting context").
+    /// other test case's µarch starting context"). Validation re-runs log
+    /// events and materialise the full trace.
     pub fn run_case_with_ctx(
         &mut self,
-        flat: &FlatProgram,
+        flat: &SharedProgram,
         input: &TestInput,
         ctx: &UarchContext,
     ) -> CaseRun {
         self.sim.set_context(ctx);
         self.reset_caches();
         self.run_inner(flat, input, ctx.clone())
+    }
+
+    fn digest_kind(&self) -> amulet_sim::DigestKind {
+        match self.cfg.format {
+            TraceFormat::L1dTlb => amulet_sim::DigestKind::L1dTlb {
+                include_l1i: self.cfg.include_l1i,
+            },
+            TraceFormat::BpState => amulet_sim::DigestKind::BpState,
+            TraceFormat::MemOrder => amulet_sim::DigestKind::MemOrder,
+            TraceFormat::BranchOrder => amulet_sim::DigestKind::BranchOrder,
+        }
     }
 
     fn reset_caches(&mut self) {
@@ -159,8 +219,9 @@ impl Executor {
         }
     }
 
-    fn run_inner(&mut self, flat: &FlatProgram, input: &TestInput, ctx: UarchContext) -> CaseRun {
-        self.sim.load_test(flat, input);
+    fn run_inner(&mut self, flat: &SharedProgram, input: &TestInput, ctx: UarchContext) -> CaseRun {
+        self.sim.set_log_mode(LogMode::Record);
+        self.sim.load_test_shared(flat, input);
         let result = self.sim.run();
         let snap = self.sim.snapshot();
         CaseRun {
@@ -175,6 +236,14 @@ impl Executor {
         self.sim.log().events().to_vec()
     }
 
+    /// Debug-log events of the most recent run, truncated to `cap` *before*
+    /// copying — violation capture clones at most `cap` events instead of
+    /// the full (up to 200k-event) log.
+    pub fn last_log_capped(&self, cap: usize) -> Vec<DebugEvent> {
+        let events = self.sim.log().events();
+        events[..events.len().min(cap)].to_vec()
+    }
+
     /// Exposes the simulator (advanced harness hooks in benches/examples).
     pub fn simulator_mut(&mut self) -> &mut Simulator {
         &mut self.sim
@@ -186,18 +255,58 @@ mod tests {
     use super::*;
     use amulet_isa::parse_program;
 
-    fn flat() -> FlatProgram {
+    fn flat() -> SharedProgram {
         parse_program("MOV RAX, qword ptr [R14 + 8]\nEXIT")
             .unwrap()
-            .flatten()
+            .flatten_shared()
     }
 
     #[test]
     fn executor_produces_traces() {
         let mut ex = Executor::new(ExecutorConfig::new(DefenseKind::Baseline));
-        let run = ex.run_case(&flat(), &TestInput::zeroed(1));
+        let run = ex.run_case_traced(&flat(), &TestInput::zeroed(1));
         assert!(run.result.exit_cycle.is_some());
         assert!(run.utrace.l1d.contains(&0x4000));
+    }
+
+    #[test]
+    fn digest_agrees_with_materialised_trace_equality() {
+        // Two inputs with equal traces share a digest; a differing input
+        // (different load address → different L1D line) differs.
+        let mut ex = Executor::new(ExecutorConfig::new(DefenseKind::Baseline));
+        let flat = flat();
+        let a = ex.run_case(&flat, &TestInput::zeroed(1));
+        let b = ex.run_case(&flat, &TestInput::zeroed(1));
+        assert_eq!(a.digest, b.digest, "identical cases share a digest");
+
+        let src = "MOV RAX, qword ptr [R14 + 256]\nEXIT";
+        let other = parse_program(src).unwrap().flatten_shared();
+        let c = ex.run_case(&other, &TestInput::zeroed(1));
+        assert_ne!(a.digest, c.digest, "different footprints differ");
+
+        // Digest equality must match UTrace equality for the same runs.
+        let ta = ex.run_case_traced(&flat, &TestInput::zeroed(1));
+        let tb = ex.run_case_traced(&flat, &TestInput::zeroed(1));
+        let tc = ex.run_case_traced(&other, &TestInput::zeroed(1));
+        assert_eq!(ta.utrace, tb.utrace);
+        assert_ne!(ta.utrace, tc.utrace);
+    }
+
+    #[test]
+    fn hot_path_runs_with_logging_off_but_validation_logs() {
+        let mut ex = Executor::new(ExecutorConfig::new(DefenseKind::Baseline));
+        let flat = flat();
+        let run = ex.run_case(&flat, &TestInput::zeroed(1));
+        assert!(ex.last_log().is_empty(), "hot path must not record events");
+        let replay = ex.run_case_with_ctx(&flat, &TestInput::zeroed(1), &run.start_ctx);
+        assert!(
+            !ex.last_log().is_empty(),
+            "validation re-runs record events"
+        );
+        assert!(replay.result.exit_cycle.is_some());
+        let capped = ex.last_log_capped(2);
+        assert_eq!(capped.len(), 2.min(ex.last_log().len()));
+        assert_eq!(capped[..], ex.last_log()[..capped.len()]);
     }
 
     #[test]
@@ -209,7 +318,7 @@ mod tests {
             JZ .a
             .a:
             EXIT";
-        let flat = parse_program(src).unwrap().flatten();
+        let flat = parse_program(src).unwrap().flatten_shared();
         let input = TestInput::zeroed(1);
 
         let mut naive = Executor::new(ExecutorConfig {
@@ -229,7 +338,7 @@ mod tests {
     #[test]
     fn prefill_strategy_follows_harness_hints() {
         let mut invisi = Executor::new(ExecutorConfig::new(DefenseKind::InvisiSpec));
-        let run = invisi.run_case(&flat(), &TestInput::zeroed(1));
+        let run = invisi.run_case_traced(&flat(), &TestInput::zeroed(1));
         let cfg = SimConfig::default();
         assert!(
             run.utrace.l1d.len() >= cfg.l1d.sets * cfg.l1d.ways - cfg.l1d.ways,
@@ -237,7 +346,7 @@ mod tests {
         );
 
         let mut cleanup = Executor::new(ExecutorConfig::new(DefenseKind::CleanupSpec));
-        let run = cleanup.run_case(&flat(), &TestInput::zeroed(1));
+        let run = cleanup.run_case_traced(&flat(), &TestInput::zeroed(1));
         assert!(
             run.utrace.l1d.len() < 8,
             "CleanupSpec harness starts clean: {:?}",
@@ -252,8 +361,8 @@ mod tests {
         let mut ex = Executor::new(cfg);
         // An access beyond page 0 stays in the sandbox (no wrap to page 0).
         let src = "MOV RAX, qword ptr [R14 + 8200]\nEXIT";
-        let flat = parse_program(src).unwrap().flatten();
-        let run = ex.run_case(&flat, &TestInput::zeroed(128));
+        let flat = parse_program(src).unwrap().flatten_shared();
+        let run = ex.run_case_traced(&flat, &TestInput::zeroed(128));
         assert!(run.utrace.l1d.contains(&(0x4000 + 8192)));
     }
 
@@ -264,10 +373,10 @@ mod tests {
             JZ .a
             .a:
             EXIT";
-        let flat = parse_program(src).unwrap().flatten();
+        let flat = parse_program(src).unwrap().flatten_shared();
         let input = TestInput::zeroed(1);
         let mut ex = Executor::new(ExecutorConfig::new(DefenseKind::Baseline));
-        let first = ex.run_case(&flat, &input);
+        let first = ex.run_case_traced(&flat, &input);
         // Re-running under the captured context reproduces the run exactly.
         let replay = ex.run_case_with_ctx(&flat, &input, &first.start_ctx);
         assert_eq!(first.utrace, replay.utrace);

@@ -6,10 +6,10 @@
 //! before the access (`AND reg, mask`), so all accesses hit the predefined
 //! memory sandbox — the instrumentation Revizor applies to x86 test cases.
 
+use amulet_isa::program::BlockId;
 use amulet_isa::{
     AluOp, BasicBlock, Cond, Gpr, Instr, LoopKind, MemRef, Operand, Program, UnOp, Width,
 };
-use amulet_isa::program::BlockId;
 use amulet_util::Xoshiro256;
 
 /// Configuration for the program generator.
@@ -176,7 +176,7 @@ impl Generator {
                             op: self.alu_op(),
                             dst: Operand::Reg(self.reg(), width),
                             src: Operand::Mem(m),
-                        lock: false,
+                            lock: false,
                         });
                     }
                 }
@@ -204,7 +204,10 @@ impl Generator {
                     if self.rng.chance(1, 3) {
                         out.push(Instr::Set {
                             cond: self.cond(),
-                            dst: Operand::Mem(MemRef { width: Width::B, ..m }),
+                            dst: Operand::Mem(MemRef {
+                                width: Width::B,
+                                ..m
+                            }),
                         });
                     } else {
                         out.push(Instr::Mov {
@@ -261,10 +264,10 @@ impl Generator {
         let exit_block = n_blocks; // index of the final exit block
         let mut blocks = Vec::with_capacity(n_blocks + 1);
         for b in 0..n_blocks {
-            let len = self
-                .rng
-                .range(self.cfg.min_block_len as u64, self.cfg.max_block_len as u64 + 1)
-                as usize;
+            let len = self.rng.range(
+                self.cfg.min_block_len as u64,
+                self.cfg.max_block_len as u64 + 1,
+            ) as usize;
             let mut instrs = Vec::with_capacity(len + 4);
             for _ in 0..len {
                 self.gen_instr(&mut instrs);
@@ -288,8 +291,7 @@ impl Generator {
                 }
                 // Occasionally skip ahead unconditionally after the branch.
                 if self.rng.chance(1, 4) {
-                    let t2 =
-                        BlockId(self.rng.range(b as u64 + 1, exit_block as u64 + 1) as usize);
+                    let t2 = BlockId(self.rng.range(b as u64 + 1, exit_block as u64 + 1) as usize);
                     instrs.push(Instr::Jmp { target: t2 });
                 }
             } else {

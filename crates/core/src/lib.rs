@@ -50,7 +50,7 @@ pub use analyze::{classify, ViolationClass, ViolationFilter};
 pub use campaign::{Campaign, CampaignConfig, CampaignReport};
 pub use cost::{CostModel, TimeBreakdown};
 pub use detect::{Detector, Violation};
-pub use executor::{ExecMode, Executor, ExecutorConfig};
+pub use executor::{CaseDigest, CaseRun, ExecMode, Executor, ExecutorConfig};
 pub use generator::{Generator, GeneratorConfig};
 pub use inputs::{boosted_inputs, InputGenConfig};
 pub use minimize::{minimize, Minimized};

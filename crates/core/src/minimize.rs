@@ -32,11 +32,7 @@ pub struct Minimized {
 ///
 /// The `executor` must be configured identically to the one that found the
 /// violation (same defense, trace format, and simulator config).
-pub fn minimize(
-    violation: &Violation,
-    detector: &Detector,
-    executor: &mut Executor,
-) -> Minimized {
+pub fn minimize(violation: &Violation, detector: &Detector, executor: &mut Executor) -> Minimized {
     let mut program = violation.program.clone();
     let mut removed = 0usize;
     let mut attempts = 0usize;
@@ -46,7 +42,7 @@ pub fn minimize(
         if p.validate().is_err() {
             return false;
         }
-        let flat = p.flatten();
+        let flat = p.flatten_shared();
         let model = detector.model();
         if model.ctrace(&flat, &violation.input_a) != model.ctrace(&flat, &violation.input_b) {
             return false;
@@ -113,7 +109,7 @@ mod tests {
             "JMP .exit\n         .exit:\n         ADD R12, 5\n         SUB R13, 3",
         );
         let program = parse_program(&src).unwrap();
-        let flat = program.flatten();
+        let flat = program.flatten_shared();
         let mut executor = Executor::new(ExecutorConfig::new(DefenseKind::Baseline));
         for _ in 0..12 {
             executor.run_case(&flat, &gadgets::train_input(1));
@@ -135,7 +131,7 @@ mod tests {
         );
         assert_eq!(result.program.len(), before - result.removed);
         // The reduced program is still a confirmed violation.
-        let flat = result.program.flatten();
+        let flat = result.program.flatten_shared();
         let model = detector.model();
         assert_eq!(
             model.ctrace(&flat, &v.input_a),
@@ -157,7 +153,7 @@ mod tests {
         let program = parse_program(&src).unwrap();
         let input = gadgets::victim_input(1);
         let mut executor = Executor::new(ExecutorConfig::new(DefenseKind::Baseline));
-        let run = executor.run_case(&program.flatten(), &input);
+        let run = executor.run_case_traced(&program.flatten_shared(), &input);
         let fake = Violation {
             program: program.clone(),
             input_a: input.clone(),

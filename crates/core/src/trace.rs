@@ -140,10 +140,30 @@ impl UTrace {
     }
 }
 
+/// Symmetric difference of two *sorted* slices by linear merge (snapshot
+/// vectors are sorted by construction). Elements appearing the same number
+/// of times on both sides cancel; surplus occurrences are reported.
 fn sym_diff(a: &[u64], b: &[u64]) -> Vec<u64> {
-    let mut out: Vec<u64> = a.iter().filter(|x| !b.contains(x)).copied().collect();
-    out.extend(b.iter().filter(|x| !a.contains(x)));
-    out.sort_unstable();
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
     out
 }
 
@@ -228,6 +248,25 @@ mod tests {
         );
         assert_ne!(with.0, with.1);
         assert_eq!(with.0.l1i_diff(&with.1), vec![0x40_1040]);
+    }
+
+    #[test]
+    fn sym_diff_merge_handles_overlap_and_duplicates() {
+        // Disjoint.
+        assert_eq!(sym_diff(&[1, 3], &[2, 4]), vec![1, 2, 3, 4]);
+        // Overlapping elements cancel.
+        assert_eq!(sym_diff(&[1, 2, 3], &[2, 3, 4]), vec![1, 4]);
+        // Identical inputs cancel entirely.
+        assert_eq!(sym_diff(&[5, 6, 7], &[5, 6, 7]), Vec::<u64>::new());
+        // Empty sides.
+        assert_eq!(sym_diff(&[], &[9]), vec![9]);
+        assert_eq!(sym_diff(&[9], &[]), vec![9]);
+        assert_eq!(sym_diff(&[], &[]), Vec::<u64>::new());
+        // Duplicates: equal multiplicities cancel, surplus survives.
+        assert_eq!(sym_diff(&[2, 2, 3], &[2, 3, 3]), vec![2, 3]);
+        assert_eq!(sym_diff(&[1, 1, 1], &[1]), vec![1, 1]);
+        // Output stays sorted for mixed shapes.
+        assert_eq!(sym_diff(&[1, 4, 9], &[2, 4, 10, 11]), vec![1, 2, 9, 10, 11]);
     }
 
     #[test]

@@ -88,7 +88,7 @@ impl Defense for CleanupSpec {
             FillMode::Fill
         } else {
             FillMode::FillUndo {
-                record: !self.store_cleanup_bug && !(ctx.split && self.split_cleanup_bug),
+                record: !(self.store_cleanup_bug || (ctx.split && self.split_cleanup_bug)),
             }
         };
         StorePlan {

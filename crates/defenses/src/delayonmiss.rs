@@ -21,8 +21,8 @@ use amulet_sim::{Defense, FillMode, LoadCtx, LoadPlan, StoreCtx, StorePlan};
 /// [`FillMode::Park`]-style gating *plus* an issue delay: we approximate the
 /// design by delaying every speculative load until it is safe unless the
 /// line is already resident. The probe is communicated through `LoadCtx` by
-/// the pipeline's retry loop: a delayed load re-asks every cycle and
-/// proceeds the cycle it becomes safe.
+/// the pipeline's retry loop: a delayed load is re-asked whenever pipeline
+/// state changes and proceeds the cycle it becomes safe.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DelayOnMiss {
     /// Also delay speculative L1 *hits* (the fully conservative "delay

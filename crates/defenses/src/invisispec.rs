@@ -135,9 +135,9 @@ mod tests {
     #[test]
     fn squashed_loads_are_never_exposed() {
         let (sim, _) = run_victim(InvisiSpec::patched(), false);
-        let exposes_of_squashed = sim.log().any(|e| {
-            matches!(e, DebugEvent::Expose { addr, .. } if *addr == 0x4740)
-        });
+        let exposes_of_squashed = sim
+            .log()
+            .any(|e| matches!(e, DebugEvent::Expose { addr, .. } if *addr == 0x4740));
         assert!(!exposes_of_squashed, "squashed wrong-path load exposed");
     }
 
@@ -148,8 +148,7 @@ mod tests {
         let run = |secret: u64| {
             let src = gadgets::spectre_v1(payload::SINGLE_LOAD);
             let flat = parse_program(&src).unwrap().flatten();
-            let mut sim =
-                Simulator::new(SimConfig::default(), Box::new(InvisiSpec::patched()));
+            let mut sim = Simulator::new(SimConfig::default(), Box::new(InvisiSpec::patched()));
             let mut victim = gadgets::victim_input(1);
             victim.regs[1] = secret;
             gadgets::train_then_run(&mut sim, &flat, &victim, true);

@@ -119,7 +119,11 @@ mod tests {
         let src = gadgets::spectre_v1(payload::LOAD_THEN_STORE);
         let flat = parse_program(&src).unwrap().flatten();
         let run = |bug: bool, secret: u64| {
-            let defense = if bug { Stt::published() } else { Stt::patched() };
+            let defense = if bug {
+                Stt::published()
+            } else {
+                Stt::patched()
+            };
             let mut sim = sim_with(defense, 128);
             let mut victim = gadgets::victim_input(128);
             // 96 = 0b1100000: even parity after the AND, so CMOVP moves.

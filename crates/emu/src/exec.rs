@@ -142,7 +142,11 @@ impl<'p> Emulator<'p> {
     ///
     /// Returns [`StepError::StepLimit`] if the budget is exhausted, or any
     /// error from [`Emulator::step`].
-    pub fn run(&mut self, obs: &mut impl Observer, max_steps: usize) -> Result<RunSummary, StepError> {
+    pub fn run(
+        &mut self,
+        obs: &mut impl Observer,
+        max_steps: usize,
+    ) -> Result<RunSummary, StepError> {
         for steps in 0..max_steps {
             if let StepEvent::Exit = self.step(obs)? {
                 return Ok(RunSummary { steps });
@@ -184,11 +188,12 @@ impl<'p> Emulator<'p> {
                 Ok(StepEvent::Executed)
             }
             Instr::Alu { op, dst, src, .. } => {
-                let width = dst.width().or_else(|| src.width()).ok_or(malformed.clone())?;
+                let width = dst
+                    .width()
+                    .or_else(|| src.width())
+                    .ok_or(malformed.clone())?;
                 let (dst_v, dst_t, dst_mem) = match dst {
-                    Operand::Reg(r, w) => {
-                        (self.machine.read_reg(r, w), self.reg_taint(r), None)
-                    }
+                    Operand::Reg(r, w) => (self.machine.read_reg(r, w), self.reg_taint(r), None),
                     Operand::Mem(m) => {
                         let (v, t) = self.load(&m, obs);
                         (v, t, Some(m))
@@ -420,9 +425,8 @@ impl<'p> Emulator<'p> {
         let value = self.machine.read_mem(addr, m.width);
         obs.on_mem(MemKind::Load, wrapped, m.width, value);
         let mut value_taint = TaintSet::default();
-        if self.taint.is_some() {
-            let at = self.addr_taint(m);
-            let engine = self.taint.as_mut().unwrap();
+        let at = self.taint.is_some().then(|| self.addr_taint(m));
+        if let (Some(at), Some(engine)) = (at, self.taint.as_mut()) {
             engine.mark_relevant(&at);
             let off = wrapped.wrapping_sub(self.machine.sandbox.base());
             value_taint = engine.mem_taint_range(off, m.width.bytes());
@@ -437,9 +441,8 @@ impl<'p> Emulator<'p> {
         let (addr, wrapped) = self.addr_of(m);
         self.machine.write_mem(addr, m.width, value);
         obs.on_mem(MemKind::Store, wrapped, m.width, value);
-        if self.taint.is_some() {
-            let at = self.addr_taint(m);
-            let engine = self.taint.as_mut().unwrap();
+        let at = self.taint.is_some().then(|| self.addr_taint(m));
+        if let (Some(at), Some(engine)) = (at, self.taint.as_mut()) {
             engine.mark_relevant(&at);
             if engine.config().observe_store_values {
                 engine.mark_relevant(&data_taint);
@@ -467,7 +470,10 @@ mod tests {
 
     #[test]
     fn arithmetic_and_moves() {
-        let (m, _) = run_src("MOV RAX, 10\nMOV RBX, 3\nSUB RAX, RBX\nEXIT", &TestInput::zeroed(1));
+        let (m, _) = run_src(
+            "MOV RAX, 10\nMOV RBX, 3\nSUB RAX, RBX\nEXIT",
+            &TestInput::zeroed(1),
+        );
         assert_eq!(m.regs[0], 7);
     }
 

@@ -27,7 +27,10 @@ impl Sandbox {
     ///
     /// Panics if `size` is zero or not a power of two.
     pub fn new(base: u64, size: usize) -> Self {
-        assert!(size.is_power_of_two(), "sandbox size must be a power of two");
+        assert!(
+            size.is_power_of_two(),
+            "sandbox size must be a power of two"
+        );
         Sandbox {
             base,
             data: vec![0; size],
@@ -98,6 +101,16 @@ impl Sandbox {
         }
     }
 
+    /// Reloads the sandbox in place from `contents`, zero-filling the tail
+    /// when `contents` is shorter than the region and truncating when it is
+    /// longer. Unlike [`Sandbox::from_bytes`] this never reallocates, so the
+    /// fuzzing hot path can reuse one sandbox image across test cases.
+    pub fn load(&mut self, contents: &[u8]) {
+        let n = contents.len().min(self.data.len());
+        self.data[..n].copy_from_slice(&contents[..n]);
+        self.data[n..].fill(0);
+    }
+
     /// Replaces the whole contents (length must match).
     ///
     /// # Panics
@@ -153,6 +166,20 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two() {
         Sandbox::new(0, 1000);
+    }
+
+    #[test]
+    fn load_zero_fills_tail_and_truncates() {
+        let mut s = Sandbox::new(0, 16);
+        s.overwrite(&[0xFF; 16]);
+        s.load(&[1, 2, 3]);
+        assert_eq!(s.read_u8(0), 1);
+        assert_eq!(s.read_u8(2), 3);
+        assert_eq!(s.read_u8(3), 0, "tail zero-filled");
+        assert_eq!(s.read_u8(15), 0);
+        s.load(&[9; 32]);
+        assert_eq!(s.size(), 16, "longer input truncates");
+        assert_eq!(s.read_u8(15), 9);
     }
 
     #[test]

@@ -20,8 +20,7 @@ pub type TaintSet = BitSet;
 
 /// What the observation clause exposes — controls which flows are marked
 /// relevant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TaintConfig {
     /// Loaded values are observed (ARCH-SEQ).
     pub observe_values: bool,
@@ -29,7 +28,6 @@ pub struct TaintConfig {
     /// available for extensions).
     pub observe_store_values: bool,
 }
-
 
 /// The taint state mirroring a [`crate::Machine`]'s architectural state.
 #[derive(Debug, Clone)]
@@ -136,7 +134,8 @@ impl TaintEngine {
         let first = self.word_of(off);
         let last = self.word_of(off + len - 1);
         let full_word = len == 8 && off.is_multiple_of(8);
-        for w in if first == last { vec![first] } else { vec![first, last] } {
+        let words = [first, last];
+        for &w in &words[..1 + (first != last) as usize] {
             if full_word {
                 self.mem.insert(w, taint.clone());
             } else {

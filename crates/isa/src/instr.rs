@@ -392,7 +392,11 @@ pub enum Instr {
     /// One-operand ALU op.
     Un { op: UnOp, dst: Operand, lock: bool },
     /// `CMOVcc dst, src`: conditional register load/move (always reads `src`).
-    Cmov { cond: Cond, dst: Operand, src: Operand },
+    Cmov {
+        cond: Cond,
+        dst: Operand,
+        src: Operand,
+    },
     /// `SETcc dst`: writes 0/1 byte.
     Set { cond: Cond, dst: Operand },
     /// Conditional branch to a block.
@@ -437,12 +441,19 @@ impl MemEffect {
     }
 }
 
+/// An inline, allocation-free register list. No µx86 instruction reads more
+/// than five registers (two memory-operand address registers per side plus a
+/// destination), so [`Instr::effects`] — called once per *fetched*
+/// instruction in the simulator's dispatch hot loop — never touches the
+/// heap. Dereferences to a `[Gpr]` slice.
+pub type RegList = amulet_util::ArrayVec<Gpr, 5>;
+
 /// Static data-flow summary of an instruction, used by the simulator's
 /// renamer and the emulator's taint engine.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Effects {
     /// Registers read (including address registers of memory operands).
-    pub reads: Vec<Gpr>,
+    pub reads: RegList,
     /// Register written, if any, with the write width.
     pub writes: Option<(Gpr, Width)>,
     /// Whether the instruction reads FLAGS.

@@ -231,7 +231,10 @@ fn parse_non_branch(mnemonic: &str, lock: bool, ops: &[String]) -> Result<Instr,
         if ops.len() == n {
             Ok(())
         } else {
-            Err(format!("{mnemonic} expects {n} operand(s), got {}", ops.len()))
+            Err(format!(
+                "{mnemonic} expects {n} operand(s), got {}",
+                ops.len()
+            ))
         }
     };
     let alu = |op: AluOp| -> Result<Instr, String> {
@@ -332,7 +335,9 @@ fn parse_mem(t: &str) -> Result<MemRef, String> {
     let width = Width::from_ptr_keyword(t[..ptr_pos].trim())
         .ok_or_else(|| format!("bad width keyword in `{t}`"))?;
     let open = t.find('[').ok_or_else(|| format!("missing `[` in `{t}`"))?;
-    let close = t.rfind(']').ok_or_else(|| format!("missing `]` in `{t}`"))?;
+    let close = t
+        .rfind(']')
+        .ok_or_else(|| format!("missing `]` in `{t}`"))?;
     let inner = &t[open + 1..close];
 
     let mut base: Option<Gpr> = None;
@@ -429,7 +434,10 @@ mod tests {
         assert_eq!(p.blocks[1].instrs.len(), 6);
         assert!(matches!(
             p.blocks[1].instrs[2],
-            Instr::Cmov { cond: Cond::Nbe, .. }
+            Instr::Cmov {
+                cond: Cond::Nbe,
+                ..
+            }
         ));
         assert!(matches!(
             p.blocks[0].instrs[1],
@@ -509,7 +517,11 @@ mod tests {
     #[test]
     fn parses_negative_displacement_and_hex() {
         let p = parse_program("MOV RAX, qword ptr [R14 + RBX - 0x10]\nEXIT").unwrap();
-        let Instr::Mov { src: Operand::Mem(m), .. } = p.blocks[0].instrs[0] else {
+        let Instr::Mov {
+            src: Operand::Mem(m),
+            ..
+        } = p.blocks[0].instrs[0]
+        else {
             panic!("expected load");
         };
         assert_eq!(m.disp, -16);

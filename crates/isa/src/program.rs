@@ -132,6 +132,13 @@ impl Program {
         Ok(())
     }
 
+    /// Flattens into a [`SharedProgram`]. The executor and detector load
+    /// programs by reference-counted handle so a scan over N inputs shares
+    /// one flattened copy instead of cloning it per test case.
+    pub fn flatten_shared(&self) -> SharedProgram {
+        std::sync::Arc::new(self.flatten())
+    }
+
     /// Flattens blocks into a single instruction array with branch targets
     /// resolved to flat indices. Execution (emulator and simulator) works on
     /// this form.
@@ -174,6 +181,11 @@ impl fmt::Display for Program {
         Ok(())
     }
 }
+
+/// A reference-counted flattened program, shared between the executor, the
+/// detector, and the simulator so the per-test-case hot path never clones
+/// instruction storage.
+pub type SharedProgram = std::sync::Arc<FlatProgram>;
 
 /// The executable, flattened form of a [`Program`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -267,7 +279,10 @@ mod tests {
         let p = prog(vec![vec![jcc(7)], vec![Instr::Exit]]);
         assert_eq!(
             p.validate(),
-            Err(ValidateProgramError::DanglingTarget { block: 0, target: 7 })
+            Err(ValidateProgramError::DanglingTarget {
+                block: 0,
+                target: 7
+            })
         );
     }
 

@@ -7,9 +7,12 @@ use std::fmt;
 /// By convention (inherited from the paper's figures and Revizor), `R14`
 /// holds the sandbox base address of generated test programs and is never
 /// written by generated code.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+// `Default` (RAX) exists only as the filler value for inline register
+// buffers ([`crate::instr::RegList`]); it carries no ISA meaning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum Gpr {
+    #[default]
     Rax = 0,
     Rbx = 1,
     Rcx = 2,
@@ -361,7 +364,10 @@ mod tests {
     fn write_merge_semantics_match_x86() {
         let old = 0x1122_3344_5566_7788u64;
         assert_eq!(Width::Q.merge_into(old, 0xAA), 0xAA);
-        assert_eq!(Width::D.merge_into(old, 0xDEAD_BEEF_CAFE_F00Du64), 0xCAFE_F00D);
+        assert_eq!(
+            Width::D.merge_into(old, 0xDEAD_BEEF_CAFE_F00Du64),
+            0xCAFE_F00D
+        );
         assert_eq!(Width::W.merge_into(old, 0xABCD), 0x1122_3344_5566_ABCD);
         assert_eq!(Width::B.merge_into(old, 0xEF), 0x1122_3344_5566_77EF);
     }

@@ -37,7 +37,10 @@ impl Gshare {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize, ghr_bits: u32) -> Self {
-        assert!(entries.is_power_of_two(), "PHT entries must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "PHT entries must be a power of two"
+        );
         Gshare {
             table: vec![1; entries],
             ghr: 0,
@@ -84,6 +87,16 @@ impl Gshare {
     /// The raw counter table + history — the "BP state" µarch trace.
     pub fn state(&self) -> (Vec<u8>, u64) {
         (self.table.clone(), self.ghr)
+    }
+
+    /// Borrowed view of the counter table (no clone — digest hot path).
+    pub fn table(&self) -> &[u8] {
+        &self.table
+    }
+
+    /// The current global history register.
+    pub fn ghr(&self) -> u64 {
+        self.ghr
     }
 
     /// Restores a previously captured state.

@@ -154,7 +154,8 @@ impl Cache {
     /// eviction). No-op if the set is full or the line is already present.
     pub fn restore(&mut self, line: Line) -> bool {
         let set = self.cfg.set_of(line.addr);
-        if self.sets[set].len() >= self.cfg.ways || self.sets[set].iter().any(|l| l.addr == line.addr)
+        if self.sets[set].len() >= self.cfg.ways
+            || self.sets[set].iter().any(|l| l.addr == line.addr)
         {
             return false;
         }
@@ -177,6 +178,22 @@ impl Cache {
             .is_some_and(|l| l.nonspec_touch)
     }
 
+    /// Restores this cache's contents (lines and LRU clock) from another
+    /// cache of identical geometry, reusing this cache's set allocations —
+    /// the per-test-case prefill fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set counts differ.
+    pub fn restore_from(&mut self, other: &Cache) {
+        assert_eq!(self.sets.len(), other.sets.len(), "cache geometry mismatch");
+        for (dst, src) in self.sets.iter_mut().zip(&other.sets) {
+            dst.clear();
+            dst.extend_from_slice(src);
+        }
+        self.stamp = other.stamp;
+    }
+
     /// Invalidates everything.
     pub fn flush(&mut self) {
         for set in &mut self.sets {
@@ -186,9 +203,17 @@ impl Cache {
 
     /// Sorted list of resident line addresses — the µarch-trace snapshot.
     pub fn snapshot(&self) -> Vec<u64> {
-        let mut v: Vec<u64> = self.sets.iter().flatten().map(|l| l.addr).collect();
+        let mut v: Vec<u64> = self.iter_lines().collect();
         v.sort_unstable();
         v
+    }
+
+    /// Iterates resident line addresses in arbitrary order without
+    /// allocating — the digest hot path. Line addresses are unique, so an
+    /// order-independent digest over this iterator equals one over
+    /// [`Cache::snapshot`].
+    pub fn iter_lines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.sets.iter().flatten().map(|l| l.addr)
     }
 
     /// Number of resident lines.

@@ -4,8 +4,39 @@
 //! root-cause violations and to build regex "signatures" that filter
 //! duplicates. Our simulator emits typed events instead, and the analysis
 //! layer matches on them directly.
+//!
+//! # Logging modes and the fuzzing hot path
+//!
+//! Event logs only matter for the <0.1% of test cases that become violation
+//! candidates: the detector's first pass compares trace digests and never
+//! reads events, and only the validation re-runs feed
+//! [`Violation::log_a`](../../amulet_core/detect/struct.Violation.html)
+//! root-cause analysis. Paying for event construction and `Vec` pushes on
+//! every case would dominate the per-case budget, so the log carries a
+//! [`LogMode`]:
+//!
+//! - [`LogMode::Off`] — [`DebugLog::push`] is a branch-predictable no-op
+//!   (one always-taken compare, no event stored, no allocation). The
+//!   executor's hot path ([`Executor::run_case`]) runs in this mode.
+//! - [`LogMode::Record`] — events are appended up to the cap, exactly as
+//!   before. Validation re-runs ([`Executor::run_case_with_ctx`]) and direct
+//!   simulator users run in this mode, so confirmed violations carry the
+//!   same logs they always did.
+//!
+//! Logging never influences simulation state, so a run is bit-identical in
+//! either mode (asserted by the determinism regression tests).
 
 use std::fmt;
+
+/// Whether the log records events or drops them at the door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogMode {
+    /// Drop every event without constructing storage — the fuzzing hot path.
+    Off,
+    /// Append events up to the cap — validation re-runs and debugging.
+    #[default]
+    Record,
+}
 
 /// Why a squash happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -180,27 +211,46 @@ impl fmt::Display for DebugEvent {
     }
 }
 
-/// An append-only, size-capped event log.
+/// An append-only, size-capped event log with an [`Off`](LogMode::Off) mode
+/// for the fuzzing hot path.
 #[derive(Debug, Clone, Default)]
 pub struct DebugLog {
     events: Vec<DebugEvent>,
     cap: usize,
     dropped: usize,
+    mode: LogMode,
 }
 
 impl DebugLog {
     /// Creates a log capped at `cap` events (further events are counted but
-    /// dropped).
+    /// dropped), in [`LogMode::Record`].
     pub fn new(cap: usize) -> Self {
         DebugLog {
             events: Vec::new(),
             cap,
             dropped: 0,
+            mode: LogMode::Record,
         }
     }
 
-    /// Appends an event (dropping it if the cap is reached).
+    /// Switches logging on or off. Turning logging off does not clear
+    /// already-recorded events.
+    pub fn set_mode(&mut self, mode: LogMode) {
+        self.mode = mode;
+    }
+
+    /// The current mode.
+    pub fn mode(&self) -> LogMode {
+        self.mode
+    }
+
+    /// Appends an event (dropping it if the cap is reached). In
+    /// [`LogMode::Off`] this is a branch-predictable no-op.
+    #[inline]
     pub fn push(&mut self, e: DebugEvent) {
+        if self.mode == LogMode::Off {
+            return;
+        }
         if self.events.len() < self.cap {
             self.events.push(e);
         } else {
@@ -266,6 +316,22 @@ mod tests {
         assert_eq!(log.dropped(), 3);
         log.clear();
         assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn off_mode_is_a_noop() {
+        let mut log = DebugLog::new(10);
+        assert_eq!(log.mode(), LogMode::Record);
+        log.set_mode(LogMode::Off);
+        assert_eq!(log.mode(), LogMode::Off);
+        for c in 0..20 {
+            log.push(DebugEvent::Exit { cycle: c });
+        }
+        assert!(log.events().is_empty());
+        assert_eq!(log.dropped(), 0, "Off drops silently, not via the cap");
+        log.set_mode(LogMode::Record);
+        log.push(DebugEvent::Exit { cycle: 1 });
+        assert_eq!(log.events().len(), 1);
     }
 
     #[test]

@@ -66,7 +66,12 @@ pub struct StoreCtx {
 /// What a defense decides for an issuing load.
 #[derive(Debug, Clone, Copy)]
 pub struct LoadPlan {
-    /// Delay the load (retry next cycle) — STT's tainted-transmitter block.
+    /// Delay the load — STT's tainted-transmitter block. A delayed load is
+    /// re-asked whenever pipeline or memory state changes; the event-gated
+    /// cycle loop does *not* re-invoke plans on idle memory-wait cycles, so
+    /// a plan must derive its delay decision from the [`LoadCtx`] and from
+    /// defense state updated through the other hooks — never from counting
+    /// invocations or comparing wall cycles.
     pub delay: bool,
     /// How the cache access behaves.
     pub fill: FillMode,

@@ -38,8 +38,8 @@ pub mod tlb;
 pub use bpred::{Gshare, MemDepPredictor, UarchContext};
 pub use cache::Cache;
 pub use config::{CacheConfig, SimConfig};
-pub use debuglog::{DebugEvent, DebugLog, SquashReason};
+pub use debuglog::{DebugEvent, DebugLog, LogMode, SquashReason};
 pub use defense::{Defense, InsecureBaseline, LoadCtx, LoadPlan, SquashPlan, StoreCtx, StorePlan};
 pub use memsys::{AccessOutcome, FillMode, MemSys};
-pub use pipeline::{SimResult, Simulator, UarchSnapshot};
+pub use pipeline::{DigestKind, SimResult, Simulator, UarchSnapshot};
 pub use tlb::Tlb;

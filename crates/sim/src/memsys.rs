@@ -160,6 +160,7 @@ impl MemSys {
     ///
     /// `now` is the issue cycle; `seq` identifies the instruction for the
     /// debug log and undo metadata.
+    #[allow(clippy::too_many_arguments)]
     pub fn request(
         &mut self,
         seq: usize,
@@ -349,11 +350,12 @@ impl MemSys {
         }
     }
 
-    /// Applies all fills due at or before `now`.
-    pub fn tick(&mut self, now: u64, log: &mut DebugLog) {
+    /// Applies all fills due at or before `now`. Returns `true` if any fill
+    /// was applied (cache state changed).
+    pub fn tick(&mut self, now: u64, log: &mut DebugLog) -> bool {
         self.outstanding.retain(|&(_, c)| c > now);
         if self.pending.iter().all(|p| p.apply_at > now) {
-            return;
+            return false;
         }
         let mut due: Vec<PendingFill> = Vec::new();
         self.pending.retain(|p| {
@@ -365,9 +367,11 @@ impl MemSys {
             }
         });
         due.sort_by_key(|p| (p.apply_at, p.seq));
+        let applied = !due.is_empty();
         for p in due {
             self.apply_fill(p, log);
         }
+        applied
     }
 
     /// Drains the memory system at test end (EXIT commit): fills whose
@@ -530,8 +534,10 @@ mod tests {
     use super::*;
 
     fn memsys(mshrs: usize) -> (MemSys, DebugLog) {
-        let mut cfg = SimConfig::default();
-        cfg.mshrs = mshrs;
+        let cfg = SimConfig {
+            mshrs,
+            ..SimConfig::default()
+        };
         (MemSys::new(&cfg), DebugLog::new(10_000))
     }
 
@@ -545,7 +551,15 @@ mod tests {
         m.tick(out.completion, &mut log);
         assert!(m.l1d.contains(0x4000));
         assert!(m.l2.contains(0x4000), "L2 filled too");
-        let out2 = m.request(1, 0x4000, false, true, out.completion + 1, FillMode::Fill, &mut log);
+        let out2 = m.request(
+            1,
+            0x4000,
+            false,
+            true,
+            out.completion + 1,
+            FillMode::Fill,
+            &mut log,
+        );
         assert!(out2.l1_hit);
     }
 
@@ -585,7 +599,18 @@ mod tests {
     #[test]
     fn nofill_leaves_no_state() {
         let (mut m, mut log) = memsys(4);
-        let out = m.request(0, 0x4000, false, false, 0, FillMode::NoFill { buggy_eviction: false, ghost: false }, &mut log);
+        let out = m.request(
+            0,
+            0x4000,
+            false,
+            false,
+            0,
+            FillMode::NoFill {
+                buggy_eviction: false,
+                ghost: false,
+            },
+            &mut log,
+        );
         m.tick(out.completion + 1, &mut log);
         assert!(!m.l1d.contains(0x4000));
         assert!(!m.l2.contains(0x4000));
@@ -600,7 +625,18 @@ mod tests {
         // Fill set 0 (addresses that map to set 0): lines 0x4000 and 0x8000.
         m.l1d.fill(0x4000, false, true);
         m.l1d.fill(0x8000, false, true);
-        let out = m.request(5, 0xC000, false, false, 0, FillMode::NoFill { buggy_eviction: true, ghost: false }, &mut log);
+        let out = m.request(
+            5,
+            0xC000,
+            false,
+            false,
+            0,
+            FillMode::NoFill {
+                buggy_eviction: true,
+                ghost: false,
+            },
+            &mut log,
+        );
         m.tick(out.completion + 1, &mut log);
         assert!(!m.l1d.contains(0xC000), "invisible load not installed");
         assert_eq!(m.l1d.len(), 1, "but a victim was evicted (UV1)");
@@ -615,23 +651,50 @@ mod tests {
         let mut log = DebugLog::new(1000);
         m.l1d.fill(0x4000, false, true);
         m.l1d.fill(0x8000, false, true);
-        let out = m.request(7, 0xC000, false, false, 0, FillMode::FillUndo { record: true }, &mut log);
+        let out = m.request(
+            7,
+            0xC000,
+            false,
+            false,
+            0,
+            FillMode::FillUndo { record: true },
+            &mut log,
+        );
         m.tick(out.completion, &mut log);
         assert!(m.l1d.contains(0xC000));
         assert!(m.has_record(7));
         let ops = m.undo_for(7, out.completion + 1, false, &mut log);
         assert_eq!(ops, 1);
         assert!(!m.l1d.contains(0xC000), "install undone");
-        assert!(m.l1d.contains(0x4000) && m.l1d.contains(0x8000), "victim restored");
+        assert!(
+            m.l1d.contains(0x4000) && m.l1d.contains(0x8000),
+            "victim restored"
+        );
     }
 
     #[test]
     fn undo_with_no_clean_spares_touched_lines() {
         let (mut m, mut log) = memsys(4);
-        let out = m.request(3, 0x4000, false, false, 0, FillMode::FillUndo { record: true }, &mut log);
+        let out = m.request(
+            3,
+            0x4000,
+            false,
+            false,
+            0,
+            FillMode::FillUndo { record: true },
+            &mut log,
+        );
         m.tick(out.completion, &mut log);
         // A non-speculative access touches the line before the squash.
-        m.request(4, 0x4000, false, true, out.completion + 1, FillMode::Fill, &mut log);
+        m.request(
+            4,
+            0x4000,
+            false,
+            true,
+            out.completion + 1,
+            FillMode::Fill,
+            &mut log,
+        );
         let ops = m.undo_for(3, out.completion + 2, true, &mut log);
         assert_eq!(ops, 0, "noClean mitigation spares the line");
         assert!(m.l1d.contains(0x4000));
@@ -640,7 +703,15 @@ mod tests {
     #[test]
     fn unrecorded_fill_cannot_be_undone() {
         let (mut m, mut log) = memsys(4);
-        let out = m.request(3, 0x4000, false, false, 0, FillMode::FillUndo { record: false }, &mut log);
+        let out = m.request(
+            3,
+            0x4000,
+            false,
+            false,
+            0,
+            FillMode::FillUndo { record: false },
+            &mut log,
+        );
         m.tick(out.completion, &mut log);
         assert!(!m.has_record(3), "UV3/UV4: no metadata recorded");
         assert_eq!(m.undo_for(3, out.completion + 1, false, &mut log), 0);
@@ -699,7 +770,15 @@ mod tests {
         m.l1d.fill(0x4000, true, true); // dirty line in set 0
         let a = m.request(0, 0x8000, false, true, 0, FillMode::Fill, &mut log);
         m.tick(a.completion, &mut log); // fill applies, evicts 0x4000, wb holds MSHR
-        let b = m.request(1, 0xC000, false, true, a.completion, FillMode::Fill, &mut log);
+        let b = m.request(
+            1,
+            0xC000,
+            false,
+            true,
+            a.completion,
+            FillMode::Fill,
+            &mut log,
+        );
         assert!(b.mshr_stalled, "writeback keeps the MSHR busy");
     }
 }

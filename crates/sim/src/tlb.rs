@@ -21,7 +21,10 @@ impl Tlb {
     /// Panics if `capacity` is zero or `page_bytes` is not a power of two.
     pub fn new(capacity: usize, page_bytes: u64) -> Self {
         assert!(capacity > 0, "TLB capacity must be positive");
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         Tlb {
             capacity,
             page_bytes,
@@ -75,9 +78,16 @@ impl Tlb {
 
     /// Sorted resident page numbers — the µarch-trace snapshot.
     pub fn snapshot(&self) -> Vec<u64> {
-        let mut v: Vec<u64> = self.entries.iter().map(|(p, _)| *p).collect();
+        let mut v: Vec<u64> = self.iter_pages().collect();
         v.sort_unstable();
         v
+    }
+
+    /// Iterates resident page numbers in arbitrary order without allocating
+    /// — the digest hot path. Pages are unique, so an order-independent
+    /// digest over this iterator equals one over [`Tlb::snapshot`].
+    pub fn iter_pages(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.iter().map(|(p, _)| *p)
     }
 
     /// Number of resident entries.

@@ -223,7 +223,10 @@ fn cache_and_tlb_footprint_recorded() {
     assert!(snap.l1d.contains(&0x4000), "accessed line cached");
     assert!(snap.dtlb.contains(&4), "page 4 (0x4000) in TLB");
     assert!(!snap.l1i.is_empty(), "code lines fetched");
-    assert!(snap.mem_order.iter().any(|&(pc, addr, st)| pc == 0 && addr == 0x4000 && !st));
+    assert!(snap
+        .mem_order
+        .iter()
+        .any(|&(pc, addr, st)| pc == 0 && addr == 0x4000 && !st));
 }
 
 /// Spectre-v1 on the insecure baseline: after training the branch taken, a
@@ -273,9 +276,13 @@ fn spectre_v1_leaks_on_baseline() {
         "wrong-path load leaked its address into L1D: {:x?}",
         snap.l1d
     );
-    assert!(sim
-        .log()
-        .any(|e| matches!(e, DebugEvent::Squash { reason: SquashReason::BranchMispredict, .. })));
+    assert!(sim.log().any(|e| matches!(
+        e,
+        DebugEvent::Squash {
+            reason: SquashReason::BranchMispredict,
+            ..
+        }
+    )));
 }
 
 /// Spectre-v4 on the insecure baseline: a load bypasses an older store with
@@ -305,8 +312,13 @@ fn spectre_v4_leaks_on_baseline() {
     sim.load_test(&flat, &input);
     let res = sim.run();
     assert!(
-        sim.log()
-            .any(|e| matches!(e, DebugEvent::Squash { reason: SquashReason::MemOrderViolation, .. })),
+        sim.log().any(|e| matches!(
+            e,
+            DebugEvent::Squash {
+                reason: SquashReason::MemOrderViolation,
+                ..
+            }
+        )),
         "store-bypass violation must squash (squashes={})",
         res.squashes
     );
@@ -350,7 +362,11 @@ fn prefill_fills_every_set() {
     sim.run();
     let after = sim.snapshot();
     assert!(after.l1d.contains(&0x4000));
-    assert_eq!(after.l1d.len(), cfg.l1d.sets * cfg.l1d.ways, "set still full");
+    assert_eq!(
+        after.l1d.len(),
+        cfg.l1d.sets * cfg.l1d.ways,
+        "set still full"
+    );
 }
 
 #[test]

@@ -1,0 +1,122 @@
+//! A fixed-capacity, allocation-free inline vector for hot-path storage.
+//!
+//! The fuzzing hot loop dispatches one instruction per fetch — including
+//! wrong paths — so the per-instruction bookkeeping lists (read registers,
+//! ROB source operands, address-register scratch) must never touch the
+//! heap. `ArrayVec` is the one shared implementation behind those lists;
+//! the capacity proofs live at the type aliases that instantiate it.
+
+/// A vector of at most `N` `Copy` elements stored inline.
+///
+/// Pushing past the capacity panics (index out of bounds) — callers size
+/// `N` from a static bound and treat overflow as a logic error. Capacities
+/// above 255 are not supported (the length is a `u8`).
+#[derive(Debug, Clone, Copy)]
+pub struct ArrayVec<T: Copy + Default, const N: usize> {
+    items: [T; N],
+    len: u8,
+}
+
+// Equality compares the logical prefix only, never the filler slots past
+// `len` — a derive would make equality depend on stale backing storage.
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for ArrayVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for ArrayVec<T, N> {}
+
+impl<T: Copy + Default, const N: usize> Default for ArrayVec<T, N> {
+    fn default() -> Self {
+        ArrayVec {
+            items: [T::default(); N],
+            len: 0,
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> ArrayVec<T, N> {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        const { assert!(N <= 255, "ArrayVec length is a u8") };
+        Self::default()
+    }
+
+    /// Appends an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is full.
+    #[inline]
+    pub fn push(&mut self, v: T) {
+        self.items[self.len as usize] = v;
+        self.len += 1;
+    }
+
+    /// Appends every element of `it`.
+    pub fn extend(&mut self, it: impl IntoIterator<Item = T>) {
+        for v in it {
+            self.push(v);
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::Deref for ArrayVec<T, N> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a ArrayVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self[..].iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_deref_iter() {
+        let mut v: ArrayVec<u64, 4> = ArrayVec::new();
+        assert!(v.is_empty());
+        v.push(7);
+        v.extend([8, 9]);
+        assert_eq!(&v[..], &[7, 8, 9]);
+        assert_eq!(v.len(), 3);
+        assert!(v.contains(&8));
+        assert_eq!(v.iter().copied().sum::<u64>(), 24);
+        let total: u64 = (&v).into_iter().copied().sum();
+        assert_eq!(total, 24);
+    }
+
+    #[test]
+    fn equality_ignores_filler_slots() {
+        let mut a: ArrayVec<u8, 4> = ArrayVec::new();
+        a.extend([1, 2, 3]);
+        // b's backing storage differs past `len` if it ever held values —
+        // with only push/extend that cannot happen yet, but equality must
+        // not depend on it either way.
+        let mut b: ArrayVec<u8, 4> = ArrayVec::new();
+        b.extend([1, 2, 3]);
+        assert_eq!(a, b);
+        let mut c: ArrayVec<u8, 4> = ArrayVec::new();
+        c.extend([1, 2]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overflow_panics() {
+        let mut v: ArrayVec<u8, 2> = ArrayVec::new();
+        v.extend([1, 2, 3]);
+    }
+}

@@ -1,5 +1,6 @@
 //! Small dependency-free utilities shared across the AMuLeT workspace:
-//! a deterministic PRNG, a compact bit set, and streaming statistics.
+//! a deterministic PRNG, a compact bit set, streaming statistics, and an
+//! allocation-free inline vector.
 //!
 //! Everything in this crate is deterministic on purpose: the whole point of
 //! model-based relational testing is reproducibility, so AMuLeT never touches
@@ -16,10 +17,12 @@
 //! assert_eq!(a, rng2.next_u64());
 //! ```
 
+pub mod arrayvec;
 pub mod bitset;
 pub mod rng;
 pub mod stats;
 
+pub use arrayvec::ArrayVec;
 pub use bitset::BitSet;
 pub use rng::{SplitMix64, Xoshiro256};
 pub use stats::{fmt_duration_s, Summary};

@@ -91,7 +91,10 @@ impl fmt::Display for Summary {
             write!(
                 f,
                 "n={} mean={:.3} min={:.3} max={:.3}",
-                self.count, self.mean(), self.min, self.max
+                self.count,
+                self.mean(),
+                self.min,
+                self.max
             )
         }
     }

@@ -15,12 +15,18 @@ use amulet::util::fmt_duration_s;
 fn main() {
     let configs = [
         ("8-way L1D, 256 MSHRs", SimConfig::default()),
-        ("2-way L1D, 256 MSHRs", SimConfig::default().amplified(2, 256)),
+        (
+            "2-way L1D, 256 MSHRs",
+            SimConfig::default().amplified(2, 256),
+        ),
         ("2-way L1D,   2 MSHRs", SimConfig::default().amplified(2, 2)),
     ];
 
     println!("InvisiSpec (patched) under structure-size amplification:");
-    println!("{:<24} {:>10} {:>10} {:>9}", "Configuration", "Cases", "Time", "Violation");
+    println!(
+        "{:<24} {:>10} {:>10} {:>9}",
+        "Configuration", "Cases", "Time", "Violation"
+    );
     for (name, sim) in configs {
         let mut cfg = CampaignConfig::quick(DefenseKind::InvisiSpecPatched, ContractKind::CtSeq);
         cfg.sim = sim;

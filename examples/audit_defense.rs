@@ -60,7 +60,10 @@ fn audit(defense: DefenseKind, contract: ContractKind, programs: usize) -> Campa
 }
 
 fn env_usize(key: &str, default: usize) -> usize {
-    env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {

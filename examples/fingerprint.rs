@@ -1,0 +1,41 @@
+//! Prints a behavioral fingerprint of quick campaigns across defenses —
+//! used to assert refactors keep detection bit-identical.
+use amulet::contracts::ContractKind;
+use amulet::defenses::DefenseKind;
+use amulet::fuzz::{Campaign, CampaignConfig};
+
+fn main() {
+    for (d, c) in [
+        (DefenseKind::Baseline, ContractKind::CtSeq),
+        (DefenseKind::Baseline, ContractKind::CtCond),
+        (DefenseKind::InvisiSpec, ContractKind::CtSeq),
+        (DefenseKind::InvisiSpecPatched, ContractKind::CtSeq),
+        (DefenseKind::CleanupSpec, ContractKind::CtSeq),
+        (DefenseKind::CleanupSpecPatched, ContractKind::CtSeq),
+        (DefenseKind::SpecLfb, ContractKind::CtSeq),
+        (DefenseKind::SpecLfbPatched, ContractKind::CtSeq),
+        (DefenseKind::GhostMinion, ContractKind::CtSeq),
+        (DefenseKind::Stt, ContractKind::ArchSeq),
+        (DefenseKind::SttPatched, ContractKind::ArchSeq),
+        (DefenseKind::DelayOnMiss, ContractKind::CtSeq),
+    ] {
+        let mut cfg = CampaignConfig::quick(d, c);
+        cfg.programs_per_instance = 25;
+        cfg.instances = 2;
+        if d == DefenseKind::Stt {
+            cfg.generator.stores = true;
+        }
+        let r = Campaign::new(cfg).run();
+        println!(
+            "{:<22} {:<9} cases={} classes={} cand={} vruns={} conf={} uniq={:?}",
+            d.name(),
+            c.name(),
+            r.stats.cases,
+            r.stats.classes,
+            r.stats.candidates,
+            r.stats.validation_runs,
+            r.stats.confirmed,
+            r.unique_classes()
+        );
+    }
+}

@@ -129,7 +129,11 @@ fn fig6_mshr_interference() {
         .find(|(_, c)| *c == ViolationClass::MshrInterference);
     match uv2 {
         Some((v, _)) => {
-            println!("found {} after {} test cases", classify(v), report.stats.cases);
+            println!(
+                "found {} after {} test cases",
+                classify(v),
+                report.stats.cases
+            );
             println!("{}", v.report());
         }
         None => println!(

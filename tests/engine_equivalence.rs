@@ -77,6 +77,10 @@ fn random_programs_agree_across_engines_large_sandbox() {
         sim.load_test(&flat, &input);
         sim.run();
         assert_eq!(sim.arch_regs(), &emu.machine.regs, "{program}");
-        assert_eq!(sim.sandbox_bytes(), emu.machine.sandbox.bytes(), "{program}");
+        assert_eq!(
+            sim.sandbox_bytes(),
+            emu.machine.sandbox.bytes(),
+            "{program}"
+        );
     }
 }
