@@ -1,0 +1,706 @@
+//! The `amulet` command line — campaigns, scenario matrices, and a quick
+//! throughput bench over the AMuLeT-rs workspace, with zero external
+//! dependencies (the argument parser and JSON writer are hand-rolled here).
+//!
+//! Three subcommands, mirroring how the paper's evaluation is driven:
+//!
+//! - `amulet campaign` — one defense × contract campaign, sharded across a
+//!   worker pool by default (`--instance-parallel` restores the classic one
+//!   thread per instance).
+//! - `amulet matrix` — every requested defense × contract scenario at the
+//!   quick or paper-scaled shape, one summary row each, optionally as
+//!   machine-readable JSON lines.
+//! - `amulet bench` — instance-parallel vs. sharded quick-campaign
+//!   throughput on this host.
+//!
+//! The library half exists so the parsing and report formatting are unit
+//! testable; `src/main.rs` only forwards `std::env::args` to [`run`].
+//!
+//! # Examples
+//!
+//! ```
+//! use amulet_cli::{parse_defense, parse_contract};
+//! use amulet_defenses::DefenseKind;
+//! use amulet_contracts::ContractKind;
+//!
+//! assert_eq!(parse_defense("baseline"), Ok(DefenseKind::Baseline));
+//! assert_eq!(parse_contract("ct-seq"), Ok(ContractKind::CtSeq));
+//! ```
+
+use amulet_contracts::ContractKind;
+use amulet_core::{Campaign, CampaignConfig, CampaignReport, ShardConfig};
+use amulet_defenses::DefenseKind;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Usage text printed by `amulet help` (and on usage errors).
+pub const USAGE: &str = "\
+amulet — automated design-time testing of secure speculation countermeasures
+
+USAGE:
+    amulet <SUBCOMMAND> [OPTIONS]
+
+SUBCOMMANDS:
+    campaign    Run one defense × contract campaign (sharded by default)
+    matrix      Run a defense × contract scenario matrix
+    bench       Compare instance-parallel vs sharded quick-campaign throughput
+    list        List available defenses and contracts
+    help        Show this message
+
+CAMPAIGN OPTIONS:
+    --defense NAME        Defense under test (default: Baseline; see `amulet list`)
+    --contract NAME       Contract to test against (default: CT-SEQ)
+    --scale X             Paper-scaled shape at scale X (default: quick shape)
+    --seed N              Campaign seed (default: 2025)
+    --find-first          Stop at the first confirmed violation
+    --workers N           Worker threads (default: all hardware threads)
+    --batch N             Programs per shard batch (default: 4)
+    --instance-parallel   Classic orchestrator: one thread per instance
+    --json PATH           Append a JSON report line to PATH (`-` = stdout)
+
+MATRIX OPTIONS:
+    --quick               Quick shape (the default)
+    --scale X             Paper-scaled shape at scale X
+    --defenses A,B,...    Defenses to include (default: all)
+    --contracts A,B,...   Contracts to include (default: all)
+    --seed N, --workers N, --batch N, --json PATH   As above
+
+BENCH OPTIONS:
+    --programs N          Programs per instance (default: 12)
+    --workers N, --batch N, --seed N                As above
+";
+
+/// A hand-rolled argument scanner: flags and `--key value` / `--key=value`
+/// pairs are consumed by the accessors, and [`Args::finish`] rejects
+/// anything left over, so typos fail loudly instead of being ignored.
+#[derive(Debug)]
+pub struct Args {
+    tokens: Vec<Option<String>>,
+}
+
+impl Args {
+    /// Wraps raw arguments (without the binary and subcommand names).
+    pub fn new(raw: &[String]) -> Self {
+        Args {
+            tokens: raw.iter().cloned().map(Some).collect(),
+        }
+    }
+
+    /// Consumes a boolean flag, returning whether it was present.
+    pub fn flag(&mut self, name: &str) -> bool {
+        let mut found = false;
+        for slot in &mut self.tokens {
+            if slot.as_deref() == Some(name) {
+                *slot = None;
+                found = true;
+            }
+        }
+        found
+    }
+
+    /// Consumes `--key value` or `--key=value`. Last occurrence wins.
+    pub fn value(&mut self, name: &str) -> Result<Option<String>, String> {
+        let mut out = None;
+        let mut i = 0;
+        while i < self.tokens.len() {
+            let matches_bare = self.tokens[i].as_deref() == Some(name);
+            let eq_value = self.tokens[i]
+                .as_deref()
+                .and_then(|t| t.strip_prefix(name))
+                .and_then(|rest| rest.strip_prefix('='))
+                .map(str::to_owned);
+            if matches_bare {
+                self.tokens[i] = None;
+                let value = self.tokens.get_mut(i + 1).and_then(Option::take);
+                match value {
+                    Some(v) => out = Some(v),
+                    None => return Err(format!("{name} expects a value")),
+                }
+                i += 2;
+            } else if let Some(v) = eq_value {
+                self.tokens[i] = None;
+                out = Some(v);
+                i += 1;
+            } else {
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Like [`Args::value`] but parsed, with the flag name in the error.
+    pub fn parsed<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, String> {
+        match self.value(name)? {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("{name}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Errors on any argument no accessor consumed.
+    pub fn finish(self) -> Result<(), String> {
+        let leftover: Vec<String> = self.tokens.into_iter().flatten().collect();
+        if leftover.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("unrecognised arguments: {}", leftover.join(" ")))
+        }
+    }
+}
+
+/// Parses a defense by its display name, case-insensitively.
+pub fn parse_defense(name: &str) -> Result<DefenseKind, String> {
+    DefenseKind::ALL
+        .iter()
+        .copied()
+        .find(|d| d.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            format!(
+                "unknown defense {name:?}; one of: {}",
+                DefenseKind::ALL.map(|d| d.name()).join(", ")
+            )
+        })
+}
+
+/// Parses a contract by its paper name (`CT-SEQ`, ...), case-insensitively;
+/// the dash may be omitted (`ctseq`).
+pub fn parse_contract(name: &str) -> Result<ContractKind, String> {
+    let norm = |s: &str| s.replace('-', "").to_ascii_lowercase();
+    ContractKind::ALL
+        .iter()
+        .copied()
+        .find(|c| norm(c.name()) == norm(name))
+        .ok_or_else(|| {
+            format!(
+                "unknown contract {name:?}; one of: {}",
+                ContractKind::ALL.map(|c| c.name()).join(", ")
+            )
+        })
+}
+
+/// Parses a comma-separated list with a per-item parser, or returns the
+/// default when the flag was absent.
+fn parse_list<T>(
+    raw: Option<String>,
+    parse: impl Fn(&str) -> Result<T, String>,
+    default: &[T],
+) -> Result<Vec<T>, String>
+where
+    T: Copy,
+{
+    match raw {
+        None => Ok(default.to_vec()),
+        Some(s) => s.split(',').map(|item| parse(item.trim())).collect(),
+    }
+}
+
+/// Minimal JSON object writer (strings, numbers, booleans, raw nested
+/// values) — enough for the CLI's report lines without a serialisation
+/// dependency.
+#[derive(Debug)]
+pub struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    /// Starts an object.
+    pub fn new() -> Self {
+        JsonObj { buf: "{".into() }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        self.buf.push_str(&json_string(key));
+        self.buf.push(':');
+    }
+
+    /// Adds a string field (escaped).
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(&json_string(value));
+        self
+    }
+
+    /// Adds a numeric field. Non-finite values serialise as `null`.
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-serialised JSON value verbatim.
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Closes the object.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObj {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Escapes a string into a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serialises one campaign report as a self-contained JSON line (the
+/// machine-readable form of [`CampaignReport::summary_row`], plus the
+/// deterministic fingerprint). `batch_programs` must be given for sharded
+/// runs — the batch size is part of the deterministic case-stream identity
+/// (see `amulet_core::shard`), so a line without it could not be
+/// reproduced; instance-parallel runs pass `None`.
+pub fn report_json(
+    report: &CampaignReport,
+    orchestrator: &str,
+    workers: usize,
+    batch_programs: Option<usize>,
+) -> String {
+    let mut classes = JsonObj::new();
+    for (class, count) in report.unique_classes() {
+        classes = classes.int(class.paper_id(), count as u64);
+    }
+    let mut obj = JsonObj::new()
+        .str("defense", report.config.defense.name())
+        .str("contract", report.config.contract.name())
+        .str("mode", report.config.mode.name())
+        .str("orchestrator", orchestrator)
+        .int("workers", workers as u64);
+    if let Some(batch) = batch_programs {
+        obj = obj.int("batch_programs", batch as u64);
+    }
+    // The seed is a string for the same reason the fingerprint is: a u64
+    // above 2^53 would be silently rounded by double-based JSON readers,
+    // and a wrong seed makes the line irreproducible.
+    obj.str("seed", &report.config.seed.to_string())
+        .int("instances", report.config.instances as u64)
+        .int(
+            "programs_per_instance",
+            report.config.programs_per_instance as u64,
+        )
+        .int("inputs_per_program", report.config.inputs.total() as u64)
+        .int("cases", report.stats.cases as u64)
+        .int("candidates", report.stats.candidates as u64)
+        .int("validation_runs", report.stats.validation_runs as u64)
+        .int("confirmed", report.stats.confirmed as u64)
+        .bool("violation", report.violation_found())
+        .int("unique_violations", report.unique_violation_count() as u64)
+        .raw("classes", &classes.finish())
+        .num(
+            "avg_detection_s",
+            report.avg_detection_seconds().unwrap_or(f64::NAN),
+        )
+        .num("cases_per_sec", report.throughput())
+        .num("wall_s", report.wall.as_secs_f64())
+        .num("modeled_s", report.modeled_seconds)
+        .str("fingerprint", &format!("{:#018x}", report.fingerprint()))
+        .finish()
+}
+
+/// Where `--json` output goes.
+enum JsonSink {
+    None,
+    Stdout,
+    File(std::fs::File),
+}
+
+impl JsonSink {
+    fn open(path: Option<String>) -> Result<Self, String> {
+        match path.as_deref() {
+            None => Ok(JsonSink::None),
+            Some("-") => Ok(JsonSink::Stdout),
+            Some(p) => std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(p)
+                .map(JsonSink::File)
+                .map_err(|e| format!("cannot open {p}: {e}")),
+        }
+    }
+
+    fn line(&mut self, line: &str) -> Result<(), String> {
+        use std::io::Write as _;
+        match self {
+            JsonSink::None => Ok(()),
+            JsonSink::Stdout => {
+                println!("{line}");
+                Ok(())
+            }
+            JsonSink::File(f) => writeln!(f, "{line}").map_err(|e| format!("write failed: {e}")),
+        }
+    }
+}
+
+/// Shape options shared by `campaign` and `matrix`.
+fn shape_config(
+    defense: DefenseKind,
+    contract: ContractKind,
+    scale: Option<f64>,
+    seed: Option<u64>,
+) -> CampaignConfig {
+    let mut cfg = match scale {
+        Some(s) => CampaignConfig::paper_scaled(defense, contract, s),
+        None => CampaignConfig::quick(defense, contract),
+    };
+    if let Some(seed) = seed {
+        cfg.seed = seed;
+    }
+    cfg
+}
+
+fn shard_options(args: &mut Args) -> Result<ShardConfig, String> {
+    let mut shard = ShardConfig::default();
+    if let Some(w) = args.parsed::<usize>("--workers")? {
+        shard.workers = w;
+    }
+    if let Some(b) = args.parsed::<usize>("--batch")? {
+        shard.batch_programs = b.max(1);
+    }
+    Ok(shard)
+}
+
+/// `amulet campaign`.
+fn cmd_campaign(mut args: Args) -> Result<(), String> {
+    let defense = match args.value("--defense")? {
+        Some(name) => parse_defense(&name)?,
+        None => DefenseKind::Baseline,
+    };
+    let contract = match args.value("--contract")? {
+        Some(name) => parse_contract(&name)?,
+        None => ContractKind::CtSeq,
+    };
+    let scale = args.parsed::<f64>("--scale")?;
+    let seed = args.parsed::<u64>("--seed")?;
+    let find_first = args.flag("--find-first");
+    let instance_parallel = args.flag("--instance-parallel");
+    let shard = shard_options(&mut args)?;
+    let mut sink = JsonSink::open(args.value("--json")?)?;
+    args.finish()?;
+
+    let mut cfg = shape_config(defense, contract, scale, seed);
+    cfg.stop_on_first = find_first;
+    let (orchestrator, workers) = if instance_parallel {
+        ("instances", cfg.instances)
+    } else {
+        ("sharded", shard.resolved_workers())
+    };
+    eprintln!(
+        "running {} × {} ({} cases, {orchestrator} orchestrator, {workers} workers)",
+        defense.name(),
+        contract.name(),
+        cfg.total_cases()
+    );
+    let report = if instance_parallel {
+        Campaign::new(cfg).run()
+    } else {
+        Campaign::new(cfg).run_sharded(shard)
+    };
+
+    println!("{}", CampaignReport::summary_header());
+    println!("{}", report.summary_row());
+    for (class, count) in report.unique_classes() {
+        println!("  {:<12} × {count}", class.paper_id());
+    }
+    println!("fingerprint: {:#018x}", report.fingerprint());
+    let batch = (!instance_parallel).then_some(shard.batch_programs);
+    sink.line(&report_json(&report, orchestrator, workers, batch))
+}
+
+/// `amulet matrix`.
+fn cmd_matrix(mut args: Args) -> Result<(), String> {
+    let _quick = args.flag("--quick"); // the default shape, accepted for symmetry
+    let scale = args.parsed::<f64>("--scale")?;
+    let seed = args.parsed::<u64>("--seed")?;
+    let defenses = parse_list(args.value("--defenses")?, parse_defense, &DefenseKind::ALL)?;
+    let contracts = parse_list(
+        args.value("--contracts")?,
+        parse_contract,
+        &ContractKind::ALL,
+    )?;
+    let shard = shard_options(&mut args)?;
+    let mut sink = JsonSink::open(args.value("--json")?)?;
+    args.finish()?;
+
+    let workers = shard.resolved_workers();
+    eprintln!(
+        "matrix: {} defenses × {} contracts, {} shape, {workers} workers",
+        defenses.len(),
+        contracts.len(),
+        if scale.is_some() {
+            "paper-scaled"
+        } else {
+            "quick"
+        },
+    );
+    println!("{}", CampaignReport::summary_header());
+    for &defense in &defenses {
+        for &contract in &contracts {
+            let cfg = shape_config(defense, contract, scale, seed);
+            let report = Campaign::new(cfg).run_sharded(shard);
+            println!("{}", report.summary_row());
+            sink.line(&report_json(
+                &report,
+                "sharded",
+                workers,
+                Some(shard.batch_programs),
+            ))?;
+        }
+    }
+    Ok(())
+}
+
+/// `amulet bench`.
+fn cmd_bench(mut args: Args) -> Result<(), String> {
+    let programs = args.parsed::<usize>("--programs")?.unwrap_or(12);
+    let seed = args.parsed::<u64>("--seed")?;
+    let shard = shard_options(&mut args)?;
+    args.finish()?;
+
+    let mut cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+    cfg.programs_per_instance = programs;
+    if let Some(seed) = seed {
+        cfg.seed = seed;
+    }
+
+    let t0 = Instant::now();
+    let instance_report = Campaign::new(cfg.clone()).run();
+    let instance_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let sharded_report = Campaign::new(cfg.clone()).run_sharded(shard);
+    let sharded_secs = t0.elapsed().as_secs_f64();
+
+    let instance_rate = instance_report.stats.cases as f64 / instance_secs.max(1e-9);
+    let sharded_rate = sharded_report.stats.cases as f64 / sharded_secs.max(1e-9);
+    println!(
+        "instance-parallel: {} cases in {instance_secs:.3}s = {instance_rate:.0} cases/s ({} threads)",
+        instance_report.stats.cases, cfg.instances
+    );
+    println!(
+        "sharded:           {} cases in {sharded_secs:.3}s = {sharded_rate:.0} cases/s ({} workers)",
+        sharded_report.stats.cases,
+        shard.resolved_workers()
+    );
+    println!("speedup:           {:.2}x", sharded_rate / instance_rate);
+    Ok(())
+}
+
+/// `amulet list`.
+fn cmd_list(args: Args) -> Result<(), String> {
+    args.finish()?;
+    println!("defenses:");
+    for d in DefenseKind::ALL {
+        println!("  {}", d.name());
+    }
+    println!("contracts:");
+    for c in ContractKind::ALL {
+        println!("  {}", c.name());
+    }
+    Ok(())
+}
+
+/// Dispatches a full argument vector (without the binary name). Returns the
+/// process exit code.
+pub fn run(argv: &[String]) -> i32 {
+    let (sub, rest) = match argv.split_first() {
+        Some((sub, rest)) => (sub.as_str(), rest),
+        None => {
+            eprint!("{USAGE}");
+            return 2;
+        }
+    };
+    let args = Args::new(rest);
+    let result = match sub {
+        "campaign" => cmd_campaign(args),
+        "matrix" => cmd_matrix(args),
+        "bench" => cmd_bench(args),
+        "list" => cmd_list(args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amulet_core::ScanStats;
+    use amulet_util::Summary;
+    use std::time::Duration;
+
+    #[test]
+    fn args_flags_values_and_leftovers() {
+        let raw: Vec<String> = [
+            "--find-first",
+            "--seed",
+            "7",
+            "--batch=3",
+            "--defense",
+            "STT",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut args = Args::new(&raw);
+        assert!(args.flag("--find-first"));
+        assert!(!args.flag("--find-first"), "flags are consumed");
+        assert_eq!(args.parsed::<u64>("--seed").unwrap(), Some(7));
+        assert_eq!(args.parsed::<usize>("--batch").unwrap(), Some(3));
+        assert_eq!(args.value("--defense").unwrap().as_deref(), Some("STT"));
+        args.finish().unwrap();
+
+        let mut args = Args::new(&["--seed".to_string()]);
+        assert!(args.value("--seed").is_err(), "dangling value flag");
+
+        let args = Args::new(&["--bogus".to_string()]);
+        assert!(args.finish().is_err(), "unknown arguments are rejected");
+    }
+
+    #[test]
+    fn last_occurrence_wins() {
+        let raw: Vec<String> = ["--seed=1", "--seed", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut args = Args::new(&raw);
+        assert_eq!(args.parsed::<u64>("--seed").unwrap(), Some(2));
+        args.finish().unwrap();
+    }
+
+    #[test]
+    fn defense_and_contract_names_round_trip() {
+        for d in DefenseKind::ALL {
+            assert_eq!(parse_defense(d.name()), Ok(d));
+            assert_eq!(parse_defense(&d.name().to_lowercase()), Ok(d));
+        }
+        for c in ContractKind::ALL {
+            assert_eq!(parse_contract(c.name()), Ok(c));
+            assert_eq!(parse_contract(&c.name().replace('-', "")), Ok(c));
+        }
+        assert!(parse_defense("NoSuchDefense").is_err());
+        assert!(parse_contract("CT-???").is_err());
+    }
+
+    #[test]
+    fn json_escaping_and_object_building() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        let obj = JsonObj::new()
+            .str("name", "x")
+            .int("n", 3)
+            .bool("ok", true)
+            .num("nan", f64::NAN)
+            .raw("nested", "{}")
+            .finish();
+        assert_eq!(
+            obj,
+            "{\"name\":\"x\",\"n\":3,\"ok\":true,\"nan\":null,\"nested\":{}}"
+        );
+    }
+
+    #[test]
+    fn report_json_is_wellformed_and_complete() {
+        let report = CampaignReport {
+            config: CampaignConfig::quick(DefenseKind::SpecLfb, ContractKind::CtSeq),
+            violations: Vec::new(),
+            stats: ScanStats {
+                cases: 672,
+                classes: 96,
+                candidates: 3,
+                validation_runs: 12,
+                confirmed: 0,
+            },
+            wall: Duration::from_millis(500),
+            detection_times: Summary::new(),
+            modeled_seconds: 1.5,
+        };
+        let json = report_json(&report, "sharded", 8, Some(4));
+        for key in [
+            "\"defense\":\"SpecLFB\"",
+            "\"contract\":\"CT-SEQ\"",
+            "\"orchestrator\":\"sharded\"",
+            "\"workers\":8",
+            "\"batch_programs\":4",
+            "\"cases\":672",
+            "\"violation\":false",
+            "\"avg_detection_s\":null",
+            "\"fingerprint\":\"0x",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        // Instance-parallel streams don't depend on a batch size — the
+        // field is omitted rather than recorded as a misleading value.
+        let no_batch = report_json(&report, "instances", 2, None);
+        assert!(!no_batch.contains("batch_programs"));
+    }
+
+    #[test]
+    fn parse_list_defaults_and_splits() {
+        let all = parse_list(None, parse_defense, &DefenseKind::ALL).unwrap();
+        assert_eq!(all, DefenseKind::ALL.to_vec());
+        let two = parse_list(
+            Some("Baseline, stt".into()),
+            parse_defense,
+            &DefenseKind::ALL,
+        )
+        .unwrap();
+        assert_eq!(two, vec![DefenseKind::Baseline, DefenseKind::Stt]);
+        assert!(parse_list(Some("nope".into()), parse_defense, &DefenseKind::ALL).is_err());
+    }
+}

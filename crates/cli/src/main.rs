@@ -1,0 +1,7 @@
+//! `amulet` binary entry point — all logic lives in [`amulet_cli`] so it is
+//! unit testable.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(amulet_cli::run(&argv));
+}

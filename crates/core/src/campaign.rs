@@ -55,6 +55,20 @@ pub struct CampaignConfig {
 impl CampaignConfig {
     /// A small, fast campaign for tests and examples (2 instances × 12
     /// programs × 28 inputs).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use amulet_core::CampaignConfig;
+    /// use amulet_defenses::DefenseKind;
+    /// use amulet_contracts::ContractKind;
+    ///
+    /// let cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+    /// assert_eq!(cfg.instances, 2);
+    /// assert_eq!(cfg.programs_per_instance, 12);
+    /// assert_eq!(cfg.inputs.total(), 28);
+    /// assert_eq!(cfg.total_cases(), 2 * 12 * 28);
+    /// ```
     pub fn quick(defense: DefenseKind, contract: ContractKind) -> Self {
         let hints = defense.harness_hints();
         CampaignConfig {
@@ -86,6 +100,23 @@ impl CampaignConfig {
     /// A paper-shaped campaign scaled by `scale` (1.0 = the paper's 100
     /// instances × 200 programs × 140 inputs; 0.05 is a laptop-friendly
     /// default).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use amulet_core::CampaignConfig;
+    /// use amulet_defenses::DefenseKind;
+    /// use amulet_contracts::ContractKind;
+    ///
+    /// // Full paper scale.
+    /// let cfg = CampaignConfig::paper_scaled(DefenseKind::Stt, ContractKind::ArchSeq, 1.0);
+    /// assert_eq!((cfg.instances, cfg.programs_per_instance), (100, 200));
+    /// assert_eq!(cfg.inputs.total(), 140);
+    ///
+    /// // Scaled down, the shape shrinks but never degenerates.
+    /// let small = CampaignConfig::paper_scaled(DefenseKind::Stt, ContractKind::ArchSeq, 0.01);
+    /// assert!(small.instances >= 1 && small.programs_per_instance >= 4);
+    /// ```
     pub fn paper_scaled(defense: DefenseKind, contract: ContractKind, scale: f64) -> Self {
         let mut cfg = Self::quick(defense, contract);
         cfg.instances = ((100.0 * scale).round() as usize).clamp(1, 128);
@@ -101,13 +132,13 @@ impl CampaignConfig {
     }
 }
 
-/// One instance's results.
+/// One instance's results (the campaign's wall clock is measured at the
+/// [`Campaign::run`] level, not per instance).
 #[derive(Debug, Default)]
 struct InstanceResult {
     violations: Vec<(Violation, ViolationClass)>,
     stats: ScanStats,
     first_detection: Option<Duration>,
-    wall: Duration,
 }
 
 /// Aggregated campaign results, with the paper's reporting metrics.
@@ -121,7 +152,9 @@ pub struct CampaignReport {
     pub stats: ScanStats,
     /// Wall-clock campaign duration (longest instance).
     pub wall: Duration,
-    /// Per-instance time to first confirmed violation.
+    /// Time to first confirmed violation: one sample per violating instance
+    /// for [`Campaign::run`]; for [`Campaign::run_sharded`] a single sample,
+    /// the campaign's wall-clock time to its earliest confirmation.
     pub detection_times: Summary,
     /// Modelled (gem5-calibrated) campaign seconds for this shape.
     pub modeled_seconds: f64,
@@ -161,17 +194,21 @@ impl CampaignReport {
         (self.detection_times.count() > 0).then(|| self.detection_times.mean())
     }
 
-    /// A Table-4-style summary row.
+    /// A Table-4-style summary row, column-aligned with
+    /// [`CampaignReport::summary_header`] for every [`DefenseKind`] and
+    /// [`ContractKind`] (names wider than their column are truncated, never
+    /// allowed to push later columns out of alignment).
     pub fn summary_row(&self) -> String {
+        let (dw, cw) = summary_name_widths();
         format!(
-            "{:<22} {:<9} {:>9} {:>12} {:>7} {:>12} {:>14}",
+            "{:<dw$.dw$} {:<cw$.cw$} {:>9.9} {:>12.12} {:>7.7} {:>12.12} {:>14.14}",
             self.config.defense.name(),
             self.config.contract.name(),
             if self.violation_found() { "YES" } else { "no" },
             self.avg_detection_seconds()
                 .map(|s| format!("{s:.2} s"))
                 .unwrap_or_else(|| "-".into()),
-            self.unique_violation_count(),
+            self.unique_violation_count().to_string(),
             format!("{:.0}/s", self.throughput()),
             fmt_duration_s(self.wall.as_secs_f64()),
         )
@@ -179,10 +216,111 @@ impl CampaignReport {
 
     /// The header matching [`CampaignReport::summary_row`].
     pub fn summary_header() -> String {
+        let (dw, cw) = summary_name_widths();
         format!(
-            "{:<22} {:<9} {:>9} {:>12} {:>7} {:>12} {:>14}",
+            "{:<dw$.dw$} {:<cw$.cw$} {:>9.9} {:>12.12} {:>7.7} {:>12.12} {:>14.14}",
             "Defense", "Contract", "Violation", "Detect time", "Unique", "Throughput", "Time"
         )
+    }
+
+    /// A 64-bit digest of everything deterministic about this report: the
+    /// configuration identity (defense, contract, mode, format, seed and
+    /// shape), the aggregate detector counters, and every violation's class,
+    /// contract-trace digest and µarch-trace differences — but no wall-clock
+    /// quantities.
+    ///
+    /// Two runs of the same campaign agree on this fingerprint exactly when
+    /// they found the same things; in particular a
+    /// [`ShardedCampaign`](crate::ShardedCampaign) produces the same
+    /// fingerprint at any worker count (asserted by
+    /// `tests/shard_determinism.rs`).
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fnv1a::new();
+        fp.str(self.config.defense.name());
+        fp.str(self.config.contract.name());
+        fp.str(self.config.mode.name());
+        fp.str(self.config.format.name());
+        fp.u64(self.config.include_l1i as u64);
+        fp.u64(self.config.seed);
+        fp.u64(self.config.instances as u64);
+        fp.u64(self.config.programs_per_instance as u64);
+        fp.u64(self.config.inputs.total() as u64);
+        fp.u64(self.stats.cases as u64);
+        fp.u64(self.stats.classes as u64);
+        fp.u64(self.stats.candidates as u64);
+        fp.u64(self.stats.validation_runs as u64);
+        fp.u64(self.stats.confirmed as u64);
+        fp.u64(self.detection_times.count());
+        fp.u64(self.violations.len() as u64);
+        for (v, class) in &self.violations {
+            fp.str(class.paper_id());
+            fp.u64(v.ctrace_digest);
+            // Length-prefix each diff section so a leak moving between
+            // structures (e.g. L1D → D-TLB) can never hash identically.
+            for diff in [
+                v.utrace_a.l1d_diff(&v.utrace_b),
+                v.utrace_a.dtlb_diff(&v.utrace_b),
+                v.utrace_a.l1i_diff(&v.utrace_b),
+            ] {
+                fp.u64(diff.len() as u64);
+                for d in diff {
+                    fp.u64(d);
+                }
+            }
+        }
+        fp.finish()
+    }
+}
+
+/// Defense/contract column widths: wide enough for every registered name
+/// (and the header labels), so the table stays aligned as defenses are
+/// added. Returned as (defense, contract).
+fn summary_name_widths() -> (usize, usize) {
+    let dw = DefenseKind::ALL
+        .iter()
+        .map(|d| d.name().len())
+        .chain(["Defense".len()])
+        .max()
+        .unwrap();
+    let cw = ContractKind::ALL
+        .iter()
+        .map(|c| c.name().len())
+        .chain(["Contract".len()])
+        .max()
+        .unwrap();
+    (dw, cw)
+}
+
+/// FNV-1a, length-prefixed for strings — the workspace-internal stable
+/// hasher behind [`CampaignReport::fingerprint`] (`DefaultHasher` is not
+/// guaranteed stable across Rust releases).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -198,7 +336,19 @@ impl Campaign {
         Campaign { cfg }
     }
 
+    /// Runs the campaign on a sharded, work-stealing worker pool instead of
+    /// one thread per instance — see
+    /// [`ShardedCampaign`](crate::ShardedCampaign) for the determinism
+    /// contract (fingerprint-equal reports at any worker count).
+    pub fn run_sharded(self, shard: crate::ShardConfig) -> CampaignReport {
+        crate::ShardedCampaign::new(self.cfg, shard).run()
+    }
+
     /// Runs all instances (in parallel threads) and aggregates.
+    ///
+    /// Parallelism is capped at [`CampaignConfig::instances`]; use
+    /// [`Campaign::run_sharded`] to saturate a many-core host independently
+    /// of the instance count.
     pub fn run(self) -> CampaignReport {
         let cfg = self.cfg;
         let start = Instant::now();
@@ -239,14 +389,10 @@ impl Campaign {
     }
 }
 
-fn run_instance(cfg: &CampaignConfig, index: usize) -> InstanceResult {
-    let started = Instant::now();
-    let mut rng = Xoshiro256::seed_from_u64(cfg.seed.wrapping_add(index as u64));
-    let mut generator = Generator::new(cfg.generator.clone(), rng.next_u64());
-    let model = LeakageModel::new(cfg.contract);
-    let mut detector = Detector::new(model.clone());
-    detector.skip_singletons = cfg.skip_singletons;
-    let mut executor = Executor::new(ExecutorConfig {
+/// Builds the executor a campaign unit (instance or shard batch) runs on —
+/// the single place campaign configuration maps to executor configuration.
+pub(crate) fn executor_for(cfg: &CampaignConfig) -> Executor {
+    Executor::new(ExecutorConfig {
         mode: cfg.mode,
         defense: cfg.defense,
         format: cfg.format,
@@ -254,13 +400,40 @@ fn run_instance(cfg: &CampaignConfig, index: usize) -> InstanceResult {
         sim: cfg.sim.clone(),
         keep_sandbox: false,
         log_hot_path: cfg.log_hot_path,
-    });
+    })
+}
 
-    let mut out = InstanceResult::default();
-    for _ in 0..cfg.programs_per_instance {
+/// The result of one campaign unit's program stream (an instance or a
+/// shard batch) — both orchestrators reduce over these.
+#[derive(Debug, Default)]
+pub(crate) struct UnitScan {
+    pub violations: Vec<(Violation, ViolationClass)>,
+    pub stats: ScanStats,
+    pub first_detection: Option<Duration>,
+}
+
+/// The per-program scan loop both orchestrators share: generate → boost →
+/// scan → filter → classify, with find-first stopping the stream at its
+/// first kept violation. `rng` seeds the generator and then drives input
+/// boosting (so the unit's whole case stream flows from it); detection
+/// times are measured from `anchor`.
+pub(crate) fn run_programs(
+    cfg: &CampaignConfig,
+    rng: &mut Xoshiro256,
+    programs: usize,
+    anchor: Instant,
+) -> UnitScan {
+    let mut generator = Generator::new(cfg.generator.clone(), rng.next_u64());
+    let model = LeakageModel::new(cfg.contract);
+    let mut detector = Detector::new(model.clone());
+    detector.skip_singletons = cfg.skip_singletons;
+    let mut executor = executor_for(cfg);
+
+    let mut out = UnitScan::default();
+    for _ in 0..programs {
         let program = generator.program();
         let flat = program.flatten_shared();
-        let inputs = boosted_inputs(&model, &flat, &cfg.inputs, &mut rng);
+        let inputs = boosted_inputs(&model, &flat, &cfg.inputs, rng);
         let (violations, stats) = detector.scan(&program, &flat, &inputs, &mut executor);
         out.stats.merge(&stats);
         for v in violations {
@@ -268,7 +441,7 @@ fn run_instance(cfg: &CampaignConfig, index: usize) -> InstanceResult {
                 continue;
             }
             if out.first_detection.is_none() {
-                out.first_detection = Some(started.elapsed());
+                out.first_detection = Some(anchor.elapsed());
             }
             let class = classify(&v);
             out.violations.push((v, class));
@@ -277,8 +450,18 @@ fn run_instance(cfg: &CampaignConfig, index: usize) -> InstanceResult {
             break;
         }
     }
-    out.wall = started.elapsed();
     out
+}
+
+fn run_instance(cfg: &CampaignConfig, index: usize) -> InstanceResult {
+    let started = Instant::now();
+    let mut rng = Xoshiro256::seed_from_u64(cfg.seed.wrapping_add(index as u64));
+    let scan = run_programs(cfg, &mut rng, cfg.programs_per_instance, started);
+    InstanceResult {
+        violations: scan.violations,
+        stats: scan.stats,
+        first_detection: scan.first_detection,
+    }
 }
 
 #[cfg(test)]
@@ -355,6 +538,83 @@ mod tests {
             "all baseline classes suppressed, yet: {:?}",
             report.unique_classes()
         );
+    }
+
+    /// Builds a report without running a campaign (summary formatting only).
+    fn synthetic_report(defense: DefenseKind, contract: ContractKind) -> CampaignReport {
+        CampaignReport {
+            config: CampaignConfig::quick(defense, contract),
+            violations: Vec::new(),
+            stats: ScanStats::default(),
+            wall: Duration::from_millis(1234),
+            detection_times: Summary::new(),
+            modeled_seconds: 0.0,
+        }
+    }
+
+    /// Snapshot of the summary table layout: the header renders exactly as
+    /// expected, and every defense × contract row stays column-aligned with
+    /// it — including the longest registered names, which used to push
+    /// later columns out of line.
+    #[test]
+    fn summary_rows_align_with_header_for_all_names() {
+        let header = CampaignReport::summary_header();
+        assert_eq!(
+            header,
+            "Defense             Contract Violation  Detect time  Unique   Throughput           Time",
+        );
+        // Column starts, as byte offsets of each header label.
+        let starts: Vec<usize> = ["Defense", "Contract", "Violation", "Detect time"]
+            .iter()
+            .map(|label| header.find(label).unwrap())
+            .collect();
+        for &defense in &DefenseKind::ALL {
+            for &contract in &ContractKind::ALL {
+                let row = synthetic_report(defense, contract).summary_row();
+                assert_eq!(
+                    row.len(),
+                    header.len(),
+                    "row width drifted for {} / {}:\n{header}\n{row}",
+                    defense.name(),
+                    contract.name()
+                );
+                assert_eq!(
+                    &row[starts[0]..starts[0] + defense.name().len()],
+                    defense.name()
+                );
+                assert_eq!(
+                    &row[starts[1]..starts[1] + contract.name().len()],
+                    contract.name()
+                );
+                // The defense/contract names never bleed into the next column.
+                assert_eq!(&row[starts[1] - 1..starts[1]], " ");
+                assert_eq!(&row[starts[2] - 1..starts[2]], " ");
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs_and_is_stable() {
+        let a = synthetic_report(DefenseKind::Baseline, ContractKind::CtSeq);
+        let b = synthetic_report(DefenseKind::Baseline, ContractKind::CtSeq);
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "same content, same digest"
+        );
+        let c = synthetic_report(DefenseKind::GhostMinion, ContractKind::CtSeq);
+        assert_ne!(
+            a.fingerprint(),
+            c.fingerprint(),
+            "defense is part of identity"
+        );
+        let mut d = synthetic_report(DefenseKind::Baseline, ContractKind::CtSeq);
+        d.stats.cases = 1;
+        assert_ne!(a.fingerprint(), d.fingerprint(), "counters are covered");
+        // Wall-clock is excluded: timing noise must not change the digest.
+        let mut e = synthetic_report(DefenseKind::Baseline, ContractKind::CtSeq);
+        e.wall = Duration::from_secs(99);
+        assert_eq!(a.fingerprint(), e.fingerprint());
     }
 
     #[test]

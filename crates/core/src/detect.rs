@@ -14,10 +14,10 @@
 //! trace contents: candidates are decided by comparing, confirmed
 //! violations are built from validation re-runs. [`Detector::scan`]
 //! therefore runs the hot path with [`Executor::run_case`], which returns a
-//! streaming 64-bit [`CaseDigest`](crate::executor::CaseDigest) computed by
+//! streaming 64-bit [`CaseDigest`] computed by
 //! the simulator in the selected trace format — no snapshot clone, no
 //! [`UTrace`] materialisation, no event logging. Only the candidate pairs
-//! that reach [`Detector::validate`] re-run with logging on and full traces;
+//! that reach validation re-run with logging on and full traces;
 //! [`UTrace`] remains the analysis/report type carried by [`Violation`].
 //! Up to 64-bit hash collisions (~2⁻⁶⁴ per pair), the confirmed violations
 //! are bit-identical to comparing materialised traces.
@@ -89,6 +89,25 @@ impl ScanStats {
 }
 
 /// Scans (program, inputs) pairs for contract violations.
+///
+/// # Examples
+///
+/// ```
+/// use amulet_contracts::{ContractKind, LeakageModel};
+/// use amulet_core::{Detector, Executor, ExecutorConfig};
+/// use amulet_defenses::DefenseKind;
+/// use amulet_isa::{parse_program, TestInput};
+///
+/// let program = parse_program("MOV RAX, qword ptr [R14 + 8]\nEXIT").unwrap();
+/// let flat = program.flatten_shared();
+/// let detector = Detector::new(LeakageModel::new(ContractKind::CtSeq));
+/// let mut executor = Executor::new(ExecutorConfig::new(DefenseKind::Baseline));
+/// // Two identical inputs: one effective class, no violation possible.
+/// let inputs = vec![TestInput::zeroed(1), TestInput::zeroed(1)];
+/// let (violations, stats) = detector.scan(&program, &flat, &inputs, &mut executor);
+/// assert_eq!(stats.classes, 1);
+/// assert!(violations.is_empty());
+/// ```
 #[derive(Debug)]
 pub struct Detector {
     model: LeakageModel,

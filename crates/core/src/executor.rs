@@ -126,6 +126,23 @@ pub struct CaseRun {
 }
 
 /// Runs test cases against a simulator+defense.
+///
+/// # Examples
+///
+/// ```
+/// use amulet_core::{Executor, ExecutorConfig};
+/// use amulet_defenses::DefenseKind;
+/// use amulet_isa::{parse_program, TestInput};
+///
+/// let mut executor = Executor::new(ExecutorConfig::new(DefenseKind::Baseline));
+/// let flat = parse_program("MOV RAX, qword ptr [R14 + 8]\nEXIT")
+///     .unwrap()
+///     .flatten_shared();
+/// // The hot path returns a streaming trace digest, not a full trace.
+/// let a = executor.run_case(&flat, &TestInput::zeroed(1));
+/// let b = executor.run_case(&flat, &TestInput::zeroed(1));
+/// assert_eq!(a.digest, b.digest, "identical cases, identical digests");
+/// ```
 #[derive(Debug)]
 pub struct Executor {
     cfg: ExecutorConfig,

@@ -22,18 +22,25 @@
 //!    (Spectre-v1/v4, UV1–UV6, KV1–KV3) from debug-log signatures and
 //!    supports signature-based filtering of known classes (§3.3).
 //! 6. [`campaign`] orchestrates multi-instance testing campaigns with the
-//!    paper's metrics: throughput, detection time, unique violations.
+//!    paper's metrics: throughput, detection time, unique violations, and
+//!    [`shard`] scales a campaign across a work-stealing worker pool with
+//!    deterministic (worker-count-independent) results.
 //!
 //! # Examples
 //!
 //! ```no_run
-//! use amulet_core::{Campaign, CampaignConfig};
+//! use amulet_core::{Campaign, CampaignConfig, ShardConfig};
 //! use amulet_defenses::DefenseKind;
 //! use amulet_contracts::ContractKind;
 //!
+//! // One thread per instance...
 //! let cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
-//! let report = Campaign::new(cfg).run();
+//! let report = Campaign::new(cfg.clone()).run();
 //! println!("{}", report.summary_row());
+//!
+//! // ...or sharded over every available core, same report type.
+//! let sharded = Campaign::new(cfg).run_sharded(ShardConfig::default());
+//! println!("{:#018x}", sharded.fingerprint());
 //! ```
 
 pub mod analyze;
@@ -44,14 +51,16 @@ pub mod executor;
 pub mod generator;
 pub mod inputs;
 pub mod minimize;
+pub mod shard;
 pub mod trace;
 
 pub use analyze::{classify, ViolationClass, ViolationFilter};
 pub use campaign::{Campaign, CampaignConfig, CampaignReport};
 pub use cost::{CostModel, TimeBreakdown};
-pub use detect::{Detector, Violation};
+pub use detect::{Detector, ScanStats, Violation};
 pub use executor::{CaseDigest, CaseRun, ExecMode, Executor, ExecutorConfig};
 pub use generator::{Generator, GeneratorConfig};
 pub use inputs::{boosted_inputs, InputGenConfig};
 pub use minimize::{minimize, Minimized};
+pub use shard::{ShardConfig, ShardedCampaign};
 pub use trace::{TraceFormat, UTrace};

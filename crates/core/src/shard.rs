@@ -1,0 +1,330 @@
+//! Sharded, work-stealing campaign orchestration.
+//!
+//! [`Campaign::run`](crate::Campaign::run) parallelises across campaign
+//! *instances* — at most `cfg.instances` threads, which leaves a many-core
+//! box idle for the paper's quick shapes (2 instances) and ties parallelism
+//! to a semantic knob. The sharded orchestrator decouples the two:
+//!
+//! - Each instance's program stream is split into fixed-size **batches**
+//!   ([`ShardConfig::batch_programs`] programs each). A batch is the unit of
+//!   scheduling *and* of determinism: its generator and input RNG streams
+//!   are derived from `(campaign seed, instance, batch)` alone, and it runs
+//!   on a fresh executor, so its results are identical no matter which
+//!   worker runs it, in what order, or how many workers exist.
+//! - A fixed pool of [`ShardConfig::workers`] threads pulls batches off a
+//!   shared atomic cursor (work stealing without queues: the cursor hands
+//!   out batch indices in order, so a slow batch never blocks the rest).
+//! - In find-first mode ([`CampaignConfig::stop_on_first`]) a confirmed
+//!   violation broadcasts its batch index; workers stop pulling batches
+//!   beyond the earliest violating index, and the reducer discards any
+//!   speculatively-completed fragment past it. Because the cursor hands out
+//!   indices in order, every batch at or before the earliest hit has run to
+//!   completion — the surviving prefix is exactly what a single worker
+//!   would have produced.
+//! - A deterministic reducer merges the per-batch fragments in batch order
+//!   into one [`CampaignReport`], so
+//!   [`CampaignReport::fingerprint`] is equal across worker counts.
+//!
+//! The batch size is part of the deterministic shape: changing
+//! `batch_programs` (like changing the campaign seed) selects a different —
+//! equally valid — random case stream. Worker count never does.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use amulet_core::{CampaignConfig, ShardConfig, ShardedCampaign};
+//! use amulet_defenses::DefenseKind;
+//! use amulet_contracts::ContractKind;
+//!
+//! let cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+//! // Same seed, same batch size → same fingerprint at any worker count.
+//! let serial = ShardedCampaign::new(cfg.clone(), ShardConfig::with_workers(1)).run();
+//! let pooled = ShardedCampaign::new(cfg, ShardConfig::with_workers(8)).run();
+//! assert_eq!(serial.fingerprint(), pooled.fingerprint());
+//! ```
+
+use crate::campaign::{run_programs, CampaignConfig, CampaignReport};
+use crate::cost::CostModel;
+use crate::detect::{ScanStats, Violation};
+use amulet_util::{SplitMix64, Summary, Xoshiro256};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How a campaign is split across a worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Worker threads. `0` means one per available hardware thread.
+    pub workers: usize,
+    /// Programs per batch (the scheduling and determinism unit). Smaller
+    /// batches balance load better; larger batches amortise executor
+    /// construction. Clamped to at least 1.
+    pub batch_programs: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            workers: 0,
+            batch_programs: 4,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// A shard configuration with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        ShardConfig {
+            workers,
+            ..Self::default()
+        }
+    }
+
+    /// The effective worker-pool size (resolves `0` to the host's available
+    /// parallelism).
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// One schedulable unit: a contiguous run of programs within an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BatchSpec {
+    /// Global batch index (reducer sort key and early-exit broadcast key).
+    index: usize,
+    /// Campaign instance this batch belongs to.
+    instance: usize,
+    /// Batch number within the instance (RNG derivation key).
+    batch: usize,
+    /// Programs in this batch (the final batch of an instance may be short).
+    programs: usize,
+}
+
+/// Results of one executed batch, merged by the reducer in `index` order.
+#[derive(Debug)]
+struct BatchResult {
+    index: usize,
+    violations: Vec<(Violation, crate::analyze::ViolationClass)>,
+    stats: ScanStats,
+    first_detection: Option<Duration>,
+}
+
+/// Splits a campaign into per-instance batches of `batch_programs` programs.
+fn plan_batches(cfg: &CampaignConfig, batch_programs: usize) -> Vec<BatchSpec> {
+    let per_batch = batch_programs.max(1);
+    let mut out = Vec::new();
+    for instance in 0..cfg.instances {
+        let mut remaining = cfg.programs_per_instance;
+        let mut batch = 0;
+        while remaining > 0 {
+            let programs = remaining.min(per_batch);
+            out.push(BatchSpec {
+                index: out.len(),
+                instance,
+                batch,
+                programs,
+            });
+            remaining -= programs;
+            batch += 1;
+        }
+    }
+    out
+}
+
+/// The seed of a batch's RNG stream, derived from the campaign seed and the
+/// batch coordinates only — never from scheduling. A SplitMix64 finaliser
+/// over golden-ratio-scrambled coordinates keeps neighbouring `(instance,
+/// batch)` pairs statistically independent.
+fn batch_seed(campaign_seed: u64, instance: usize, batch: usize) -> u64 {
+    let mixed = campaign_seed
+        ^ (instance as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (batch as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    SplitMix64::new(mixed).next_u64()
+}
+
+/// Runs one batch on a fresh executor with its own derived RNG streams,
+/// through the same per-program scan loop as the instance-parallel
+/// orchestrator ([`run_programs`]). `campaign_start` anchors detection
+/// times to the campaign, so the reducer's min over batches is the true
+/// wall-clock time until the campaign first confirmed a violation (a
+/// per-batch time would measure schedule position instead).
+fn run_batch(cfg: &CampaignConfig, spec: &BatchSpec, campaign_start: Instant) -> BatchResult {
+    let mut rng = Xoshiro256::seed_from_u64(batch_seed(cfg.seed, spec.instance, spec.batch));
+    let scan = run_programs(cfg, &mut rng, spec.programs, campaign_start);
+    BatchResult {
+        index: spec.index,
+        violations: scan.violations,
+        stats: scan.stats,
+        first_detection: scan.first_detection,
+    }
+}
+
+/// A campaign run on a sharded worker pool.
+///
+/// Produces the same [`CampaignReport`] type as
+/// [`Campaign::run`](crate::Campaign::run), but with the work split into
+/// deterministic batches scheduled over [`ShardConfig::workers`] threads —
+/// see the [module docs](self) for the determinism contract.
+#[derive(Debug)]
+pub struct ShardedCampaign {
+    cfg: CampaignConfig,
+    shard: ShardConfig,
+}
+
+impl ShardedCampaign {
+    /// Creates a sharded campaign.
+    pub fn new(cfg: CampaignConfig, shard: ShardConfig) -> Self {
+        ShardedCampaign { cfg, shard }
+    }
+
+    /// Runs all batches on the worker pool and reduces deterministically.
+    pub fn run(self) -> CampaignReport {
+        let cfg = self.cfg;
+        let workers = self.shard.resolved_workers();
+        let batches = plan_batches(&cfg, self.shard.batch_programs);
+        let start = Instant::now();
+
+        // Work-stealing without queues: a shared cursor hands out batch
+        // indices in order. `earliest_hit` is the find-first broadcast — the
+        // smallest batch index with a confirmed violation so far.
+        let cursor = AtomicUsize::new(0);
+        let earliest_hit = AtomicUsize::new(usize::MAX);
+        let results: Mutex<Vec<BatchResult>> = Mutex::new(Vec::with_capacity(batches.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..workers.max(1) {
+                scope.spawn(|| loop {
+                    let idx = cursor.fetch_add(1, Ordering::SeqCst);
+                    if idx >= batches.len() {
+                        break;
+                    }
+                    // Early-exit: batches past the earliest confirmed hit
+                    // would be discarded by the reducer anyway. (`earliest_hit`
+                    // only decreases, so a skipped index can never end up at
+                    // or before the final hit.)
+                    if cfg.stop_on_first && idx > earliest_hit.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let res = run_batch(&cfg, &batches[idx], start);
+                    if cfg.stop_on_first && !res.violations.is_empty() {
+                        earliest_hit.fetch_min(idx, Ordering::SeqCst);
+                    }
+                    results.lock().unwrap().push(res);
+                });
+            }
+        });
+        let wall = start.elapsed();
+
+        let mut results = results.into_inner().unwrap();
+        results.sort_by_key(|r| r.index);
+        if cfg.stop_on_first {
+            // Keep the deterministic prefix: every batch at or before the
+            // earliest hit ran to completion (the cursor hands out indices
+            // in order); anything later is a scheduling artefact.
+            let hit = earliest_hit.load(Ordering::SeqCst);
+            results.retain(|r| r.index <= hit);
+        }
+
+        let mut report = CampaignReport {
+            violations: Vec::new(),
+            stats: ScanStats::default(),
+            wall,
+            detection_times: Summary::new(),
+            modeled_seconds: CostModel::default().campaign_seconds(
+                cfg.mode,
+                cfg.programs_per_instance,
+                cfg.inputs.total(),
+            ),
+            config: cfg,
+        };
+        // Detection time: one sample — the earliest confirmation across all
+        // batches, i.e. the campaign's wall-clock time-to-first-violation.
+        // (Per-batch samples would average schedule position, not detection
+        // speed.)
+        let first_hit = results.iter().filter_map(|r| r.first_detection).min();
+        if let Some(d) = first_hit {
+            report.detection_times.add(d.as_secs_f64());
+        }
+        for r in results {
+            report.stats.merge(&r.stats);
+            report.violations.extend(r.violations);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amulet_contracts::ContractKind;
+    use amulet_defenses::DefenseKind;
+
+    #[test]
+    fn batches_cover_every_program_exactly_once() {
+        let mut cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+        cfg.instances = 3;
+        cfg.programs_per_instance = 10;
+        let batches = plan_batches(&cfg, 4);
+        // 3 instances × ceil(10/4) = 9 batches; per instance 4+4+2 programs.
+        assert_eq!(batches.len(), 9);
+        for instance in 0..3 {
+            let per_instance: Vec<_> = batches.iter().filter(|b| b.instance == instance).collect();
+            assert_eq!(
+                per_instance.iter().map(|b| b.programs).sum::<usize>(),
+                cfg.programs_per_instance
+            );
+            assert_eq!(per_instance.last().unwrap().programs, 2);
+        }
+        // Global indices are dense and ordered.
+        for (i, b) in batches.iter().enumerate() {
+            assert_eq!(b.index, i);
+        }
+    }
+
+    #[test]
+    fn batch_seeds_are_distinct_across_coordinates() {
+        let mut seen = std::collections::HashSet::new();
+        for instance in 0..16 {
+            for batch in 0..16 {
+                assert!(
+                    seen.insert(batch_seed(2025, instance, batch)),
+                    "seed collision at ({instance}, {batch})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_batch_programs_is_clamped() {
+        let mut cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+        cfg.instances = 1;
+        cfg.programs_per_instance = 3;
+        let batches = plan_batches(&cfg, 0);
+        assert_eq!(batches.len(), 3, "batch size 0 degrades to 1");
+    }
+
+    #[test]
+    fn sharded_quick_campaign_finds_baseline_violations() {
+        let mut cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+        cfg.programs_per_instance = 20;
+        let report = ShardedCampaign::new(
+            cfg,
+            ShardConfig {
+                workers: 2,
+                batch_programs: 4,
+            },
+        )
+        .run();
+        assert!(report.violation_found(), "stats: {:?}", report.stats);
+        assert_eq!(
+            report.stats.cases,
+            report.config.total_cases(),
+            "without find-first, every planned case executes"
+        );
+    }
+}

@@ -17,9 +17,10 @@
 //!
 //! - [`LogMode::Off`] — [`DebugLog::push`] is a branch-predictable no-op
 //!   (one always-taken compare, no event stored, no allocation). The
-//!   executor's hot path ([`Executor::run_case`]) runs in this mode.
+//!   executor's hot path (`amulet_core`'s `Executor::run_case`) runs in this
+//!   mode.
 //! - [`LogMode::Record`] — events are appended up to the cap, exactly as
-//!   before. Validation re-runs ([`Executor::run_case_with_ctx`]) and direct
+//!   before. Validation re-runs (`Executor::run_case_with_ctx`) and direct
 //!   simulator users run in this mode, so confirmed violations carry the
 //!   same logs they always did.
 //!
