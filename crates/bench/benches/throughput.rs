@@ -17,13 +17,13 @@
 //! `"speedup"` for the hot-path comparison).
 
 use amulet_bench::{banner, env_usize};
-use amulet_contracts::{ContractKind, LeakageModel};
+use amulet_contracts::{ContractKind, LeakageModel, ModelScratch};
 use amulet_core::{
-    boosted_inputs, Campaign, CampaignConfig, Detector, ExecMode, Executor, ExecutorConfig,
-    Generator, GeneratorConfig, InputGenConfig, ShardConfig, TraceFormat, UTrace,
+    boosted_inputs, boosted_inputs_into, Campaign, CampaignConfig, Detector, ExecMode, Executor,
+    ExecutorConfig, Generator, GeneratorConfig, InputGenConfig, ShardConfig, TraceFormat, UTrace,
 };
 use amulet_defenses::DefenseKind;
-use amulet_isa::SharedProgram;
+use amulet_isa::{SharedProgram, TestInput};
 use amulet_sim::{LogMode, SimConfig, Simulator};
 use amulet_util::Xoshiro256;
 use std::fmt::Write as _;
@@ -125,7 +125,7 @@ fn per_case_comparison(programs: usize) -> (usize, f64, f64) {
 /// shape — the number that includes contract traces and validation re-runs.
 fn detector_workload(programs: usize) -> (usize, f64, usize) {
     let model = LeakageModel::new(ContractKind::CtSeq);
-    let detector = Detector::new(model.clone());
+    let mut detector = Detector::new(model.clone());
     let mut generator = Generator::new(GeneratorConfig::default(), 11);
     let mut rng = Xoshiro256::seed_from_u64(12);
     let mut executor = Executor::new(ExecutorConfig::new(DefenseKind::Baseline));
@@ -146,6 +146,103 @@ fn detector_workload(programs: usize) -> (usize, f64, usize) {
         confirmed += violations.len();
     }
     (cases, t0.elapsed().as_secs_f64(), confirmed)
+}
+
+/// Taint-engine microbench: `relevant_labels` calls/sec over a fixed-seed
+/// workload of generated programs at 1/8/128 sandbox pages, under ARCH-SEQ
+/// (the value-observing contract STT campaigns boost with — the worst case
+/// for the taint engine, since every loaded value's taint reaches
+/// `mark_relevant`). Median of 5 passes.
+fn taint_microbench(json: &mut String) {
+    for pages in [1usize, 8, 128] {
+        let model = LeakageModel::new(ContractKind::ArchSeq);
+        let mut generator = Generator::new(
+            GeneratorConfig {
+                pages,
+                ..GeneratorConfig::default()
+            },
+            21,
+        );
+        let mut rng = Xoshiro256::seed_from_u64(22);
+        let workload: Vec<_> = (0..8)
+            .map(|_| {
+                (
+                    generator.program().flatten_shared(),
+                    TestInput::random(&mut rng, pages),
+                )
+            })
+            .collect();
+        let reps = if pages >= 128 { 2 } else { 10 };
+        let mut scratch = ModelScratch::new();
+        let mut samples = Vec::new();
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                for (flat, input) in &workload {
+                    black_box(model.relevant_labels_with(flat, input, &mut scratch));
+                }
+            }
+            samples.push(t0.elapsed().as_secs_f64());
+        }
+        samples.sort_by(f64::total_cmp);
+        let calls = reps * workload.len();
+        let rate = calls as f64 / samples[2];
+        println!("taint relevant_labels ({pages:>3} pages): {rate:>9.0} calls/s");
+        let _ = writeln!(
+            json,
+            "{{\"bench\":\"throughput\",\"kind\":\"taint\",\"name\":\"relevant_labels\",\"contract\":\"ARCH-SEQ\",\"pages\":{pages},\"calls_per_sec\":{rate:.1}}}"
+        );
+    }
+}
+
+/// The STT ARCH-SEQ per-case hot path (boosting + contract traces + µarch
+/// scan on the 128-page sandbox) over a fixed-seed single-threaded workload
+/// — the pipeline a sharded STT campaign worker runs, without orchestration.
+fn stt_hot_path(json: &mut String, programs: usize) {
+    let model = LeakageModel::new(ContractKind::ArchSeq);
+    let mut detector = Detector::new(model.clone());
+    let pages = DefenseKind::Stt.harness_hints().sandbox_pages;
+    let mut generator = Generator::new(
+        GeneratorConfig {
+            pages,
+            ..GeneratorConfig::default()
+        },
+        31,
+    );
+    let mut rng = Xoshiro256::seed_from_u64(32);
+    let mut executor = Executor::new(ExecutorConfig::new(DefenseKind::Stt));
+    let input_cfg = InputGenConfig {
+        base_inputs: 4,
+        mutations: 6,
+        pages,
+    };
+    // The campaign worker loop's reuse: one boost scratch + recycled input
+    // slots across all programs.
+    let mut scratch = ModelScratch::new();
+    let mut inputs = Vec::new();
+    let mut cases = 0usize;
+    let t0 = Instant::now();
+    for _ in 0..programs {
+        let program = generator.program();
+        let flat = program.flatten_shared();
+        boosted_inputs_into(
+            &model,
+            &flat,
+            &input_cfg,
+            &mut rng,
+            &mut scratch,
+            &mut inputs,
+        );
+        let (_, stats) = detector.scan(&program, &flat, &inputs, &mut executor);
+        cases += stats.cases;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let rate = cases as f64 / secs;
+    println!("STT hot path: {cases} cases in {secs:.3}s = {rate:.0} cases/s");
+    let _ = writeln!(
+        json,
+        "{{\"bench\":\"throughput\",\"kind\":\"stt_hot_path\",\"name\":\"STT\",\"contract\":\"ARCH-SEQ\",\"pages\":{pages},\"cases\":{cases},\"cases_per_sec\":{rate:.1}}}"
+    );
 }
 
 /// End-to-end quick-campaign throughput: the classic instance-parallel
@@ -199,6 +296,10 @@ fn main() {
         json,
         "{{\"bench\":\"throughput\",\"kind\":\"hot_path\",\"name\":\"baseline_ctseq\",\"cases_per_sec\":{hot_rate:.1},\"legacy_cases_per_sec\":{legacy_rate:.1},\"speedup\":{speedup:.3}}}"
     );
+
+    // 1a. Taint-engine and STT hot-path trajectory lines.
+    taint_microbench(&mut json);
+    stt_hot_path(&mut json, env_usize("AMULET_STT_PROGRAMS", 6));
 
     // 1b. Full detector workload (scan + ctraces + validation re-runs).
     let (dcases, dsecs, confirmed) = detector_workload(programs);

@@ -6,10 +6,54 @@ use crate::trace::{CTrace, CTraceBuilder, Observation};
 use crate::ContractKind;
 use amulet_emu::SANDBOX_BASE_VA;
 use amulet_emu::{
-    Emulator, NullObserver, Observer, StepError, StepEvent, TaintConfig, TaintEngine,
+    Emulator, Machine, NullObserver, Observer, StepError, StepEvent, TaintConfig, TaintEngine,
 };
 use amulet_isa::{FlatProgram, Instr, Operand, TestInput};
 use amulet_util::BitSet;
+
+/// Reusable per-worker state for driving a [`LeakageModel`]: the emulator
+/// machine (sandbox image), the taint engine (word map, journal, interned-set
+/// pool) and the relevant-label scratch. Holding one of these across the
+/// test cases of a campaign unit makes [`LeakageModel::ctrace_with`] and
+/// [`LeakageModel::relevant_labels_with`] allocation-free after warm-up —
+/// on a 128-page sandbox that removes ~1.5 MiB of per-call setup.
+#[derive(Debug, Default)]
+pub struct ModelScratch {
+    machine: Option<Machine>,
+    engine: Option<TaintEngine>,
+    relevant: BitSet,
+}
+
+impl ModelScratch {
+    /// Creates an empty scratch (parts are built lazily on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A machine initialised for `input`, reusing the previous allocation
+    /// when the sandbox geometry matches.
+    fn machine_for(&mut self, sandbox_base: u64, input: &TestInput) -> Machine {
+        match self.machine.take() {
+            Some(mut m) => {
+                m.reset_from_input(sandbox_base, input);
+                m
+            }
+            None => Machine::from_input(sandbox_base, input),
+        }
+    }
+
+    /// A taint engine reset for `cfg`/`sandbox_size`, reusing the previous
+    /// allocation (including the interned-set pool) when possible.
+    fn engine_for(&mut self, cfg: TaintConfig, sandbox_size: usize) -> TaintEngine {
+        match self.engine.take() {
+            Some(mut e) => {
+                e.reset(cfg, sandbox_size);
+                e
+            }
+            None => TaintEngine::new(cfg, sandbox_size),
+        }
+    }
+}
 
 /// Observer extension used by the driver to mark speculative segments.
 trait ContractObserver: Observer {
@@ -75,7 +119,19 @@ impl LeakageModel {
 
     /// Computes the contract trace for a test case.
     pub fn ctrace(&self, flat: &FlatProgram, input: &TestInput) -> CTrace {
-        let mut emu = Emulator::new(flat, self.sandbox_base, input);
+        self.ctrace_with(flat, input, &mut ModelScratch::new())
+    }
+
+    /// [`LeakageModel::ctrace`] with caller-owned scratch: the machine (and
+    /// its sandbox image) is reused in place across calls.
+    pub fn ctrace_with(
+        &self,
+        flat: &FlatProgram,
+        input: &TestInput,
+        scratch: &mut ModelScratch,
+    ) -> CTrace {
+        let machine = scratch.machine_for(self.sandbox_base, input);
+        let mut emu = Emulator::from_parts(flat, machine, None);
         let mut builder = CTraceBuilder::new(self.kind.observes_values());
         if self.kind.observes_values() {
             // ARCH-SEQ additionally exposes the initial (architectural)
@@ -85,6 +141,8 @@ impl LeakageModel {
             }
         }
         self.drive(&mut emu, &mut builder);
+        let (machine, _) = emu.into_parts();
+        scratch.machine = Some(machine);
         builder.finish()
     }
 
@@ -94,27 +152,70 @@ impl LeakageModel {
     /// provably leaves the contract trace unchanged — the foundation of
     /// input boosting.
     pub fn relevant_labels(&self, flat: &FlatProgram, input: &TestInput) -> BitSet {
-        let engine = TaintEngine::new(
-            TaintConfig {
-                observe_values: self.kind.observes_values(),
-                observe_store_values: false,
-            },
-            input.mem.len(),
-        );
-        let mut emu = Emulator::new(flat, self.sandbox_base, input).with_taint(engine);
+        let mut scratch = ModelScratch::new();
+        self.relevant_labels_with(flat, input, &mut scratch).clone()
+    }
+
+    /// [`LeakageModel::relevant_labels`] with caller-owned scratch: the
+    /// taint engine (word map, journal, interned-set pool), sandbox image
+    /// and result bitset are all reused in place across calls. The returned
+    /// reference lives in `scratch` and is valid until its next use.
+    pub fn relevant_labels_with<'s>(
+        &self,
+        flat: &FlatProgram,
+        input: &TestInput,
+        scratch: &'s mut ModelScratch,
+    ) -> &'s BitSet {
+        let engine = scratch.engine_for(self.taint_config(), input.mem.len());
+        self.relevant_labels_drive(flat, input, engine, scratch)
+    }
+
+    /// [`LeakageModel::relevant_labels`] cross-checked against the dense
+    /// reference oracle on every speculative rollback and once at the end —
+    /// the differential-test entry point (see `tests/taint_oracle.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sparse engine and the dense oracle ever disagree.
+    pub fn relevant_labels_verified(&self, flat: &FlatProgram, input: &TestInput) -> BitSet {
+        let engine = TaintEngine::new(self.taint_config(), input.mem.len()).with_dense_shadow();
+        let mut scratch = ModelScratch::new();
+        self.relevant_labels_drive(flat, input, engine, &mut scratch)
+            .clone()
+    }
+
+    fn taint_config(&self) -> TaintConfig {
+        TaintConfig {
+            observe_values: self.kind.observes_values(),
+            observe_store_values: false,
+        }
+    }
+
+    fn relevant_labels_drive<'s>(
+        &self,
+        flat: &FlatProgram,
+        input: &TestInput,
+        engine: TaintEngine,
+        scratch: &'s mut ModelScratch,
+    ) -> &'s BitSet {
+        let machine = scratch.machine_for(self.sandbox_base, input);
+        let mut emu = Emulator::from_parts(flat, machine, Some(engine));
         self.drive(&mut emu, &mut NullObserver);
-        let mut relevant = emu
-            .taint
-            .expect("taint engine attached above")
-            .relevant()
-            .clone();
+        let (machine, engine) = emu.into_parts();
+        scratch.machine = Some(machine);
+        let engine = engine.expect("taint engine attached above");
+        if engine.has_dense_shadow() {
+            engine.verify_shadow();
+        }
+        scratch.relevant.clone_from(engine.relevant());
+        scratch.engine = Some(engine);
         if self.kind.observes_values() {
             // Initial registers are observed directly under ARCH-SEQ.
             for label in 0..16 {
-                relevant.insert(label);
+                scratch.relevant.insert(label);
             }
         }
-        relevant
+        &scratch.relevant
     }
 
     /// Drives one full execution under this contract's execution clause.

@@ -33,7 +33,7 @@
 pub mod driver;
 pub mod trace;
 
-pub use driver::LeakageModel;
+pub use driver::{LeakageModel, ModelScratch};
 pub use trace::{CTrace, Observation};
 
 /// The contracts available for testing, per paper Table 1 (+ CT-BPAS).

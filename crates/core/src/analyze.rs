@@ -242,7 +242,7 @@ mod tests {
         a.regs[1] = secrets.0;
         let mut b = gadgets::victim_input(1);
         b.regs[1] = secrets.1;
-        let detector = Detector::new(LeakageModel::new(ContractKind::CtSeq));
+        let mut detector = Detector::new(LeakageModel::new(ContractKind::CtSeq));
         let (violations, stats) = detector.scan(&program, &flat, &[a, b], &mut executor);
         assert!(
             !violations.is_empty(),

@@ -6,10 +6,11 @@ use crate::cost::CostModel;
 use crate::detect::{Detector, ScanStats, Violation};
 use crate::executor::{ExecMode, Executor, ExecutorConfig};
 use crate::generator::{Generator, GeneratorConfig};
-use crate::inputs::{boosted_inputs, InputGenConfig};
+use crate::inputs::{boosted_inputs_into, InputGenConfig};
 use crate::trace::TraceFormat;
-use amulet_contracts::{ContractKind, LeakageModel};
+use amulet_contracts::{ContractKind, LeakageModel, ModelScratch};
 use amulet_defenses::DefenseKind;
+use amulet_isa::TestInput;
 use amulet_sim::SimConfig;
 use amulet_util::{fmt_duration_s, Summary, Xoshiro256};
 use std::collections::BTreeMap;
@@ -403,6 +404,32 @@ pub(crate) fn executor_for(cfg: &CampaignConfig) -> Executor {
     })
 }
 
+/// Persistent per-worker state for one campaign's units: the executor (one
+/// simulator instance — construction and the cached prefill image are paid
+/// once per worker, not per batch), the detector (with its contract-trace
+/// machine and per-case context slots), the input-boosting scratch (taint
+/// engine, sandbox images) and the recycled boosted-input slots.
+///
+/// Reusing this across shard batches is invisible to results:
+/// [`Executor::reset_unit`] returns the executor to power-on predictor
+/// state at the top of every [`run_programs`] call, and the detector's
+/// scratch never leaks state between scans — each batch sees exactly the
+/// state freshly built components would give it, so the fingerprint stays
+/// worker-count-invariant (`tests/shard_determinism.rs`).
+#[derive(Debug, Default)]
+pub(crate) struct UnitRuntime {
+    executor: Option<Executor>,
+    detector: Option<Detector>,
+    boost: ModelScratch,
+    inputs: Vec<TestInput>,
+}
+
+impl UnitRuntime {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The result of one campaign unit's program stream (an instance or a
 /// shard batch) — both orchestrators reduce over these.
 #[derive(Debug, Default)]
@@ -416,25 +443,37 @@ pub(crate) struct UnitScan {
 /// scan → filter → classify, with find-first stopping the stream at its
 /// first kept violation. `rng` seeds the generator and then drives input
 /// boosting (so the unit's whole case stream flows from it); detection
-/// times are measured from `anchor`.
+/// times are measured from `anchor`; `rt` carries the executor and scratch
+/// buffers across units run by the same worker.
 pub(crate) fn run_programs(
     cfg: &CampaignConfig,
     rng: &mut Xoshiro256,
     programs: usize,
     anchor: Instant,
+    rt: &mut UnitRuntime,
 ) -> UnitScan {
     let mut generator = Generator::new(cfg.generator.clone(), rng.next_u64());
     let model = LeakageModel::new(cfg.contract);
-    let mut detector = Detector::new(model.clone());
+    let detector = rt
+        .detector
+        .get_or_insert_with(|| Detector::new(model.clone()));
     detector.skip_singletons = cfg.skip_singletons;
-    let mut executor = executor_for(cfg);
+    let executor = rt.executor.get_or_insert_with(|| executor_for(cfg));
+    executor.reset_unit();
 
     let mut out = UnitScan::default();
     for _ in 0..programs {
         let program = generator.program();
         let flat = program.flatten_shared();
-        let inputs = boosted_inputs(&model, &flat, &cfg.inputs, rng);
-        let (violations, stats) = detector.scan(&program, &flat, &inputs, &mut executor);
+        boosted_inputs_into(
+            &model,
+            &flat,
+            &cfg.inputs,
+            rng,
+            &mut rt.boost,
+            &mut rt.inputs,
+        );
+        let (violations, stats) = detector.scan(&program, &flat, &rt.inputs, executor);
         out.stats.merge(&stats);
         for v in violations {
             if !cfg.filter.keep(&v) {
@@ -456,7 +495,8 @@ pub(crate) fn run_programs(
 fn run_instance(cfg: &CampaignConfig, index: usize) -> InstanceResult {
     let started = Instant::now();
     let mut rng = Xoshiro256::seed_from_u64(cfg.seed.wrapping_add(index as u64));
-    let scan = run_programs(cfg, &mut rng, cfg.programs_per_instance, started);
+    let mut rt = UnitRuntime::new();
+    let scan = run_programs(cfg, &mut rng, cfg.programs_per_instance, started, &mut rt);
     InstanceResult {
         violations: scan.violations,
         stats: scan.stats,

@@ -13,12 +13,14 @@
 //! The first pass over the inputs only needs µarch-trace *equality*, never
 //! trace contents: candidates are decided by comparing, confirmed
 //! violations are built from validation re-runs. [`Detector::scan`]
-//! therefore runs the hot path with [`Executor::run_case`], which returns a
-//! streaming 64-bit [`CaseDigest`] computed by
-//! the simulator in the selected trace format — no snapshot clone, no
-//! [`UTrace`] materialisation, no event logging. Only the candidate pairs
-//! that reach validation re-run with logging on and full traces;
-//! [`UTrace`] remains the analysis/report type carried by [`Violation`].
+//! therefore runs the hot path with [`Executor::run_case_ctx`], which
+//! returns a streaming 64-bit [`CaseDigest`] computed by the simulator in
+//! the selected trace format and saves the starting predictor state into a
+//! recycled per-index slot — no snapshot clone, no [`UTrace`]
+//! materialisation, no event logging, no per-case context allocation. Only
+//! the candidate pairs that reach validation re-run with logging on and
+//! full traces; [`UTrace`] remains the analysis/report type carried by
+//! [`Violation`].
 //! Up to 64-bit hash collisions (~2⁻⁶⁴ per pair), the confirmed violations
 //! are bit-identical to comparing materialised traces.
 //!
@@ -31,7 +33,7 @@
 
 use crate::executor::{CaseDigest, Executor};
 use crate::trace::UTrace;
-use amulet_contracts::LeakageModel;
+use amulet_contracts::{LeakageModel, ModelScratch};
 use amulet_isa::{Program, SharedProgram, TestInput};
 use amulet_sim::{DebugEvent, UarchContext};
 use std::collections::HashMap;
@@ -100,7 +102,7 @@ impl ScanStats {
 ///
 /// let program = parse_program("MOV RAX, qword ptr [R14 + 8]\nEXIT").unwrap();
 /// let flat = program.flatten_shared();
-/// let detector = Detector::new(LeakageModel::new(ContractKind::CtSeq));
+/// let mut detector = Detector::new(LeakageModel::new(ContractKind::CtSeq));
 /// let mut executor = Executor::new(ExecutorConfig::new(DefenseKind::Baseline));
 /// // Two identical inputs: one effective class, no violation possible.
 /// let inputs = vec![TestInput::zeroed(1), TestInput::zeroed(1)];
@@ -121,6 +123,11 @@ pub struct Detector {
     /// skipping runs changes Opt-mode predictor-state evolution across the
     /// scan, which the paper's detection variety relies on.
     pub skip_singletons: bool,
+    /// Per-case starting contexts of the current scan, captured into
+    /// recycled slots (see [`Executor::run_case_ctx`]).
+    ctxs: Vec<UarchContext>,
+    /// Contract-trace scratch (emulator machine reused across cases).
+    emu_scratch: ModelScratch,
 }
 
 impl Detector {
@@ -131,6 +138,8 @@ impl Detector {
             max_per_program: 4,
             log_cap: 20_000,
             skip_singletons: false,
+            ctxs: Vec::new(),
+            emu_scratch: ModelScratch::new(),
         }
     }
 
@@ -142,7 +151,7 @@ impl Detector {
     /// Runs all inputs, groups by contract trace, validates candidate
     /// violations, and returns the confirmed ones plus counters.
     pub fn scan(
-        &self,
+        &mut self,
         program: &Program,
         flat: &SharedProgram,
         inputs: &[TestInput],
@@ -155,15 +164,19 @@ impl Detector {
         let mut classes: HashMap<u64, Vec<usize>> = HashMap::new();
         let mut class_of = Vec::with_capacity(inputs.len());
         for (i, input) in inputs.iter().enumerate() {
-            let ct = self.model.ctrace(flat, input);
+            let ct = self.model.ctrace_with(flat, input, &mut self.emu_scratch);
             classes.entry(ct.digest()).or_default().push(i);
             class_of.push(ct.digest());
         }
         stats.classes = classes.len();
 
         // µarch trace digests, in input order (Opt-mode predictor state
-        // evolves run to run, so order is semantics). Singleton-class inputs
-        // optionally skip execution.
+        // evolves run to run, so order is semantics); each case's starting
+        // context is captured into a recycled per-index slot for validation.
+        // Singleton-class inputs optionally skip execution.
+        if self.ctxs.len() < inputs.len() {
+            self.ctxs.resize_with(inputs.len(), UarchContext::default);
+        }
         let runs: Vec<Option<CaseDigest>> = inputs
             .iter()
             .enumerate()
@@ -171,7 +184,7 @@ impl Detector {
                 if self.skip_singletons && classes[&class_of[i]].len() < 2 {
                     None
                 } else {
-                    Some(executor.run_case(flat, input))
+                    Some(executor.run_case_ctx(flat, input, &mut self.ctxs[i]))
                 }
             })
             .collect();
@@ -200,7 +213,7 @@ impl Detector {
                 }
                 stats.candidates += 1;
                 if let Some(v) = self.validate(
-                    program, flat, inputs, &runs, rep, other, digest, executor, &mut stats,
+                    program, flat, inputs, rep, other, digest, executor, &mut stats,
                 ) {
                     stats.confirmed += 1;
                     violations.push(v);
@@ -221,20 +234,20 @@ impl Detector {
         program: &Program,
         flat: &SharedProgram,
         inputs: &[TestInput],
-        runs: &[Option<CaseDigest>],
         a: usize,
         b: usize,
         digest: u64,
         executor: &mut Executor,
         stats: &mut ScanStats,
     ) -> Option<Violation> {
-        let ctx_a = runs[a].as_ref().expect("candidate ran").start_ctx.clone();
-        let ctx_b = runs[b].as_ref().expect("candidate ran").start_ctx.clone();
+        // Candidates always executed, so their context slots are fresh.
+        let ctx_a = &self.ctxs[a];
+        let ctx_b = &self.ctxs[b];
 
         // Under context A.
-        let ra_ca = executor.run_case_with_ctx(flat, &inputs[a], &ctx_a);
+        let ra_ca = executor.run_case_with_ctx(flat, &inputs[a], ctx_a);
         let log_a = executor.last_log_capped(self.log_cap);
-        let rb_ca = executor.run_case_with_ctx(flat, &inputs[b], &ctx_a);
+        let rb_ca = executor.run_case_with_ctx(flat, &inputs[b], ctx_a);
         let log_b = executor.last_log_capped(self.log_cap);
         stats.validation_runs += 2;
         if ra_ca.utrace != rb_ca.utrace {
@@ -246,16 +259,16 @@ impl Detector {
                 utrace_a: ra_ca.utrace,
                 utrace_b: rb_ca.utrace,
                 ctx_a: ctx_a.clone(),
-                ctx_b: ctx_a,
+                ctx_b: ctx_a.clone(),
                 log_a,
                 log_b,
             });
         }
 
         // Under context B.
-        let ra_cb = executor.run_case_with_ctx(flat, &inputs[a], &ctx_b);
+        let ra_cb = executor.run_case_with_ctx(flat, &inputs[a], ctx_b);
         let log_a = executor.last_log_capped(self.log_cap);
-        let rb_cb = executor.run_case_with_ctx(flat, &inputs[b], &ctx_b);
+        let rb_cb = executor.run_case_with_ctx(flat, &inputs[b], ctx_b);
         let log_b = executor.last_log_capped(self.log_cap);
         stats.validation_runs += 2;
         if ra_cb.utrace == rb_cb.utrace {
@@ -270,7 +283,7 @@ impl Detector {
             utrace_a: ra_cb.utrace,
             utrace_b: rb_cb.utrace,
             ctx_a: ctx_b.clone(),
-            ctx_b,
+            ctx_b: ctx_b.clone(),
             log_a,
             log_b,
         })
@@ -338,7 +351,7 @@ mod tests {
         b.regs[1] = 0x100;
         let inputs = vec![a, b];
 
-        let detector = Detector::new(model.clone());
+        let mut detector = Detector::new(model.clone());
         assert_eq!(
             model.ctrace(&flat, &inputs[0]),
             model.ctrace(&flat, &inputs[1]),
@@ -378,7 +391,7 @@ mod tests {
         // Under CT-COND these inputs have *different* contract traces (the
         // wrong-path load address is exposed), so they land in different
         // classes and can never be flagged.
-        let detector = Detector::new(model);
+        let mut detector = Detector::new(model);
         let (violations, stats) = detector.scan(&program, &flat, &[a, b], &mut executor);
         assert_eq!(stats.classes, 2);
         assert!(violations.is_empty());
@@ -408,7 +421,7 @@ mod tests {
         }
         let v = gadgets::victim_input(1);
         let inputs = vec![v.clone(), v];
-        let detector = Detector::new(model);
+        let mut detector = Detector::new(model);
         let (violations, _) = detector.scan(&program, &flat, &inputs, &mut executor);
         assert!(
             violations.is_empty(),
@@ -486,7 +499,7 @@ mod tests {
         a.regs[1] = 0x740;
         let mut b = gadgets::train_input(1);
         b.regs[1] = 0x100;
-        let detector = Detector::new(model);
+        let mut detector = Detector::new(model);
         let (violations, stats) = detector.scan(&program, &flat, &[a, b], &mut executor);
         assert_eq!(stats.classes, 2, "architectural RBX use differs ctraces");
         assert!(violations.is_empty());

@@ -101,13 +101,15 @@ impl ExecutorConfig {
 /// equivalent to [`UTrace`] equality in the executor's configured format, so
 /// the detector's first pass compares digests and only candidate pairs pay
 /// for full traces via validation re-runs.
+///
+/// Deliberately `Copy`-sized: the starting µarch context is *not* carried
+/// here — callers that need it (the detector, for validation) pass a
+/// reusable slot to [`Executor::run_case_ctx`], so the hot path never
+/// allocates a predictor-state snapshot per case.
 #[derive(Debug, Clone)]
 pub struct CaseDigest {
     /// Streaming digest of the µarch trace in the configured format.
     pub digest: u64,
-    /// µarch context (predictor state) *before* the run — needed for
-    /// violation validation.
-    pub start_ctx: UarchContext,
     /// Raw simulation result.
     pub result: SimResult,
 }
@@ -166,13 +168,36 @@ impl Executor {
     /// Runs one test case on the hot path: logging off (unless
     /// `log_hot_path`), no trace materialisation — the simulator streams a
     /// digest of the configured trace format instead. State resets per the
-    /// execution mode.
+    /// execution mode. The starting µarch context is not captured; use
+    /// [`Executor::run_case_ctx`] when validation may need it.
     pub fn run_case(&mut self, flat: &SharedProgram, input: &TestInput) -> CaseDigest {
+        self.begin_case();
+        self.finish_case(flat, input)
+    }
+
+    /// [`Executor::run_case`], saving the starting µarch context (predictor
+    /// state, as needed for violation validation) into `start_ctx` in place
+    /// — a warm slot makes the capture allocation-free.
+    pub fn run_case_ctx(
+        &mut self,
+        flat: &SharedProgram,
+        input: &TestInput,
+        start_ctx: &mut UarchContext,
+    ) -> CaseDigest {
+        self.begin_case();
+        self.sim.save_context_into(start_ctx);
+        self.finish_case(flat, input)
+    }
+
+    /// Per-mode state reset at the top of a hot-path case.
+    fn begin_case(&mut self) {
         if self.cfg.mode == ExecMode::Naive {
             self.sim.reset_predictors();
         }
         self.reset_caches();
-        let start_ctx = self.sim.context();
+    }
+
+    fn finish_case(&mut self, flat: &SharedProgram, input: &TestInput) -> CaseDigest {
         self.sim.set_log_mode(if self.cfg.log_hot_path {
             LogMode::Record
         } else {
@@ -182,9 +207,23 @@ impl Executor {
         let result = self.sim.run();
         CaseDigest {
             digest: self.sim.trace_digest(self.digest_kind()),
-            start_ctx,
             result,
         }
+    }
+
+    /// Resets the executor to batch-fresh semantics: predictors return to
+    /// power-on state, exactly as if the executor had just been constructed
+    /// (caches are flushed per case anyway). This is what lets a sharded
+    /// worker keep one executor alive across batches without perturbing the
+    /// deterministic per-batch results — asserted by
+    /// `tests/shard_determinism.rs`.
+    pub fn reset_unit(&mut self) {
+        self.sim.reset_predictors();
+    }
+
+    /// The current µarch context (predictor state snapshot).
+    pub fn context(&self) -> UarchContext {
+        self.sim.context()
     }
 
     /// Runs one test case with logging on and a materialised µarch trace —
@@ -313,9 +352,10 @@ mod tests {
     fn hot_path_runs_with_logging_off_but_validation_logs() {
         let mut ex = Executor::new(ExecutorConfig::new(DefenseKind::Baseline));
         let flat = flat();
-        let run = ex.run_case(&flat, &TestInput::zeroed(1));
+        let mut start_ctx = UarchContext::default();
+        ex.run_case_ctx(&flat, &TestInput::zeroed(1), &mut start_ctx);
         assert!(ex.last_log().is_empty(), "hot path must not record events");
-        let replay = ex.run_case_with_ctx(&flat, &TestInput::zeroed(1), &run.start_ctx);
+        let replay = ex.run_case_with_ctx(&flat, &TestInput::zeroed(1), &start_ctx);
         assert!(
             !ex.last_log().is_empty(),
             "validation re-runs record events"
@@ -342,14 +382,34 @@ mod tests {
             mode: ExecMode::Naive,
             ..ExecutorConfig::new(DefenseKind::Baseline)
         });
-        let a = naive.run_case(&flat, &input);
-        let b = naive.run_case(&flat, &input);
-        assert_eq!(a.start_ctx, b.start_ctx, "naive restarts fresh");
+        let (mut ctx_a, mut ctx_b) = (UarchContext::default(), UarchContext::default());
+        naive.run_case_ctx(&flat, &input, &mut ctx_a);
+        naive.run_case_ctx(&flat, &input, &mut ctx_b);
+        assert_eq!(ctx_a, ctx_b, "naive restarts fresh");
 
         let mut opt = Executor::new(ExecutorConfig::new(DefenseKind::Baseline));
-        let a = opt.run_case(&flat, &input);
-        let b = opt.run_case(&flat, &input);
-        assert_ne!(a.start_ctx, b.start_ctx, "opt preserves predictor state");
+        opt.run_case_ctx(&flat, &input, &mut ctx_a);
+        opt.run_case_ctx(&flat, &input, &mut ctx_b);
+        assert_ne!(ctx_a, ctx_b, "opt preserves predictor state");
+    }
+
+    /// `reset_unit` returns a used executor to batch-fresh semantics: the
+    /// next case observes power-on predictor state.
+    #[test]
+    fn reset_unit_restores_constructor_semantics() {
+        let src = "
+            CMP RAX, 0
+            JZ .a
+            .a:
+            EXIT";
+        let flat = parse_program(src).unwrap().flatten_shared();
+        let input = TestInput::zeroed(1);
+        let mut ex = Executor::new(ExecutorConfig::new(DefenseKind::Baseline));
+        let fresh = ex.context();
+        ex.run_case(&flat, &input);
+        assert_ne!(ex.context(), fresh, "opt mode evolved the predictors");
+        ex.reset_unit();
+        assert_eq!(ex.context(), fresh, "reset_unit returns to power-on");
     }
 
     #[test]

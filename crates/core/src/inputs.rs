@@ -8,7 +8,7 @@
 //! the contract does not look. Those are exactly the inputs that expose
 //! speculative leaks as Definition 2.1 violations.
 
-use amulet_contracts::LeakageModel;
+use amulet_contracts::{LeakageModel, ModelScratch};
 use amulet_isa::{FlatProgram, Gpr, TestInput};
 use amulet_util::Xoshiro256;
 
@@ -61,27 +61,69 @@ pub fn boosted_inputs(
     cfg: &InputGenConfig,
     rng: &mut Xoshiro256,
 ) -> Vec<TestInput> {
-    let mut out = Vec::with_capacity(cfg.total());
-    for _ in 0..cfg.base_inputs {
-        let base = TestInput::random(rng, cfg.pages);
-        let relevant = model.relevant_labels(flat, &base);
-        out.push(base.clone());
-        for _ in 0..cfg.mutations {
-            let mut m = base.clone();
-            for label in 0..m.label_count() {
-                if relevant.contains(label) || is_pinned(label) {
-                    continue;
-                }
-                // Mutate roughly half the free labels each time, for variety
-                // across mutants.
-                if rng.chance(1, 2) {
-                    m.set_label(label, rng.next_u64());
+    let mut out = Vec::new();
+    boosted_inputs_into(model, flat, cfg, rng, &mut ModelScratch::new(), &mut out);
+    out
+}
+
+/// [`boosted_inputs`] with caller-owned scratch — the campaign hot path.
+///
+/// `scratch` carries the taint engine, sandbox image and relevant-label
+/// buffer across calls (see [`ModelScratch`]); `out`'s slots are recycled,
+/// so a campaign unit reuses the same `total × pages` of input storage for
+/// every program instead of reallocating it (≈14 MiB per program on the
+/// STT shape).
+///
+/// Mutants are built word-at-a-time: every *free* (non-relevant,
+/// non-pinned) register and the whole sandbox image get fresh randomness,
+/// then the contract-observed words are restored from the base. One RNG
+/// draw per 8-byte word keeps the mutation cost at memory-bandwidth order
+/// — a per-label accept/reject walk costs a multiple of that in RNG alone
+/// on a 128-page sandbox.
+pub fn boosted_inputs_into(
+    model: &LeakageModel,
+    flat: &FlatProgram,
+    cfg: &InputGenConfig,
+    rng: &mut Xoshiro256,
+    scratch: &mut ModelScratch,
+    out: &mut Vec<TestInput>,
+) {
+    let group = 1 + cfg.mutations;
+    out.truncate(cfg.total());
+    for b in 0..cfg.base_inputs {
+        let base_idx = b * group;
+        if out.len() <= base_idx {
+            out.push(TestInput::zeroed(cfg.pages));
+        }
+        out[base_idx].randomize(rng, cfg.pages);
+        let relevant = model.relevant_labels_with(flat, &out[base_idx], scratch);
+        for m in 1..group {
+            let idx = base_idx + m;
+            if out.len() <= idx {
+                out.push(TestInput::zeroed(cfg.pages));
+            }
+            let (head, tail) = out.split_at_mut(idx);
+            let base = &head[base_idx];
+            let mutant = &mut tail[0];
+            // No base copy: registers are 128 bytes, and every memory byte
+            // is either freshly drawn below or restored from the base
+            // afterwards (the relevant words — a handful, not the image).
+            mutant.regs = base.regs;
+            mutant.flags_bits = base.flags_bits;
+            for label in 0..16 {
+                if !relevant.contains(label) && !is_pinned(label) {
+                    mutant.regs[label] = rng.next_u64();
                 }
             }
-            out.push(m);
+            mutant.mem.resize(base.mem.len(), 0);
+            rng.fill_bytes(&mut mutant.mem);
+            for label in relevant.iter() {
+                if let Some(word) = label.checked_sub(16) {
+                    mutant.set_word(word, base.word(word));
+                }
+            }
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -60,7 +60,7 @@ pub use cost::{CostModel, TimeBreakdown};
 pub use detect::{Detector, ScanStats, Violation};
 pub use executor::{CaseDigest, CaseRun, ExecMode, Executor, ExecutorConfig};
 pub use generator::{Generator, GeneratorConfig};
-pub use inputs::{boosted_inputs, InputGenConfig};
+pub use inputs::{boosted_inputs, boosted_inputs_into, InputGenConfig};
 pub use minimize::{minimize, Minimized};
 pub use shard::{ShardConfig, ShardedCampaign};
 pub use trace::{TraceFormat, UTrace};

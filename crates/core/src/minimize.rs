@@ -118,7 +118,7 @@ mod tests {
         a.regs[1] = 0x740;
         let mut b = gadgets::victim_input(1);
         b.regs[1] = 0x340;
-        let detector = Detector::new(LeakageModel::new(ContractKind::CtSeq));
+        let mut detector = Detector::new(LeakageModel::new(ContractKind::CtSeq));
         let (violations, _) = detector.scan(&program, &flat, &[a, b], &mut executor);
         let v = violations.first().expect("padded gadget violates");
 

@@ -43,7 +43,7 @@
 //! assert_eq!(serial.fingerprint(), pooled.fingerprint());
 //! ```
 
-use crate::campaign::{run_programs, CampaignConfig, CampaignReport};
+use crate::campaign::{run_programs, CampaignConfig, CampaignReport, UnitRuntime};
 use crate::cost::CostModel;
 use crate::detect::{ScanStats, Violation};
 use amulet_util::{SplitMix64, Summary, Xoshiro256};
@@ -148,15 +148,25 @@ fn batch_seed(campaign_seed: u64, instance: usize, batch: usize) -> u64 {
     SplitMix64::new(mixed).next_u64()
 }
 
-/// Runs one batch on a fresh executor with its own derived RNG streams,
-/// through the same per-program scan loop as the instance-parallel
-/// orchestrator ([`run_programs`]). `campaign_start` anchors detection
-/// times to the campaign, so the reducer's min over batches is the true
-/// wall-clock time until the campaign first confirmed a violation (a
-/// per-batch time would measure schedule position instead).
-fn run_batch(cfg: &CampaignConfig, spec: &BatchSpec, campaign_start: Instant) -> BatchResult {
+/// Runs one batch with its own derived RNG streams, through the same
+/// per-program scan loop as the instance-parallel orchestrator
+/// ([`run_programs`]). `campaign_start` anchors detection times to the
+/// campaign, so the reducer's min over batches is the true wall-clock time
+/// until the campaign first confirmed a violation (a per-batch time would
+/// measure schedule position instead).
+///
+/// `rt` is the calling worker's persistent [`UnitRuntime`]: the executor
+/// and scratch buffers are *reused* across every batch the worker runs, and
+/// reset to batch-fresh semantics inside [`run_programs`] — so results stay
+/// independent of which worker ran the batch.
+fn run_batch(
+    cfg: &CampaignConfig,
+    spec: &BatchSpec,
+    campaign_start: Instant,
+    rt: &mut UnitRuntime,
+) -> BatchResult {
     let mut rng = Xoshiro256::seed_from_u64(batch_seed(cfg.seed, spec.instance, spec.batch));
-    let scan = run_programs(cfg, &mut rng, spec.programs, campaign_start);
+    let scan = run_programs(cfg, &mut rng, spec.programs, campaign_start, rt);
     BatchResult {
         index: spec.index,
         violations: scan.violations,
@@ -198,23 +208,28 @@ impl ShardedCampaign {
         let results: Mutex<Vec<BatchResult>> = Mutex::new(Vec::with_capacity(batches.len()));
         std::thread::scope(|scope| {
             for _ in 0..workers.max(1) {
-                scope.spawn(|| loop {
-                    let idx = cursor.fetch_add(1, Ordering::SeqCst);
-                    if idx >= batches.len() {
-                        break;
+                scope.spawn(|| {
+                    // One executor + scratch set per (worker, defense),
+                    // reused across every batch this worker pulls.
+                    let mut rt = UnitRuntime::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::SeqCst);
+                        if idx >= batches.len() {
+                            break;
+                        }
+                        // Early-exit: batches past the earliest confirmed hit
+                        // would be discarded by the reducer anyway. (`earliest_hit`
+                        // only decreases, so a skipped index can never end up at
+                        // or before the final hit.)
+                        if cfg.stop_on_first && idx > earliest_hit.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let res = run_batch(&cfg, &batches[idx], start, &mut rt);
+                        if cfg.stop_on_first && !res.violations.is_empty() {
+                            earliest_hit.fetch_min(idx, Ordering::SeqCst);
+                        }
+                        results.lock().unwrap().push(res);
                     }
-                    // Early-exit: batches past the earliest confirmed hit
-                    // would be discarded by the reducer anyway. (`earliest_hit`
-                    // only decreases, so a skipped index can never end up at
-                    // or before the final hit.)
-                    if cfg.stop_on_first && idx > earliest_hit.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let res = run_batch(&cfg, &batches[idx], start);
-                    if cfg.stop_on_first && !res.violations.is_empty() {
-                        earliest_hit.fetch_min(idx, Ordering::SeqCst);
-                    }
-                    results.lock().unwrap().push(res);
                 });
             }
         });

@@ -6,7 +6,6 @@ use crate::taint::{TaintCheckpoint, TaintEngine, TaintSet};
 use amulet_isa::semantics::{alu, unary};
 use amulet_isa::{FlatProgram, Instr, LoopKind, MemRef, Operand, TestInput, Width};
 use amulet_isa::{Gpr, UnOp};
-use amulet_util::BitSet;
 use std::fmt;
 
 /// What a single [`Emulator::step`] did.
@@ -115,6 +114,22 @@ impl<'p> Emulator<'p> {
         self
     }
 
+    /// Assembles an emulator from pre-built parts — the reuse path: a
+    /// machine reset via [`Machine::reset_from_input`] and an engine reset
+    /// via [`TaintEngine::reset`] make this allocation-free.
+    pub fn from_parts(flat: &'p FlatProgram, machine: Machine, taint: Option<TaintEngine>) -> Self {
+        Emulator {
+            flat,
+            machine,
+            taint,
+        }
+    }
+
+    /// Disassembles the emulator into its reusable parts.
+    pub fn into_parts(self) -> (Machine, Option<TaintEngine>) {
+        (self.machine, self.taint)
+    }
+
     /// The program being executed.
     pub fn program(&self) -> &'p FlatProgram {
         self.flat
@@ -203,17 +218,13 @@ impl<'p> Emulator<'p> {
                 let (src_v, src_t) = self.read_operand(&src, obs);
                 let r = alu(op, width, dst_v, src_v, self.machine.flags);
 
-                let mut combined = dst_t;
-                combined.union_with(&src_t);
+                let mut combined = self.taint_union(dst_t, src_t);
                 if op.reads_flags() {
-                    if let Some(t) = &self.taint {
-                        let ft = t.flags_taint().clone();
-                        combined.union_with(&ft);
-                    }
+                    combined = self.taint_union(combined, self.flags_taint());
                 }
                 self.machine.flags = r.flags;
                 if let Some(t) = self.taint.as_mut() {
-                    t.set_flags_taint(combined.clone());
+                    t.set_flags_taint(combined);
                 }
                 if !op.discards_result() {
                     match (dst, dst_mem) {
@@ -241,15 +252,12 @@ impl<'p> Emulator<'p> {
                 if matches!(op, UnOp::Inc | UnOp::Dec) {
                     // CF is preserved, so the new flags partly depend on the
                     // old flags taint.
-                    if let Some(engine) = &self.taint {
-                        let ft = engine.flags_taint().clone();
-                        t.union_with(&ft);
-                    }
+                    t = self.taint_union(t, self.flags_taint());
                 }
                 self.machine.flags = r.flags;
                 if !matches!(op, UnOp::Not) {
                     if let Some(engine) = self.taint.as_mut() {
-                        engine.set_flags_taint(t.clone());
+                        engine.set_flags_taint(t);
                     }
                 }
                 match (dst, mem) {
@@ -275,23 +283,15 @@ impl<'p> Emulator<'p> {
                     self.machine.read_reg(r, w)
                 };
                 self.machine.write_reg(r, w, value);
-                let mut t = src_t;
-                t.union_with(&self.reg_taint(r));
-                if let Some(engine) = &self.taint {
-                    let ft = engine.flags_taint().clone();
-                    t.union_with(&ft);
-                }
+                let mut t = self.taint_union(src_t, self.reg_taint(r));
+                t = self.taint_union(t, self.flags_taint());
                 self.write_reg_taint_full(r, t);
                 self.machine.pc = pc + 1;
                 Ok(StepEvent::Executed)
             }
             Instr::Set { cond, dst } => {
                 let value = cond.eval(self.machine.flags) as u64;
-                let t = self
-                    .taint
-                    .as_ref()
-                    .map(|e| e.flags_taint().clone())
-                    .unwrap_or_default();
+                let t = self.flags_taint();
                 match dst {
                     Operand::Reg(r, w) => {
                         self.machine.write_reg(r, w, value);
@@ -308,8 +308,8 @@ impl<'p> Emulator<'p> {
                 let taken_target = self.flat.target_index(target);
                 let fallthrough = pc + 1;
                 if let Some(engine) = self.taint.as_mut() {
-                    let ft = engine.flags_taint().clone();
-                    engine.mark_relevant(&ft);
+                    let ft = engine.flags_taint();
+                    engine.mark_relevant(ft);
                 }
                 let next = if taken { taken_target } else { fallthrough };
                 self.machine.pc = next;
@@ -345,11 +345,11 @@ impl<'p> Emulator<'p> {
                         LoopKind::Loopne => !zf,
                     };
                 if let Some(engine) = self.taint.as_mut() {
-                    let mut dep = engine.reg_taint(Gpr::Rcx.index()).clone();
+                    let mut dep = engine.reg_taint(Gpr::Rcx.index());
                     if !matches!(kind, LoopKind::Loop) {
-                        dep.union_with(&engine.flags_taint().clone());
+                        dep = engine.union(dep, engine.flags_taint());
                     }
-                    engine.mark_relevant(&dep);
+                    engine.mark_relevant(dep);
                 }
                 let taken_target = self.flat.target_index(target);
                 let fallthrough = pc + 1;
@@ -375,14 +375,36 @@ impl<'p> Emulator<'p> {
     fn reg_taint(&self, r: Gpr) -> TaintSet {
         self.taint
             .as_ref()
-            .map(|t| t.reg_taint(r.index()).clone())
+            .map(|t| t.reg_taint(r.index()))
             .unwrap_or_default()
+    }
+
+    fn flags_taint(&self) -> TaintSet {
+        self.taint
+            .as_ref()
+            .map(|t| t.flags_taint())
+            .unwrap_or_default()
+    }
+
+    /// Unions two taint sets in the engine's pool. With no engine attached
+    /// every set is empty, so the identity cases cover it.
+    fn taint_union(&mut self, a: TaintSet, b: TaintSet) -> TaintSet {
+        if b.is_empty() || a == b {
+            return a;
+        }
+        if a.is_empty() {
+            return b;
+        }
+        match self.taint.as_mut() {
+            Some(engine) => engine.union(a, b),
+            None => unreachable!("non-empty taint sets require an engine"),
+        }
     }
 
     fn write_reg_taint(&mut self, r: Gpr, w: Width, taint: TaintSet) {
         if let Some(engine) = self.taint.as_mut() {
             if matches!(w, Width::B | Width::W) {
-                engine.merge_reg_taint(r.index(), &taint);
+                engine.merge_reg_taint(r.index(), taint);
             } else {
                 engine.set_reg_taint(r.index(), taint);
             }
@@ -410,11 +432,11 @@ impl<'p> Emulator<'p> {
         (addr, wrapped)
     }
 
-    fn addr_taint(&self, m: &MemRef) -> TaintSet {
-        let mut t = BitSet::new();
-        if let Some(engine) = &self.taint {
+    fn addr_taint(&mut self, m: &MemRef) -> TaintSet {
+        let mut t = TaintSet::EMPTY;
+        if let Some(engine) = self.taint.as_mut() {
             for r in m.addr_regs() {
-                t.union_with(engine.reg_taint(r.index()));
+                t = engine.union(t, engine.reg_taint(r.index()));
             }
         }
         t
@@ -425,13 +447,14 @@ impl<'p> Emulator<'p> {
         let value = self.machine.read_mem(addr, m.width);
         obs.on_mem(MemKind::Load, wrapped, m.width, value);
         let mut value_taint = TaintSet::default();
-        let at = self.taint.is_some().then(|| self.addr_taint(m));
-        if let (Some(at), Some(engine)) = (at, self.taint.as_mut()) {
-            engine.mark_relevant(&at);
+        if self.taint.is_some() {
+            let at = self.addr_taint(m);
             let off = wrapped.wrapping_sub(self.machine.sandbox.base());
+            let engine = self.taint.as_mut().expect("checked above");
+            engine.mark_relevant(at);
             value_taint = engine.mem_taint_range(off, m.width.bytes());
             if engine.config().observe_values {
-                engine.mark_relevant(&value_taint.clone());
+                engine.mark_relevant(value_taint);
             }
         }
         (value, value_taint)
@@ -441,14 +464,15 @@ impl<'p> Emulator<'p> {
         let (addr, wrapped) = self.addr_of(m);
         self.machine.write_mem(addr, m.width, value);
         obs.on_mem(MemKind::Store, wrapped, m.width, value);
-        let at = self.taint.is_some().then(|| self.addr_taint(m));
-        if let (Some(at), Some(engine)) = (at, self.taint.as_mut()) {
-            engine.mark_relevant(&at);
-            if engine.config().observe_store_values {
-                engine.mark_relevant(&data_taint);
-            }
+        if self.taint.is_some() {
+            let at = self.addr_taint(m);
             let off = wrapped.wrapping_sub(self.machine.sandbox.base());
-            engine.set_mem_taint_range(off, m.width.bytes(), &data_taint);
+            let engine = self.taint.as_mut().expect("checked above");
+            engine.mark_relevant(at);
+            if engine.config().observe_store_values {
+                engine.mark_relevant(data_taint);
+            }
+            engine.set_mem_taint_range(off, m.width.bytes(), data_taint);
         }
     }
 }

@@ -40,7 +40,7 @@ pub use exec::{Emulator, RunSummary, StepError, StepEvent};
 pub use machine::{Checkpoint, Machine};
 pub use observer::{MemKind, NullObserver, Observer, RecordingObserver};
 pub use sandbox::Sandbox;
-pub use taint::{TaintConfig, TaintEngine};
+pub use taint::{TaintConfig, TaintEngine, TaintPool, TaintSet};
 
 /// Default sandbox base virtual address used across the workspace.
 ///

@@ -51,6 +51,24 @@ impl Machine {
         }
     }
 
+    /// Rewinds this machine to the initial state for a new test case,
+    /// reusing the sandbox allocation when the geometry matches —
+    /// behaviourally identical to [`Machine::from_input`] but allocation-free
+    /// on the fuzzing hot path.
+    pub fn reset_from_input(&mut self, sandbox_base: u64, input: &TestInput) {
+        self.regs = input.regs;
+        self.regs[Gpr::SANDBOX_BASE.index()] = sandbox_base;
+        self.regs[Gpr::Rsp.index()] = 0;
+        self.flags = Flags::from_bits(input.flags_bits);
+        self.pc = 0;
+        self.journal.clear();
+        if self.sandbox.size() == input.mem.len() && self.sandbox.base() == sandbox_base {
+            self.sandbox.overwrite(&input.mem);
+        } else {
+            self.sandbox = Sandbox::from_bytes(sandbox_base, &input.mem);
+        }
+    }
+
     /// Reads a register at a width (zero-extended to `u64`).
     pub fn read_reg(&self, reg: Gpr, width: Width) -> u64 {
         width.trunc(self.regs[reg.index()])

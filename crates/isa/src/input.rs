@@ -18,7 +18,7 @@ use amulet_util::Xoshiro256;
 pub const PAGE_SIZE: usize = 4096;
 
 /// The initial architectural state for one test case.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct TestInput {
     /// Initial GPR values. `R14`/`RSP` are overwritten by the harness
     /// (sandbox base / unused) regardless of what this holds.
@@ -27,6 +27,25 @@ pub struct TestInput {
     pub flags_bits: u8,
     /// Initial sandbox memory contents (`pages * PAGE_SIZE` bytes).
     pub mem: Vec<u8>,
+}
+
+impl Clone for TestInput {
+    fn clone(&self) -> Self {
+        TestInput {
+            regs: self.regs,
+            flags_bits: self.flags_bits,
+            mem: self.mem.clone(),
+        }
+    }
+
+    /// Reuses the destination's memory allocation — input boosting clones
+    /// hundreds of megabytes of sandbox images per campaign, so `clone_from`
+    /// into a recycled slot is the hot path.
+    fn clone_from(&mut self, source: &Self) {
+        self.regs = source.regs;
+        self.flags_bits = source.flags_bits;
+        self.mem.clone_from(&source.mem);
+    }
 }
 
 impl TestInput {
@@ -43,14 +62,22 @@ impl TestInput {
     /// bounded so masked offsets stay interesting.
     pub fn random(rng: &mut Xoshiro256, pages: usize) -> Self {
         let mut input = TestInput::zeroed(pages);
-        for r in input.regs.iter_mut() {
+        input.randomize(rng, pages);
+        input
+    }
+
+    /// Overwrites this input in place with a fresh pseudo-random one —
+    /// byte-for-byte identical to [`TestInput::random`] with the same RNG
+    /// state, but reusing the memory allocation when the size matches.
+    pub fn randomize(&mut self, rng: &mut Xoshiro256, pages: usize) {
+        for r in self.regs.iter_mut() {
             *r = rng.next_u64();
         }
-        input.regs[Gpr::Rsp.index()] = 0;
-        input.regs[Gpr::R14.index()] = 0;
-        input.flags_bits = (rng.next_u32() as u8) & 0x1F;
-        rng.fill_bytes(&mut input.mem);
-        input
+        self.regs[Gpr::Rsp.index()] = 0;
+        self.regs[Gpr::R14.index()] = 0;
+        self.flags_bits = (rng.next_u32() as u8) & 0x1F;
+        self.mem.resize(pages * PAGE_SIZE, 0);
+        rng.fill_bytes(&mut self.mem);
     }
 
     /// Number of sandbox pages.

@@ -109,6 +109,19 @@ impl Gshare {
         self.table = table;
         self.ghr = ghr & self.ghr_mask;
     }
+
+    /// Restores a captured state by copying into the existing table — the
+    /// allocation-free variant of [`Gshare::set_state`] used by validation
+    /// re-runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table size does not match.
+    pub fn set_state_from(&mut self, table: &[u8], ghr: u64) {
+        assert_eq!(table.len(), self.table.len(), "PHT size mismatch");
+        self.table.copy_from_slice(table);
+        self.ghr = ghr & self.ghr_mask;
+    }
 }
 
 /// Per-PC memory-dependence predictor (2-bit conflict counters).
@@ -146,20 +159,38 @@ impl MemDepPredictor {
 
     /// Snapshot of the table (sorted for determinism).
     pub fn state(&self) -> Vec<(usize, u8)> {
-        let mut v: Vec<(usize, u8)> = self.counters.iter().map(|(&k, &v)| (k, v)).collect();
-        v.sort_unstable();
+        let mut v = Vec::new();
+        self.state_into(&mut v);
         v
+    }
+
+    /// Writes the sorted snapshot into `out`, reusing its allocation.
+    pub fn state_into(&self, out: &mut Vec<(usize, u8)>) {
+        out.clear();
+        out.extend(self.counters.iter().map(|(&k, &v)| (k, v)));
+        out.sort_unstable();
     }
 
     /// Restores a previously captured state.
     pub fn set_state(&mut self, state: Vec<(usize, u8)>) {
         self.counters = state.into_iter().collect();
     }
+
+    /// Restores a captured state into the existing map — the
+    /// allocation-reusing variant of [`MemDepPredictor::set_state`].
+    pub fn set_state_from(&mut self, state: &[(usize, u8)]) {
+        self.counters.clear();
+        self.counters.extend(state.iter().copied());
+    }
 }
 
 /// The preserved µarch context of AMuLeT-Opt: predictor state carried across
 /// inputs and exchanged during violation validation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The `Default` value is an empty placeholder — scratch slots that
+/// [`Simulator::save_context_into`](crate::Simulator::save_context_into)
+/// fills in place on the fuzzing hot path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct UarchContext {
     /// Branch-predictor table.
     pub bp_table: Vec<u8>,

@@ -446,18 +446,26 @@ impl Simulator {
 
     /// Captures the preserved µarch context (predictor state).
     pub fn context(&self) -> UarchContext {
-        let (bp_table, ghr) = self.bp.state();
-        UarchContext {
-            bp_table,
-            ghr,
-            mdp: self.mdp.state(),
-        }
+        let mut ctx = UarchContext::default();
+        self.save_context_into(&mut ctx);
+        ctx
     }
 
-    /// Restores a previously captured µarch context.
+    /// Writes the preserved µarch context into `ctx`, reusing its
+    /// allocations — the per-case context capture of the fuzzing hot path
+    /// runs without allocating once the scratch slot has warmed up.
+    pub fn save_context_into(&self, ctx: &mut UarchContext) {
+        ctx.bp_table.clear();
+        ctx.bp_table.extend_from_slice(self.bp.table());
+        ctx.ghr = self.bp.ghr();
+        self.mdp.state_into(&mut ctx.mdp);
+    }
+
+    /// Restores a previously captured µarch context in place (no
+    /// allocations beyond predictor-map rehash growth).
     pub fn set_context(&mut self, ctx: &UarchContext) {
-        self.bp.set_state(ctx.bp_table.clone(), ctx.ghr);
-        self.mdp.set_state(ctx.mdp.clone());
+        self.bp.set_state_from(&ctx.bp_table, ctx.ghr);
+        self.mdp.set_state_from(&ctx.mdp);
     }
 
     /// Resets predictors to their power-on state (AMuLeT-Naive semantics).

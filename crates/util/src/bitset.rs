@@ -15,9 +15,40 @@
 /// assert!(s.contains(3) && s.contains(130) && !s.contains(4));
 /// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 130]);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+#[derive(Debug, Default)]
 pub struct BitSet {
     words: Vec<u64>,
+}
+
+impl Clone for BitSet {
+    fn clone(&self) -> Self {
+        BitSet {
+            words: self.words.clone(),
+        }
+    }
+
+    /// Reuses the destination's allocation — scratch-owned relevant-label
+    /// buffers are refilled once per base input on the boosting hot path.
+    fn clone_from(&mut self, source: &Self) {
+        self.words.clone_from(&source.words);
+    }
+}
+
+/// Equality is over set *contents*: trailing zero words (capacity kept by
+/// [`BitSet::clear`] or oversized [`BitSet::with_capacity`]) never make two
+/// equal sets compare unequal.
+impl PartialEq for BitSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.trimmed() == other.trimmed()
+    }
+}
+
+impl Eq for BitSet {}
+
+impl std::hash::Hash for BitSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.trimmed().hash(state);
+    }
 }
 
 impl BitSet {
@@ -96,6 +127,17 @@ impl BitSet {
     /// Removes all elements (retains capacity).
     pub fn clear(&mut self) {
         self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// The words up to and including the last non-zero one — the canonical
+    /// content [`PartialEq`]/[`Hash`] are defined over.
+    fn trimmed(&self) -> &[u64] {
+        let len = self
+            .words
+            .iter()
+            .rposition(|&w| w != 0)
+            .map_or(0, |i| i + 1);
+        &self.words[..len]
     }
 
     /// Iterates over set indices in ascending order.
@@ -207,5 +249,27 @@ mod tests {
     fn contains_out_of_range_is_false() {
         let s = BitSet::new();
         assert!(!s.contains(10_000));
+    }
+
+    #[test]
+    fn equality_ignores_trailing_capacity() {
+        let mut wide = BitSet::with_capacity(10_000);
+        wide.insert(3);
+        let narrow: BitSet = [3].into_iter().collect();
+        assert_eq!(wide, narrow, "trailing zero words are not content");
+        // Hash must agree with Eq.
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let digest = |s: &BitSet| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(digest(&wide), digest(&narrow));
+        // Cleared sets equal the empty set.
+        wide.clear();
+        assert_eq!(wide, BitSet::new());
+        wide.insert(9_999);
+        assert_ne!(wide, narrow);
     }
 }

@@ -21,8 +21,10 @@ pub mod arrayvec;
 pub mod bitset;
 pub mod rng;
 pub mod stats;
+pub mod taintset;
 
 pub use arrayvec::ArrayVec;
 pub use bitset::BitSet;
 pub use rng::{SplitMix64, Xoshiro256};
 pub use stats::{fmt_duration_s, Summary};
+pub use taintset::{TaintPool, TaintSet};

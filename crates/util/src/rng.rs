@@ -160,11 +160,18 @@ impl Xoshiro256 {
         }
     }
 
-    /// Fills a byte buffer with random data.
+    /// Fills a byte buffer with random data (one `next_u64` per 8-byte
+    /// little-endian chunk; the byte stream is independent of how the buffer
+    /// is chunked internally).
     pub fn fill_bytes(&mut self, buf: &mut [u8]) {
-        for chunk in buf.chunks_mut(8) {
+        let mut chunks = buf.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
             let v = self.next_u64().to_le_bytes();
-            chunk.copy_from_slice(&v[..chunk.len()]);
+            rest.copy_from_slice(&v[..rest.len()]);
         }
     }
 }

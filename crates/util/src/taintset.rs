@@ -1,0 +1,374 @@
+//! Sparse, interned taint-label sets.
+//!
+//! The taint engine's working sets are overwhelmingly tiny: most sandbox
+//! words carry only their own label, address taints union two or three
+//! register labels, and long dependence chains still rarely exceed a
+//! handful of sources. A dense bitset representation pays O(label-space)
+//! for every copy and union — ~8 KiB per operation on a 128-page sandbox
+//! (65 552 labels) — which is what made STT/ARCH-SEQ boosting pathological.
+//!
+//! [`TaintSet`] is a 16-byte `Copy` value: up to [`TaintSet::INLINE`]
+//! labels stored inline (sorted, deduplicated), spilling to a hash-consed
+//! [`TaintPool`] beyond that. Interning makes set identity an `id`
+//! comparison and lets repeated unions of the same operands resolve with a
+//! single memo-table lookup instead of a merge.
+//!
+//! # Examples
+//!
+//! ```
+//! use amulet_util::{TaintPool, TaintSet};
+//!
+//! let mut pool = TaintPool::new();
+//! let a = TaintSet::singleton(3);
+//! let b = TaintSet::singleton(70);
+//! let ab = pool.union(a, b);
+//! assert_eq!(pool.labels(&ab), &[3, 70]);
+//! // Inline unions never touch the pool's storage.
+//! assert_eq!(pool.spilled_sets(), 0);
+//! ```
+
+use std::collections::HashMap;
+
+/// A sparse set of `u32` taint labels: at most [`TaintSet::INLINE`] labels
+/// inline, larger sets interned in a [`TaintPool`].
+///
+/// `TaintSet` is `Copy` — assignment and checkpointing never allocate. All
+/// operations that may need the spilled storage (union, iteration,
+/// membership) go through the owning pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaintSet {
+    /// Sorted, distinct labels in `labels[..len]`; unused slots are zeroed
+    /// so derived `Eq`/`Hash` see a canonical value. For a spilled set,
+    /// `labels[0]` holds the pool id.
+    labels: [u32; Self::INLINE],
+    /// Number of inline labels, or [`SPILLED`].
+    len: u8,
+}
+
+/// `len` tag marking a set whose labels live in the pool.
+const SPILLED: u8 = u8::MAX;
+
+impl TaintSet {
+    /// Maximum number of labels stored inline.
+    pub const INLINE: usize = 3;
+
+    /// The empty set.
+    pub const EMPTY: TaintSet = TaintSet {
+        labels: [0; Self::INLINE],
+        len: 0,
+    };
+
+    /// A single-label set.
+    pub fn singleton(label: u32) -> TaintSet {
+        let mut s = Self::EMPTY;
+        s.labels[0] = label;
+        s.len = 1;
+        s
+    }
+
+    /// `true` if the set has no labels.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` if the labels live in a pool rather than inline.
+    pub fn is_spilled(&self) -> bool {
+        self.len == SPILLED
+    }
+
+    /// The inline labels, if this set is not spilled.
+    fn inline(&self) -> Option<&[u32]> {
+        (!self.is_spilled()).then(|| &self.labels[..self.len as usize])
+    }
+
+    fn pool_id(&self) -> usize {
+        debug_assert!(self.is_spilled());
+        self.labels[0] as usize
+    }
+}
+
+impl Default for TaintSet {
+    fn default() -> Self {
+        Self::EMPTY
+    }
+}
+
+/// Hash-consed storage for spilled [`TaintSet`]s plus a union memo table.
+///
+/// Every distinct spilled label set is stored exactly once (interning), so
+/// equal sets share an id and re-unioning the same operand pair is a memo
+/// lookup. The pool only ever grows; [`TaintPool::clear`] resets it when an
+/// owner wants to bound retained memory across reuses.
+#[derive(Debug, Clone, Default)]
+pub struct TaintPool {
+    /// Spilled sets by id (sorted, distinct labels, always > `INLINE` long).
+    sets: Vec<Box<[u32]>>,
+    /// Interning map: content → id.
+    intern: HashMap<Box<[u32]>, u32>,
+    /// Union memo: canonically ordered operand pair → result.
+    unions: HashMap<(TaintSet, TaintSet), TaintSet>,
+}
+
+impl TaintPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The labels of `set`, sorted ascending.
+    pub fn labels<'a>(&'a self, set: &'a TaintSet) -> &'a [u32] {
+        match set.inline() {
+            Some(s) => s,
+            None => &self.sets[set.pool_id()],
+        }
+    }
+
+    /// Number of labels in `set`.
+    pub fn len(&self, set: &TaintSet) -> usize {
+        self.labels(set).len()
+    }
+
+    /// `true` if `set` has no labels (pool-independent, provided for
+    /// symmetry with [`TaintPool::len`]).
+    pub fn is_empty(&self, set: &TaintSet) -> bool {
+        set.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, set: &TaintSet, label: u32) -> bool {
+        match set.inline() {
+            Some(s) => s.contains(&label),
+            None => self.sets[set.pool_id()].binary_search(&label).is_ok(),
+        }
+    }
+
+    /// Number of spilled (interned) sets currently stored.
+    pub fn spilled_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Drops all interned sets and memoized unions. Any outstanding spilled
+    /// [`TaintSet`] becomes dangling — callers must only clear between
+    /// engine resets, when no spilled set is live.
+    pub fn clear(&mut self) {
+        self.sets.clear();
+        self.intern.clear();
+        self.unions.clear();
+    }
+
+    /// Builds a set from sorted, distinct labels, interning when it does not
+    /// fit inline.
+    pub fn from_sorted(&mut self, labels: &[u32]) -> TaintSet {
+        debug_assert!(labels.windows(2).all(|w| w[0] < w[1]), "must be sorted");
+        if labels.len() <= TaintSet::INLINE {
+            let mut s = TaintSet::EMPTY;
+            s.labels[..labels.len()].copy_from_slice(labels);
+            s.len = labels.len() as u8;
+            return s;
+        }
+        self.intern(labels)
+    }
+
+    fn intern(&mut self, labels: &[u32]) -> TaintSet {
+        let id = match self.intern.get(labels) {
+            Some(&id) => id,
+            None => {
+                let id = self.sets.len() as u32;
+                let boxed: Box<[u32]> = labels.into();
+                self.sets.push(boxed.clone());
+                self.intern.insert(boxed, id);
+                id
+            }
+        };
+        let mut s = TaintSet::EMPTY;
+        s.labels[0] = id;
+        s.len = SPILLED;
+        s
+    }
+
+    /// Set union. Inline-only unions that stay inline are merged directly
+    /// (no pool access); anything else goes through the memo table, so
+    /// repeated unions of the same pair cost one hash lookup.
+    pub fn union(&mut self, a: TaintSet, b: TaintSet) -> TaintSet {
+        if a == b || b.is_empty() {
+            return a;
+        }
+        if a.is_empty() {
+            return b;
+        }
+        if let (Some(xs), Some(ys)) = (a.inline(), b.inline()) {
+            // Fast path: merge up to 2×INLINE labels on the stack.
+            let mut buf = [0u32; 2 * TaintSet::INLINE];
+            let n = merge_sorted(xs, ys, &mut buf);
+            if n <= TaintSet::INLINE {
+                let mut s = TaintSet::EMPTY;
+                s.labels[..n].copy_from_slice(&buf[..n]);
+                s.len = n as u8;
+                return s;
+            }
+            let key = if a <= b { (a, b) } else { (b, a) };
+            if let Some(&hit) = self.unions.get(&key) {
+                return hit;
+            }
+            let result = self.intern(&buf[..n]);
+            self.unions.insert(key, result);
+            return result;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&hit) = self.unions.get(&key) {
+            return hit;
+        }
+        let merged: Vec<u32> = {
+            let xs = self.labels(&a);
+            let ys = self.labels(&b);
+            let mut out = vec![0; xs.len() + ys.len()];
+            let n = merge_sorted(xs, ys, &mut out);
+            out.truncate(n);
+            out
+        };
+        // A spilled operand has > INLINE labels, so the union does too.
+        let result = self.intern(&merged);
+        self.unions.insert(key, result);
+        result
+    }
+}
+
+/// Merges two sorted, distinct slices into `out`, returning the merged
+/// length. `out` must hold `xs.len() + ys.len()` elements.
+fn merge_sorted(xs: &[u32], ys: &[u32], out: &mut [u32]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < xs.len() && j < ys.len() {
+        match xs[i].cmp(&ys[j]) {
+            std::cmp::Ordering::Less => {
+                out[n] = xs[i];
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out[n] = ys[j];
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out[n] = xs[i];
+                i += 1;
+                j += 1;
+            }
+        }
+        n += 1;
+    }
+    for &x in &xs[i..] {
+        out[n] = x;
+        n += 1;
+    }
+    for &y in &ys[j..] {
+        out[n] = y;
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        let pool = TaintPool::new();
+        assert!(TaintSet::EMPTY.is_empty());
+        let s = TaintSet::singleton(42);
+        assert!(!s.is_empty());
+        assert_eq!(pool.labels(&s), &[42]);
+        assert!(pool.contains(&s, 42));
+        assert!(!pool.contains(&s, 41));
+    }
+
+    #[test]
+    fn inline_unions_stay_inline() {
+        let mut pool = TaintPool::new();
+        let a = pool.union(TaintSet::singleton(1), TaintSet::singleton(5));
+        let b = pool.union(a, TaintSet::singleton(3));
+        assert_eq!(pool.labels(&b), &[1, 3, 5]);
+        assert!(!b.is_spilled());
+        assert_eq!(pool.spilled_sets(), 0);
+        // Union with an existing member is the identity.
+        let c = pool.union(b, TaintSet::singleton(3));
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn spill_and_hash_consing() {
+        let mut pool = TaintPool::new();
+        let ab = pool.union(TaintSet::singleton(1), TaintSet::singleton(2));
+        let abc = pool.union(ab, TaintSet::singleton(3));
+        let spilled = pool.union(abc, TaintSet::singleton(4));
+        assert!(spilled.is_spilled());
+        assert_eq!(pool.labels(&spilled), &[1, 2, 3, 4]);
+        // The same content, built a different way, interns to the same id.
+        let da = pool.union(TaintSet::singleton(4), TaintSet::singleton(2));
+        let cb = pool.union(TaintSet::singleton(3), TaintSet::singleton(1));
+        let other = pool.union(da, cb);
+        assert_eq!(other, spilled, "hash-consing makes equality an id check");
+        assert_eq!(pool.spilled_sets(), 1);
+    }
+
+    #[test]
+    fn union_is_memoized() {
+        let mut pool = TaintPool::new();
+        let big = pool.from_sorted(&[10, 20, 30, 40, 50]);
+        let r1 = pool.union(big, TaintSet::singleton(25));
+        let sets_after_first = pool.spilled_sets();
+        let r2 = pool.union(TaintSet::singleton(25), big);
+        assert_eq!(r1, r2, "memo covers both operand orders");
+        assert_eq!(pool.spilled_sets(), sets_after_first, "no re-interning");
+        assert_eq!(pool.labels(&r1), &[10, 20, 25, 30, 40, 50]);
+    }
+
+    #[test]
+    fn contains_on_spilled_sets() {
+        let mut pool = TaintPool::new();
+        let s = pool.from_sorted(&[2, 4, 6, 8, 10]);
+        assert!(pool.contains(&s, 8));
+        assert!(!pool.contains(&s, 7));
+        assert_eq!(pool.len(&s), 5);
+    }
+
+    #[test]
+    fn from_sorted_small_is_inline() {
+        let mut pool = TaintPool::new();
+        let s = pool.from_sorted(&[7, 9]);
+        assert!(!s.is_spilled());
+        assert_eq!(pool.labels(&s), &[7, 9]);
+    }
+
+    #[test]
+    fn clear_resets_storage() {
+        let mut pool = TaintPool::new();
+        pool.from_sorted(&[1, 2, 3, 4, 5]);
+        assert_eq!(pool.spilled_sets(), 1);
+        pool.clear();
+        assert_eq!(pool.spilled_sets(), 0);
+    }
+
+    /// Differential check against a naive reference over random operations.
+    #[test]
+    fn unions_match_reference_model() {
+        use crate::rng::Xoshiro256;
+        let mut rng = Xoshiro256::seed_from_u64(99);
+        let mut pool = TaintPool::new();
+        let mut sets: Vec<(TaintSet, Vec<u32>)> = (0..8u32)
+            .map(|i| (TaintSet::singleton(i * 3), vec![i * 3]))
+            .collect();
+        for _ in 0..500 {
+            let i = rng.index(sets.len());
+            let j = rng.index(sets.len());
+            let merged = pool.union(sets[i].0, sets[j].0);
+            let mut reference: Vec<u32> = sets[i].1.iter().chain(&sets[j].1).copied().collect();
+            reference.sort_unstable();
+            reference.dedup();
+            assert_eq!(pool.labels(&merged), &reference[..]);
+            sets.push((merged, reference));
+            if sets.len() > 64 {
+                sets.drain(..32);
+            }
+        }
+    }
+}
