@@ -56,6 +56,8 @@ CAMPAIGN OPTIONS:
     --workers N           Worker threads (default: all hardware threads)
     --batch N             Programs per shard batch (default: 4)
     --instance-parallel   Classic orchestrator: one thread per instance
+    --no-cycle-skip       Step every simulator cycle (disable the event-driven
+                          time-warp scheduler; results are bit-identical)
     --json PATH           Append a JSON report line to PATH (`-` = stdout)
 
 MATRIX OPTIONS:
@@ -63,11 +65,11 @@ MATRIX OPTIONS:
     --scale X             Paper-scaled shape at scale X
     --defenses A,B,...    Defenses to include (default: all)
     --contracts A,B,...   Contracts to include (default: all)
-    --seed N, --workers N, --batch N, --json PATH   As above
+    --seed N, --workers N, --batch N, --no-cycle-skip, --json PATH   As above
 
 BENCH OPTIONS:
     --programs N          Programs per instance (default: 12)
-    --workers N, --batch N, --seed N                As above
+    --workers N, --batch N, --seed N, --no-cycle-skip                As above
 ";
 
 /// A hand-rolled argument scanner: flags and `--key value` / `--key=value`
@@ -338,6 +340,10 @@ pub fn report_json(
             report.avg_detection_seconds().unwrap_or(f64::NAN),
         )
         .num("cases_per_sec", report.throughput())
+        .bool("cycle_skip", report.config.sim.cycle_skip)
+        .int("sim_cycles", report.stats.sim_cycles)
+        .num("cycles_per_case", report.cycles_per_case())
+        .num("warp_ratio", report.warp_ratio())
         .num("wall_s", report.wall.as_secs_f64())
         .num("modeled_s", report.modeled_seconds)
         .str("fingerprint", &format!("{:#018x}", report.fingerprint()))
@@ -420,12 +426,14 @@ fn cmd_campaign(mut args: Args) -> Result<(), String> {
     let seed = args.parsed::<u64>("--seed")?;
     let find_first = args.flag("--find-first");
     let instance_parallel = args.flag("--instance-parallel");
+    let no_cycle_skip = args.flag("--no-cycle-skip");
     let shard = shard_options(&mut args)?;
     let mut sink = JsonSink::open(args.value("--json")?)?;
     args.finish()?;
 
     let mut cfg = shape_config(defense, contract, scale, seed);
     cfg.stop_on_first = find_first;
+    cfg.sim.cycle_skip = !no_cycle_skip;
     let (orchestrator, workers) = if instance_parallel {
         ("instances", cfg.instances)
     } else {
@@ -448,6 +456,11 @@ fn cmd_campaign(mut args: Args) -> Result<(), String> {
     for (class, count) in report.unique_classes() {
         println!("  {:<12} × {count}", class.paper_id());
     }
+    println!(
+        "cycles/case: {:.0} (warp ratio {:.3})",
+        report.cycles_per_case(),
+        report.warp_ratio()
+    );
     println!("fingerprint: {:#018x}", report.fingerprint());
     let batch = (!instance_parallel).then_some(shard.batch_programs);
     sink.line(&report_json(&report, orchestrator, workers, batch))
@@ -464,6 +477,7 @@ fn cmd_matrix(mut args: Args) -> Result<(), String> {
         parse_contract,
         &ContractKind::ALL,
     )?;
+    let no_cycle_skip = args.flag("--no-cycle-skip");
     let shard = shard_options(&mut args)?;
     let mut sink = JsonSink::open(args.value("--json")?)?;
     args.finish()?;
@@ -482,7 +496,8 @@ fn cmd_matrix(mut args: Args) -> Result<(), String> {
     println!("{}", CampaignReport::summary_header());
     for &defense in &defenses {
         for &contract in &contracts {
-            let cfg = shape_config(defense, contract, scale, seed);
+            let mut cfg = shape_config(defense, contract, scale, seed);
+            cfg.sim.cycle_skip = !no_cycle_skip;
             let report = Campaign::new(cfg).run_sharded(shard);
             println!("{}", report.summary_row());
             sink.line(&report_json(
@@ -500,11 +515,13 @@ fn cmd_matrix(mut args: Args) -> Result<(), String> {
 fn cmd_bench(mut args: Args) -> Result<(), String> {
     let programs = args.parsed::<usize>("--programs")?.unwrap_or(12);
     let seed = args.parsed::<u64>("--seed")?;
+    let no_cycle_skip = args.flag("--no-cycle-skip");
     let shard = shard_options(&mut args)?;
     args.finish()?;
 
     let mut cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
     cfg.programs_per_instance = programs;
+    cfg.sim.cycle_skip = !no_cycle_skip;
     if let Some(seed) = seed {
         cfg.seed = seed;
     }
@@ -528,6 +545,12 @@ fn cmd_bench(mut args: Args) -> Result<(), String> {
         shard.resolved_workers()
     );
     println!("speedup:           {:.2}x", sharded_rate / instance_rate);
+    println!(
+        "cycles/case:       {:.0} (warp ratio {:.3}, cycle skipping {})",
+        sharded_report.cycles_per_case(),
+        sharded_report.warp_ratio(),
+        if no_cycle_skip { "off" } else { "on" }
+    );
     Ok(())
 }
 
@@ -664,6 +687,8 @@ mod tests {
                 candidates: 3,
                 validation_runs: 12,
                 confirmed: 0,
+                sim_cycles: 134_400,
+                warped_cycles: 100_800,
             },
             wall: Duration::from_millis(500),
             detection_times: Summary::new(),
@@ -679,6 +704,10 @@ mod tests {
             "\"cases\":672",
             "\"violation\":false",
             "\"avg_detection_s\":null",
+            "\"cycle_skip\":true",
+            "\"sim_cycles\":134400",
+            "\"cycles_per_case\":200",
+            "\"warp_ratio\":0.75",
             "\"fingerprint\":\"0x",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");

@@ -174,6 +174,19 @@ impl CampaignReport {
         self.stats.cases as f64 / secs
     }
 
+    /// Mean simulated cycles per hot-path test case — deterministic (the
+    /// timing model's output, not wall clock), so it is bit-identical with
+    /// cycle skipping on or off.
+    pub fn cycles_per_case(&self) -> f64 {
+        self.stats.sim_cycles as f64 / (self.stats.cases.max(1)) as f64
+    }
+
+    /// Fraction of simulated cycles the event-driven scheduler crossed by
+    /// warping instead of stepping (0.0 with `SimConfig::cycle_skip` off).
+    pub fn warp_ratio(&self) -> f64 {
+        self.stats.warped_cycles as f64 / (self.stats.sim_cycles.max(1)) as f64
+    }
+
     /// Count of violations per class.
     pub fn unique_classes(&self) -> BTreeMap<ViolationClass, usize> {
         let mut m = BTreeMap::new();

@@ -77,6 +77,12 @@ pub struct ScanStats {
     pub validation_runs: usize,
     /// Confirmed violations.
     pub confirmed: usize,
+    /// Simulated cycles across hot-path cases (bit-identical whether the
+    /// simulator's cycle loop stepped or warped).
+    pub sim_cycles: u64,
+    /// Cycles crossed by the simulator's event-horizon warp (0 with
+    /// `SimConfig::cycle_skip` off) — `warped / sim` is the warp ratio.
+    pub warped_cycles: u64,
 }
 
 impl ScanStats {
@@ -87,6 +93,8 @@ impl ScanStats {
         self.candidates += other.candidates;
         self.validation_runs += other.validation_runs;
         self.confirmed += other.confirmed;
+        self.sim_cycles += other.sim_cycles;
+        self.warped_cycles += other.warped_cycles;
     }
 }
 
@@ -189,6 +197,10 @@ impl Detector {
             })
             .collect();
         stats.cases = runs.iter().filter(|r| r.is_some()).count();
+        for r in runs.iter().flatten() {
+            stats.sim_cycles += r.result.cycles;
+            stats.warped_cycles += r.result.warped_cycles;
+        }
 
         // Sort classes by smallest member for determinism.
         let mut ordered: Vec<(u64, Vec<usize>)> = classes.into_iter().collect();

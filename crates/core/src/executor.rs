@@ -265,13 +265,19 @@ impl Executor {
     }
 
     fn reset_caches(&mut self) {
-        self.sim.flush_caches();
         // Conflict-prefill is part of the *Opt* design (§3.2-C2: "initializing
         // the cache state in this way increases the number of detected
         // violations"); the naive baseline starts from a clean cache, which
         // is why the paper's Table 3 shows Opt finding more violations.
         if self.prefill && self.cfg.mode == ExecMode::Opt {
+            // The prefill overwrites the L1D from the cached image (an
+            // incremental, touched-sets-only copy when the baseline from
+            // the previous case survives), so only the other structures
+            // are flushed.
+            self.sim.flush_caches_keep_l1d();
             self.sim.prefill_l1d_conflicting();
+        } else {
+            self.sim.flush_caches();
         }
     }
 

@@ -1,0 +1,235 @@
+//! Program predecode: per-pc dispatch metadata computed once per program.
+//!
+//! The simulator's dispatch stage runs once per *fetched* instruction —
+//! including wrong paths — for every one of the hundreds of inputs a program
+//! is scanned against. Recomputing [`Instr::effects`] and re-resolving
+//! branch targets on each of those fetches wastes the one property fuzzing
+//! has in abundance: the program is fixed while the inputs vary. A
+//! [`DecodedProgram`] is built once per [`FlatProgram`] load and turns every
+//! per-dispatch question (source registers, destination, flags behaviour,
+//! memory effect, control flow) into a table lookup.
+//!
+//! The decoded form is *purely static*: it never depends on register values
+//! or machine state, so sharing it across all inputs of a scan cannot
+//! perturb results.
+
+use crate::instr::{Instr, MemEffect};
+use crate::program::FlatProgram;
+use crate::reg::{Gpr, Width};
+use amulet_util::ArrayVec;
+
+/// The renamer's index for FLAGS (one past the 16 GPRs).
+pub const FLAGS_SRC: u8 = 16;
+
+/// Inline list of the source indices (GPR index or [`FLAGS_SRC`]) an
+/// instruction's dispatch must capture. At most 6 are possible (≤ 4 unique
+/// read registers, the partial-width destination, FLAGS); 8 slots give
+/// headroom.
+pub type SrcIdxList = ArrayVec<u8, 8>;
+
+/// Control-flow class of an instruction, with branch targets already
+/// resolved to flat indices (so dispatch never consults the block table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Falls through to `pc + 1` (includes `LFENCE`).
+    Seq,
+    /// Unconditional jump to a flat index.
+    Jump {
+        /// Resolved flat target index.
+        target: usize,
+    },
+    /// Conditional branch (`Jcc` / `LOOP` family) to a flat index.
+    CondBranch {
+        /// Resolved flat target index (the not-taken path is `pc + 1`).
+        target: usize,
+    },
+    /// Terminates the test case.
+    Exit,
+}
+
+/// Static dispatch metadata for one instruction: everything the simulator's
+/// rename/dispatch stage needs that does not depend on machine state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedInstr {
+    /// Deduplicated source indices in capture order: read registers first,
+    /// then the partial-width destination (a byte/word write merges into the
+    /// old value, so the destination is an implicit source), then FLAGS.
+    pub srcs: SrcIdxList,
+    /// Register written, if any, with the write width.
+    pub writes: Option<(Gpr, Width)>,
+    /// Whether the instruction writes FLAGS.
+    pub writes_flags: bool,
+    /// Memory behaviour, if any.
+    pub mem: Option<MemEffect>,
+    /// Control-flow class with resolved targets.
+    pub flow: Flow,
+}
+
+impl DecodedInstr {
+    /// Decodes one instruction, resolving branch targets against `flat`.
+    pub fn decode(instr: &Instr, flat: &FlatProgram) -> Self {
+        let eff = instr.effects();
+        let mut srcs = SrcIdxList::new();
+        let mut add = |ri: u8| {
+            if !srcs.contains(&ri) {
+                srcs.push(ri);
+            }
+        };
+        for r in &eff.reads {
+            add(r.index() as u8);
+        }
+        if let Some((r, w)) = eff.writes {
+            if matches!(w, Width::B | Width::W) {
+                add(r.index() as u8);
+            }
+        }
+        if eff.reads_flags {
+            add(FLAGS_SRC);
+        }
+        let flow = match instr {
+            Instr::Jmp { target } => Flow::Jump {
+                target: flat.target_index(*target),
+            },
+            Instr::Jcc { target, .. } | Instr::Loop { target, .. } => Flow::CondBranch {
+                target: flat.target_index(*target),
+            },
+            Instr::Exit => Flow::Exit,
+            _ => Flow::Seq,
+        };
+        DecodedInstr {
+            srcs,
+            writes: eff.writes,
+            writes_flags: eff.writes_flags,
+            mem: eff.mem,
+            flow,
+        }
+    }
+
+    /// `true` for conditional control flow (mirrors
+    /// [`Instr::is_cond_branch`]).
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self.flow, Flow::CondBranch { .. })
+    }
+}
+
+/// Per-pc [`DecodedInstr`] table for one flattened program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DecodedProgram {
+    /// One entry per flat instruction index.
+    pub instrs: Vec<DecodedInstr>,
+}
+
+impl DecodedProgram {
+    /// Decodes every instruction of `flat`.
+    pub fn new(flat: &FlatProgram) -> Self {
+        DecodedProgram {
+            instrs: flat
+                .instrs
+                .iter()
+                .map(|i| DecodedInstr::decode(i, flat))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{AluOp, Cond, Operand};
+    use crate::parse::parse_program;
+    use crate::program::BlockId;
+
+    #[test]
+    fn decode_matches_effects_for_every_instruction_shape() {
+        let src = "
+            .bb_main.0:
+                ADD BL, 5
+                MOV RAX, qword ptr [R14 + RCX]
+                ADC word ptr [R14 + 8], DX
+                CMOVZ RSI, RDI
+                LOOPNE .bb_main.1
+            .bb_main.1:
+                JMP .bb_main.2
+            .bb_main.2:
+                LFENCE
+                EXIT";
+        let flat = parse_program(src).unwrap().flatten();
+        let decoded = DecodedProgram::new(&flat);
+        assert_eq!(decoded.instrs.len(), flat.instrs.len());
+        for (pc, (instr, d)) in flat.instrs.iter().zip(&decoded.instrs).enumerate() {
+            let eff = instr.effects();
+            assert_eq!(d.writes, eff.writes, "pc {pc}");
+            assert_eq!(d.writes_flags, eff.writes_flags, "pc {pc}");
+            assert_eq!(d.mem, eff.mem, "pc {pc}");
+            assert_eq!(d.is_cond_branch(), instr.is_cond_branch(), "pc {pc}");
+            // The source list contains exactly: unique read registers, the
+            // partial-width destination, FLAGS if read.
+            for r in &eff.reads {
+                assert!(d.srcs.contains(&(r.index() as u8)), "pc {pc} read {r}");
+            }
+            if eff.reads_flags {
+                assert!(d.srcs.contains(&FLAGS_SRC), "pc {pc} flags");
+            }
+            if let Some((r, w)) = eff.writes {
+                if matches!(w, Width::B | Width::W) {
+                    assert!(d.srcs.contains(&(r.index() as u8)), "pc {pc} partial dst");
+                }
+            }
+            // No duplicates.
+            let mut seen = [false; 17];
+            for &s in &d.srcs {
+                assert!(!seen[s as usize], "pc {pc} duplicate src {s}");
+                seen[s as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn flow_resolves_branch_targets_to_flat_indices() {
+        let src = "
+            .bb_main.0:
+                CMP RAX, 0
+                JZ .bb_main.2
+            .bb_main.1:
+                JMP .bb_main.2
+            .bb_main.2:
+                EXIT";
+        let flat = parse_program(src).unwrap().flatten();
+        let decoded = DecodedProgram::new(&flat);
+        let jz_target = flat.target_index(BlockId(2));
+        assert_eq!(
+            decoded.instrs[1].flow,
+            Flow::CondBranch { target: jz_target }
+        );
+        assert_eq!(decoded.instrs[2].flow, Flow::Jump { target: jz_target });
+        assert_eq!(decoded.instrs[3].flow, Flow::Exit);
+        assert_eq!(decoded.instrs[0].flow, Flow::Seq);
+    }
+
+    #[test]
+    fn partial_width_destination_is_an_implicit_source() {
+        let flat = FlatProgram {
+            instrs: vec![
+                Instr::Alu {
+                    op: AluOp::Add,
+                    dst: Operand::Reg(Gpr::Rbx, Width::B),
+                    src: Operand::Imm(1),
+                    lock: false,
+                },
+                Instr::Set {
+                    cond: Cond::Z,
+                    dst: Operand::Reg(Gpr::Rcx, Width::B),
+                },
+                Instr::Exit,
+            ],
+            block_start: vec![0],
+            origin_block: vec![0, 0, 0],
+            labels: vec![".b".into()],
+        };
+        let d = DecodedProgram::new(&flat);
+        assert!(d.instrs[0].srcs.contains(&(Gpr::Rbx.index() as u8)));
+        // SETcc writes a byte: the destination register is a merge source.
+        assert!(d.instrs[1].srcs.contains(&(Gpr::Rcx.index() as u8)));
+        assert!(d.instrs[1].srcs.contains(&FLAGS_SRC));
+    }
+}

@@ -8,6 +8,7 @@
 //! optional CleanupSpec `noClean` mitigation.
 
 use crate::config::CacheConfig;
+use amulet_util::{mix64, residency_digest};
 
 /// One resident cache line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +38,23 @@ pub struct Cache {
     cfg: CacheConfig,
     sets: Vec<Vec<Line>>,
     stamp: u64,
+    /// XOR of `mix64(line address)` over resident lines, maintained at
+    /// every membership change — together with `resident` it yields an O(1)
+    /// order-independent residency digest ([`Cache::digest`]) instead of an
+    /// O(lines) walk per test case.
+    zobrist: u64,
+    /// Resident line count (same maintenance discipline).
+    resident: usize,
+    /// Set indices mutated (membership *or* LRU/flag state) since the last
+    /// full or tracked restore — the sets a tracked restore must copy.
+    touched: Vec<u32>,
+    /// Per-set membership flag for `touched` (push-once).
+    touched_mark: Vec<bool>,
+    /// Identity of the image the tracking baseline refers to (its
+    /// `(zobrist, stamp)`); `None` when no baseline exists (fresh cache,
+    /// flushed, or never restored) and the next tracked restore must copy
+    /// everything.
+    baseline: Option<(u64, u64)>,
 }
 
 impl Cache {
@@ -46,7 +64,48 @@ impl Cache {
             sets: vec![Vec::with_capacity(cfg.ways); cfg.sets],
             cfg,
             stamp: 0,
+            zobrist: 0,
+            resident: 0,
+            touched: Vec::new(),
+            touched_mark: vec![false; cfg.sets],
+            baseline: None,
         }
+    }
+
+    #[inline]
+    fn mark_touched(&mut self, set: usize) {
+        if !self.touched_mark[set] {
+            self.touched_mark[set] = true;
+            self.touched.push(set as u32);
+        }
+    }
+
+    fn clear_touched(&mut self) {
+        for &set in &self.touched {
+            self.touched_mark[set as usize] = false;
+        }
+        self.touched.clear();
+    }
+
+    #[inline]
+    fn note_insert(&mut self, line_addr: u64) {
+        self.zobrist ^= mix64(line_addr);
+        self.resident += 1;
+    }
+
+    #[inline]
+    fn note_remove(&mut self, line_addr: u64) {
+        self.zobrist ^= mix64(line_addr);
+        self.resident -= 1;
+    }
+
+    /// O(1) order-independent digest of the resident-line set, domain
+    /// separated by `section` — equal for equal residency sets regardless of
+    /// storage order or access history (the incremental form of the
+    /// simulator's set digests; equivalence with a recomputed fold is
+    /// asserted by tests).
+    pub fn digest(&self, section: u64) -> u64 {
+        residency_digest(self.zobrist, self.resident as u64, section)
     }
 
     /// The geometry this cache was built with.
@@ -81,6 +140,7 @@ impl Cache {
             l.lru = stamp;
             l.dirty |= write;
             l.nonspec_touch |= nonspec;
+            self.mark_touched(set);
             true
         } else {
             false
@@ -114,6 +174,8 @@ impl Cache {
             dirty: write,
             nonspec_touch: nonspec,
         });
+        self.note_insert(line_addr);
+        self.mark_touched(set);
         FillOutcome {
             evicted,
             already_present: false,
@@ -126,7 +188,10 @@ impl Cache {
             .enumerate()
             .min_by_key(|(_, l)| l.lru)
             .expect("evict_lru called on empty set");
-        self.sets[set].swap_remove(idx)
+        let line = self.sets[set].swap_remove(idx);
+        self.note_remove(line.addr);
+        self.mark_touched(set);
+        line
     }
 
     /// Evicts the LRU victim of `addr`'s set without installing anything —
@@ -147,7 +212,10 @@ impl Cache {
         let line_addr = self.cfg.line_of(addr);
         let set = self.cfg.set_of(addr);
         let idx = self.sets[set].iter().position(|l| l.addr == line_addr)?;
-        Some(self.sets[set].swap_remove(idx))
+        let line = self.sets[set].swap_remove(idx);
+        self.note_remove(line.addr);
+        self.mark_touched(set);
+        Some(line)
     }
 
     /// Reinstates an evicted line at LRU position (CleanupSpec undo of an
@@ -166,6 +234,8 @@ impl Cache {
             lru: min.saturating_sub(1),
             ..line
         });
+        self.note_insert(line.addr);
+        self.mark_touched(set);
         true
     }
 
@@ -192,6 +262,38 @@ impl Cache {
             dst.extend_from_slice(src);
         }
         self.stamp = other.stamp;
+        self.zobrist = other.zobrist;
+        self.resident = other.resident;
+        self.clear_touched();
+        self.baseline = Some((other.zobrist, other.stamp));
+    }
+
+    /// [`Cache::restore_from`] that only copies the sets mutated since the
+    /// previous restore from the *same* image — the per-test-case prefill
+    /// fast path. Every [`Cache`] mutator records its set in `touched`, and
+    /// a flush (or a restore from a different image, detected by the
+    /// image's `(zobrist, stamp)` identity) voids the baseline, so the
+    /// result is always exactly `other`'s contents; only the copying is
+    /// incremental.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set counts differ.
+    pub fn restore_tracked_from(&mut self, other: &Cache) {
+        if self.baseline != Some((other.zobrist, other.stamp)) {
+            self.restore_from(other);
+            return;
+        }
+        assert_eq!(self.sets.len(), other.sets.len(), "cache geometry mismatch");
+        for i in 0..self.touched.len() {
+            let set = self.touched[i] as usize;
+            self.sets[set].clear();
+            self.sets[set].extend_from_slice(&other.sets[set]);
+        }
+        self.stamp = other.stamp;
+        self.zobrist = other.zobrist;
+        self.resident = other.resident;
+        self.clear_touched();
     }
 
     /// Invalidates everything.
@@ -199,6 +301,10 @@ impl Cache {
         for set in &mut self.sets {
             set.clear();
         }
+        self.zobrist = 0;
+        self.resident = 0;
+        self.clear_touched();
+        self.baseline = None;
     }
 
     /// Sorted list of resident line addresses — the µarch-trace snapshot.
@@ -218,7 +324,7 @@ impl Cache {
 
     /// Number of resident lines.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.resident
     }
 
     /// `true` if no lines are resident.
@@ -328,6 +434,58 @@ mod tests {
         c.restore(v);
         let out = c.fill(0x0100, false, true);
         assert_eq!(out.evicted.unwrap().addr, 0x0000);
+    }
+
+    /// A tracked restore must leave the cache indistinguishable from a full
+    /// `restore_from` — residency, digest, and future eviction decisions —
+    /// after arbitrary interleavings of touches, fills, evictions, undo
+    /// invalidate/restore, and flushes.
+    #[test]
+    fn tracked_restore_equals_full_restore() {
+        let image = {
+            let mut c = small();
+            c.fill(0x0000, false, true);
+            c.fill(0x0080, true, false);
+            c.fill(0x0040, false, true);
+            c
+        };
+        let mut tracked = small();
+        let mut full = small();
+        tracked.restore_tracked_from(&image); // no baseline: full copy
+        full.restore_from(&image);
+        let agree = |a: &Cache, b: &Cache| {
+            assert_eq!(a.snapshot(), b.snapshot());
+            assert_eq!(a.digest(7), b.digest(7));
+            assert_eq!(a.len(), b.len());
+        };
+        agree(&tracked, &full);
+        // Mutate both identically, then restore both ways again.
+        for c in [&mut tracked, &mut full] {
+            c.touch(0x0000, true, false);
+            c.fill(0x0100, false, false); // evicts in set 0
+            c.invalidate(0x0080);
+            let v = Line {
+                addr: 0x0080,
+                lru: 0,
+                dirty: true,
+                nonspec_touch: false,
+            };
+            c.restore(v);
+        }
+        tracked.restore_tracked_from(&image); // baseline valid: touched sets only
+        full.restore_from(&image);
+        agree(&tracked, &full);
+        // Same subsequent eviction decisions (LRU state restored too).
+        let vt = tracked.fill(0x0100, false, true).evicted.unwrap();
+        let vf = full.fill(0x0100, false, true).evicted.unwrap();
+        assert_eq!(vt, vf);
+        // A flush voids the baseline; the next tracked restore still lands
+        // on the image exactly.
+        tracked.flush();
+        tracked.restore_tracked_from(&image);
+        full.flush();
+        full.restore_from(&image);
+        agree(&tracked, &full);
     }
 
     #[test]

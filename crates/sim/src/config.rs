@@ -77,6 +77,12 @@ pub struct SimConfig {
     pub max_cycles: u64,
     /// Hard cap on fetched instructions (safety net for runaway loops).
     pub max_fetched: usize,
+    /// Event-driven cycle scheduling: when a cycle is provably inert the
+    /// simulator warps straight to the next event horizon instead of
+    /// stepping through it. Results are bit-identical either way; this
+    /// escape hatch exists so stepped and warped runs can be differentially
+    /// tested (`tests/cycle_warp.rs` and the CI smoke diff).
+    pub cycle_skip: bool,
 
     /// Sandbox base virtual address (must match the leakage model).
     pub sandbox_base: u64,
@@ -120,6 +126,7 @@ impl Default for SimConfig {
             ghr_bits: 8,
             max_cycles: 200_000,
             max_fetched: 100_000,
+            cycle_skip: true,
             sandbox_base: 0x4000,
             sandbox_size: 4096,
         }
@@ -138,6 +145,13 @@ impl SimConfig {
     /// Sets the sandbox to `pages` 4 KiB pages.
     pub fn with_sandbox_pages(mut self, pages: usize) -> Self {
         self.sandbox_size = pages * self.page_bytes as usize;
+        self
+    }
+
+    /// Enables or disables event-driven cycle scheduling (see
+    /// [`SimConfig::cycle_skip`]).
+    pub fn with_cycle_skip(mut self, on: bool) -> Self {
+        self.cycle_skip = on;
         self
     }
 }
@@ -169,6 +183,13 @@ mod tests {
         let c = SimConfig::default().amplified(2, 2);
         assert_eq!(c.l1d.ways, 2);
         assert_eq!(c.mshrs, 2);
+    }
+
+    #[test]
+    fn cycle_skip_defaults_on_with_escape_hatch() {
+        let c = SimConfig::default();
+        assert!(c.cycle_skip, "event-driven scheduling is the default");
+        assert!(!c.with_cycle_skip(false).cycle_skip);
     }
 
     #[test]

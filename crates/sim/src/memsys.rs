@@ -120,11 +120,29 @@ pub struct MemSys {
     pub dtlb: Tlb,
     cfg: SimConfig,
     mshr_free_at: Vec<u64>,
+    /// Index of the first never-used (`free_at == 0`) MSHR slot this test
+    /// case, `== mshr_free_at.len()` once all have been used. Allocation
+    /// always picks the raw `(free_at, index)` minimum; while zeros remain
+    /// they *are* that minimum and they are consumed in index order (an
+    /// allocation makes its slot non-zero, and writeback extensions only
+    /// touch already-used slots), so the argmin is this index — a O(1) fast
+    /// path that replaces a scan over all (default 256) slots per miss.
+    mshr_first_zero: usize,
     queue_free_at: u64,
     pending: Vec<PendingFill>,
     outstanding: Vec<(u64, u64)>, // (line, completion)
     records: Vec<FillRecord>,
     parked: Vec<Parked>,
+    /// Cached lower bound on the next cycle at which the memory system does
+    /// anything: the min of pending-fill `apply_at`s and future MSHR frees.
+    /// Exact whenever it lies in the future; removals (cancels) may leave it
+    /// conservatively early, which only costs one extra scan in
+    /// [`MemSys::tick`]. This is what makes `tick` a single compare on idle
+    /// cycles and gives the pipeline's time-warp scheduler its horizon
+    /// ([`MemSys::next_event`]).
+    next_event: u64,
+    /// Reusable buffer for fills due this tick (no per-apply allocation).
+    due_scratch: Vec<PendingFill>,
 }
 
 impl MemSys {
@@ -137,11 +155,14 @@ impl MemSys {
             dtlb: Tlb::new(cfg.dtlb_entries, cfg.page_bytes),
             cfg: cfg.clone(),
             mshr_free_at: vec![0; cfg.mshrs],
+            mshr_first_zero: 0,
             queue_free_at: 0,
             pending: Vec::new(),
             outstanding: Vec::new(),
             records: Vec::new(),
             parked: Vec::new(),
+            next_event: u64::MAX,
+            due_scratch: Vec::new(),
         }
     }
 
@@ -149,11 +170,44 @@ impl MemSys {
     /// records, LFB) without touching cache/TLB contents.
     pub fn reset_transient(&mut self) {
         self.mshr_free_at.iter_mut().for_each(|m| *m = 0);
+        self.mshr_first_zero = 0;
         self.queue_free_at = 0;
         self.pending.clear();
         self.outstanding.clear();
         self.records.clear();
         self.parked.clear();
+        self.next_event = u64::MAX;
+    }
+
+    /// The next cycle at which the memory system can change state on its
+    /// own: the earliest pending-fill `apply_at` or future MSHR free
+    /// (`u64::MAX` if neither exists). A conservative (early) value is
+    /// possible after cancellations — never a late one — so warping the
+    /// cycle counter to this horizon can never skip a fill.
+    pub fn next_event(&self) -> u64 {
+        self.next_event
+    }
+
+    #[inline]
+    fn note_event(&mut self, at: u64) {
+        self.next_event = self.next_event.min(at);
+    }
+
+    /// Recomputes the cached horizon after fills were applied at `now`
+    /// (MSHR frees at or before `now` are in the past and no longer count;
+    /// never-used slots are 0, so only the used prefix can hold a future
+    /// free).
+    fn recompute_next_event(&mut self, now: u64) {
+        let mut next = u64::MAX;
+        for p in &self.pending {
+            next = next.min(p.apply_at);
+        }
+        for &free in &self.mshr_free_at[..self.mshr_first_zero] {
+            if free > now {
+                next = next.min(free);
+            }
+        }
+        self.next_event = next;
     }
 
     /// Issues a data request for the line containing `addr`.
@@ -233,6 +287,7 @@ impl MemSys {
             match mode {
                 FillMode::Fill | FillMode::FillUndo { .. } => {
                     let record_undo = matches!(mode, FillMode::FillUndo { record: true });
+                    self.note_event(completion);
                     self.pending.push(PendingFill {
                         line,
                         apply_at: completion,
@@ -264,14 +319,21 @@ impl MemSys {
             };
         }
 
-        // Allocate an MSHR (head-of-line blocking when none free).
-        let (slot, slot_free) = self
-            .mshr_free_at
-            .iter()
-            .copied()
-            .enumerate()
-            .min_by_key(|&(i, free)| (free, i))
-            .expect("mshr count > 0");
+        // Allocate an MSHR (head-of-line blocking when none free): the slot
+        // with the raw minimum `(free_at, index)` key. While never-used
+        // slots remain, the first of them is that minimum (see
+        // `mshr_first_zero`); only once every slot has been used does the
+        // scan run — and then over a set the test case actually exercised.
+        let (slot, slot_free) = if self.mshr_first_zero < self.mshr_free_at.len() {
+            (self.mshr_first_zero, 0)
+        } else {
+            self.mshr_free_at
+                .iter()
+                .copied()
+                .enumerate()
+                .min_by_key(|&(i, free)| (free, i))
+                .expect("mshr count > 0")
+        };
         let start2 = start.max(slot_free);
         let stalled = start2 > start;
         if stalled {
@@ -293,6 +355,10 @@ impl MemSys {
             };
         let completion = start2 + latency;
         self.mshr_free_at[slot] = completion;
+        if slot == self.mshr_first_zero {
+            self.mshr_first_zero += 1;
+        }
+        self.note_event(completion);
         self.outstanding.push((line, completion));
         if l2_hit {
             self.l2.touch(line, false, nonspec);
@@ -352,12 +418,16 @@ impl MemSys {
 
     /// Applies all fills due at or before `now`. Returns `true` if any fill
     /// was applied (cache state changed).
+    ///
+    /// On idle cycles (`now` before [`MemSys::next_event`]) this is a single
+    /// compare; due fills are drained into a reusable scratch buffer, so the
+    /// apply path allocates nothing once warmed up.
     pub fn tick(&mut self, now: u64, log: &mut DebugLog) -> bool {
-        self.outstanding.retain(|&(_, c)| c > now);
-        if self.pending.iter().all(|p| p.apply_at > now) {
+        if now < self.next_event {
             return false;
         }
-        let mut due: Vec<PendingFill> = Vec::new();
+        self.outstanding.retain(|&(_, c)| c > now);
+        let mut due = std::mem::take(&mut self.due_scratch);
         self.pending.retain(|p| {
             if p.apply_at <= now {
                 due.push(*p);
@@ -368,9 +438,12 @@ impl MemSys {
         });
         due.sort_by_key(|p| (p.apply_at, p.seq));
         let applied = !due.is_empty();
-        for p in due {
+        for &p in &due {
             self.apply_fill(p, log);
         }
+        due.clear();
+        self.due_scratch = due;
+        self.recompute_next_event(now);
         applied
     }
 
@@ -381,17 +454,20 @@ impl MemSys {
     /// (a stalled InvisiSpec expose) manifests in the final snapshot
     /// (Table 7: "Expose 0x3e80 — stall!" and the line is absent).
     pub fn drain(&mut self, exit_cycle: u64, log: &mut DebugLog) {
-        let mut due: Vec<PendingFill> = Vec::new();
-        for p in std::mem::take(&mut self.pending) {
-            if p.started_at <= exit_cycle {
-                due.push(p);
-            }
-        }
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.extend(
+            self.pending
+                .drain(..)
+                .filter(|p| p.started_at <= exit_cycle),
+        );
         due.sort_by_key(|p| (p.apply_at, p.seq));
-        for p in due {
+        for &p in &due {
             self.apply_fill(p, log);
         }
+        due.clear();
+        self.due_scratch = due;
         self.outstanding.clear();
+        self.next_event = u64::MAX;
     }
 
     fn apply_fill(&mut self, p: PendingFill, log: &mut DebugLog) {
@@ -484,6 +560,7 @@ impl MemSys {
         };
         let p = self.parked.swap_remove(idx);
         let apply_at = now.max(p.ready_at);
+        self.note_event(apply_at);
         self.pending.push(PendingFill {
             line: p.line,
             apply_at,
@@ -523,6 +600,16 @@ impl MemSys {
     /// CleanupSpec/SpecLFB harnesses, §3.5).
     pub fn flush_all(&mut self) {
         self.l1d.flush();
+        self.l1i.flush();
+        self.l2.flush();
+        self.dtlb.flush();
+    }
+
+    /// Flushes L1I, L2 and the TLB but leaves the L1D alone — the prefill
+    /// reset path, where the tracked prefill restore is about to overwrite
+    /// the L1D wholesale anyway (flushing it first would void the tracking
+    /// baseline and force a full image copy every test case).
+    pub fn flush_all_except_l1d(&mut self) {
         self.l1i.flush();
         self.l2.flush();
         self.dtlb.flush();
@@ -758,6 +845,46 @@ mod tests {
         m.drain(exit_cycle, &mut log);
         assert!(m.l1d.contains(0x4000), "in-flight fill drains");
         assert!(!m.l1d.contains(0x8000), "stalled request never started");
+    }
+
+    #[test]
+    fn next_event_tracks_fills_and_resets() {
+        let (mut m, mut log) = memsys(4);
+        assert_eq!(m.next_event(), u64::MAX, "empty system has no horizon");
+        let out = m.request(0, 0x4000, false, true, 0, FillMode::Fill, &mut log);
+        assert_eq!(m.next_event(), out.completion, "horizon is the fill");
+        assert!(
+            !m.tick(out.completion - 1, &mut log),
+            "idle tick is a compare"
+        );
+        assert_eq!(m.next_event(), out.completion, "idle tick keeps it");
+        assert!(m.tick(out.completion, &mut log), "fill applies on time");
+        assert_eq!(m.next_event(), u64::MAX, "nothing outstanding afterwards");
+        m.request(
+            1,
+            0x8000,
+            false,
+            true,
+            out.completion + 1,
+            FillMode::Fill,
+            &mut log,
+        );
+        assert_ne!(m.next_event(), u64::MAX);
+        m.reset_transient();
+        assert_eq!(m.next_event(), u64::MAX, "reset clears the horizon");
+    }
+
+    #[test]
+    fn cancel_leaves_horizon_conservative_never_late() {
+        let (mut m, mut log) = memsys(4);
+        let out = m.request(5, 0x4000, false, false, 0, FillMode::Fill, &mut log);
+        m.cancel_for(5);
+        // The cached horizon may still point at the cancelled fill (early is
+        // fine — it can never be *later* than a real event), and the tick at
+        // that cycle recomputes it exactly.
+        assert!(m.next_event() <= out.completion);
+        assert!(!m.tick(out.completion, &mut log), "nothing applies");
+        assert!(!m.l1d.contains(0x4000));
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::debuglog::{DebugEvent, DebugLog, LogMode, SquashReason};
 use crate::defense::{Defense, LoadCtx, StoreCtx};
 use crate::memsys::{FillMode, MemSys};
 use amulet_emu::Sandbox;
+use amulet_isa::decode::{DecodedInstr, DecodedProgram, Flow};
 use amulet_isa::instr::MemEffect;
 use amulet_isa::semantics::{alu, unary};
 use amulet_isa::{code_addr, Flags, FlatProgram, Gpr, Instr, LoopKind, SharedProgram};
@@ -125,6 +126,27 @@ pub struct SimResult {
     pub fetched: usize,
     /// Total squashes.
     pub squashes: usize,
+    /// Total simulated cycles — bit-identical whether the cycle loop
+    /// stepped or warped ([`SimConfig::cycle_skip`]).
+    pub cycles: u64,
+    /// Cycles crossed by event-horizon warps instead of being stepped
+    /// (always 0 with [`SimConfig::cycle_skip`] off). The only field that
+    /// is *allowed* to differ between a stepped and a warped run.
+    pub warped_cycles: u64,
+}
+
+impl SimResult {
+    /// Equality over everything the timing model defines — all fields
+    /// except [`SimResult::warped_cycles`], which measures *how* the cycle
+    /// loop got there, not *where* it landed. The stepped/warped
+    /// differential tests assert this.
+    pub fn agrees_with(&self, other: &SimResult) -> bool {
+        self.exit_cycle == other.exit_cycle
+            && self.committed == other.committed
+            && self.fetched == other.fetched
+            && self.squashes == other.squashes
+            && self.cycles == other.cycles
+    }
 }
 
 /// The final µarch state snapshot — raw material for every µarch trace
@@ -159,6 +181,10 @@ pub struct Simulator {
     log: DebugLog,
 
     program: SharedProgram,
+    /// Per-pc predecode of `program` (rebuilt only when the program handle
+    /// changes — once per [`SharedProgram`] load, amortised over every input
+    /// it is scanned against).
+    decoded: DecodedProgram,
     sandbox: Sandbox,
     regs: [u64; 16],
     flags: Flags,
@@ -172,10 +198,15 @@ pub struct Simulator {
     cycle: u64,
     fetch_stall_until: u64,
     commit_stall_until: u64,
+    /// Resume pointer for the issue scan: every entry before it is settled
+    /// (squashed, committed, or issued) — see `issue_stage`.
+    issue_from: usize,
     exit_cycle: Option<u64>,
     fetched: usize,
     committed_count: usize,
     squashes: usize,
+    /// Cycles crossed by event-horizon warps this test case.
+    warped_cycles: u64,
 
     mem_order: Vec<(usize, u64, bool)>,
     branch_order: Vec<(usize, bool)>,
@@ -202,17 +233,19 @@ impl Simulator {
         let mem = MemSys::new(&cfg);
         let bp = Gshare::new(cfg.bp_entries, cfg.ghr_bits);
         let sandbox = Sandbox::new(cfg.sandbox_base, cfg.sandbox_size);
+        let program: SharedProgram = Arc::new(FlatProgram {
+            instrs: vec![Instr::Exit],
+            block_start: vec![0],
+            origin_block: vec![0],
+            labels: vec![".empty".into()],
+        });
         Simulator {
             mem,
             bp,
             mdp: MemDepPredictor::new(),
             log: DebugLog::new(200_000),
-            program: Arc::new(FlatProgram {
-                instrs: vec![Instr::Exit],
-                block_start: vec![0],
-                origin_block: vec![0],
-                labels: vec![".empty".into()],
-            }),
+            decoded: DecodedProgram::new(&program),
+            program,
             sandbox,
             regs: [0; 16],
             flags: Flags::new(),
@@ -225,10 +258,12 @@ impl Simulator {
             cycle: 0,
             fetch_stall_until: 0,
             commit_stall_until: 0,
+            issue_from: 0,
             exit_cycle: None,
             fetched: 0,
             committed_count: 0,
             squashes: 0,
+            warped_cycles: 0,
             mem_order: Vec::new(),
             branch_order: Vec::new(),
             prefill_image: None,
@@ -260,6 +295,7 @@ impl Simulator {
     pub fn load_test(&mut self, flat: &FlatProgram, input: &TestInput) {
         if *self.program != *flat {
             self.program = Arc::new(flat.clone());
+            self.decoded = DecodedProgram::new(&self.program);
         }
         self.reset_for_input(input);
     }
@@ -270,6 +306,7 @@ impl Simulator {
     pub fn load_test_shared(&mut self, flat: &SharedProgram, input: &TestInput) {
         if !Arc::ptr_eq(&self.program, flat) {
             self.program = Arc::clone(flat);
+            self.decoded = DecodedProgram::new(&self.program);
         }
         self.reset_for_input(input);
     }
@@ -293,10 +330,12 @@ impl Simulator {
         self.cycle = 0;
         self.fetch_stall_until = 0;
         self.commit_stall_until = 0;
+        self.issue_from = 0;
         self.exit_cycle = None;
         self.fetched = 0;
         self.committed_count = 0;
         self.squashes = 0;
+        self.warped_cycles = 0;
         self.mem_order.clear();
         self.branch_order.clear();
         self.mem.reset_transient();
@@ -314,7 +353,15 @@ impl Simulator {
     /// cycle where their outcome could differ from a no-op (see the
     /// `stage_dirty`/`next_complete` field docs) and are skipped on provably
     /// idle cycles — the bulk of every memory-latency wait.
+    ///
+    /// With [`SimConfig::cycle_skip`] (the default) the loop is
+    /// event-driven on top of that: when a cycle is provably inert it warps
+    /// `self.cycle` straight to the next event horizon instead of iterating
+    /// through the gap (see `warp_to_next_event` below). Results are
+    /// bit-identical either way; [`SimResult::warped_cycles`] records how
+    /// much of the case was crossed by warps.
     pub fn run(&mut self) -> SimResult {
+        let warp = self.cfg.cycle_skip;
         while self.exit_cycle.is_none() && self.cycle < self.cfg.max_cycles {
             if self.mem.tick(self.cycle, &mut self.log) {
                 self.stage_dirty = true;
@@ -336,6 +383,9 @@ impl Simulator {
             }
             self.fetch_stage();
             self.cycle += 1;
+            if warp {
+                self.warp_to_next_event();
+            }
         }
         if let Some(exit) = self.exit_cycle {
             self.mem.drain(exit, &mut self.log);
@@ -345,7 +395,101 @@ impl Simulator {
             committed: self.committed_count,
             fetched: self.fetched,
             squashes: self.squashes,
+            cycles: self.cycle,
+            warped_cycles: self.warped_cycles,
         }
+    }
+
+    /// The time-warp scheduler: advances `self.cycle` to the next event
+    /// horizon when every cycle in between is provably inert, i.e. a
+    /// stepped loop would have executed each of them as a no-op (modulo
+    /// fetch-ahead, which is batch-applied below).
+    ///
+    /// A cycle `c` is inert when all of the following hold:
+    ///
+    /// - `stage_dirty` is clear — no state change since the last
+    ///   safety/taint/issue pass, so those stages would scan and find
+    ///   nothing (PR 1's event-gating invariant: every state change that
+    ///   can affect a stage outcome sets the flag);
+    /// - no execution completes at `c` (`next_complete > c`) and the memory
+    ///   system is idle at `c` ([`MemSys::next_event`]` > c`);
+    /// - commit is quiescent: it ran un-stalled at `c - 1` and committed
+    ///   nothing (otherwise `stage_dirty` would be set), and its stall —
+    ///   if any — does not expire exactly at `c`;
+    /// - fetch cannot make un-batchable progress at `c`: it is stalled
+    ///   (`c < fetch_stall_until`), structurally blocked (ROB full or
+    ///   `max_fetched` reached — neither can change while nothing commits
+    ///   or squashes), or in fetch-ahead mode past EXIT / program end
+    ///   (KV1/KV2), whose one-line-per-cycle `fetch_line` walk depends on
+    ///   nothing but `fetch_pc` and is batch-applied over the warped span,
+    ///   keeping I-cache residency bit-identical.
+    ///
+    /// The horizon is `min(next_complete, MemSys::next_event,
+    /// fetch_stall_until, commit_stall_until, max_cycles)` (the stall
+    /// bounds only when they lie ahead); the loop then resumes stepping at
+    /// the horizon cycle, where a real event may fire.
+    fn warp_to_next_event(&mut self) {
+        if self.stage_dirty {
+            return;
+        }
+        let c = self.cycle;
+        // A commit stall expiring exactly now may unblock the ROB head.
+        if self.commit_stall_until == c {
+            return;
+        }
+        let mut horizon = self
+            .next_complete
+            .min(self.mem.next_event())
+            .min(self.cfg.max_cycles);
+        if self.commit_stall_until > c {
+            horizon = horizon.min(self.commit_stall_until);
+        }
+        let fetch_ahead = self.halted_fetch || self.fetch_pc >= self.program.len();
+        let fetch_stalled = c < self.fetch_stall_until;
+        if fetch_stalled {
+            horizon = horizon.min(self.fetch_stall_until);
+        } else if !fetch_ahead
+            && self.in_flight < self.cfg.rob_size
+            && self.fetched < self.cfg.max_fetched
+        {
+            // Fetch dispatches real instructions this cycle: not inert.
+            return;
+        }
+        if horizon <= c {
+            return;
+        }
+        if fetch_ahead && !fetch_stalled {
+            // Batch-apply the per-cycle fetch-ahead walk the stepped loop
+            // would have performed on each warped cycle, collapsing
+            // consecutive same-line touches: re-touching the line that the
+            // previous iteration just made most-recently-used is a no-op for
+            // residency, relative LRU order, and flags (nothing else touches
+            // the L1I inside the span), so one `fetch_line` per distinct
+            // line leaves the I-cache bit-identical to the stepped walk.
+            let k = horizon - c;
+            let step = 4 * self.cfg.fetch_width as u64;
+            let first = code_addr(self.fetch_pc);
+            let last = first + (k - 1) * step;
+            if step <= self.cfg.l1i.line_bytes {
+                // The stride covers every line between first and last.
+                let mut line = self.cfg.l1i.line_of(first);
+                let last_line = self.cfg.l1i.line_of(last);
+                while line <= last_line {
+                    self.mem.fetch_line(line);
+                    line += self.cfg.l1i.line_bytes;
+                }
+            } else {
+                // Wide-fetch configs can skip lines: walk cycle by cycle.
+                let mut addr = first;
+                while addr <= last {
+                    self.mem.fetch_line(addr);
+                    addr += step;
+                }
+            }
+            self.fetch_pc += k as usize * self.cfg.fetch_width;
+        }
+        self.warped_cycles += horizon - c;
+        self.cycle = horizon;
     }
 
     /// The final µarch snapshot (call after [`Simulator::run`]).
@@ -391,14 +535,14 @@ impl Simulator {
     pub fn trace_digest(&self, kind: DigestKind) -> u64 {
         match kind {
             DigestKind::L1dTlb { include_l1i } => {
-                let mut h = set_digest(self.mem.l1d.iter_lines(), 0x1d);
-                h = h
-                    .wrapping_mul(3)
-                    .wrapping_add(set_digest(self.mem.dtlb.iter_pages(), 0x71b));
+                // Set-valued sections come from the caches' incremental
+                // Zobrist accumulators — O(1) instead of an O(residency)
+                // walk per case (`set_digest` is the reference fold the
+                // accumulators are tested against).
+                let mut h = self.mem.l1d.digest(0x1d);
+                h = h.wrapping_mul(3).wrapping_add(self.mem.dtlb.digest(0x71b));
                 if include_l1i {
-                    h = h
-                        .wrapping_mul(3)
-                        .wrapping_add(set_digest(self.mem.l1i.iter_lines(), 0x11));
+                    h = h.wrapping_mul(3).wrapping_add(self.mem.l1i.digest(0x11));
                 }
                 h
             }
@@ -479,6 +623,14 @@ impl Simulator {
         self.mem.flush_all();
     }
 
+    /// Flushes everything except the L1D — the reset used together with
+    /// [`Simulator::prefill_l1d_conflicting`], which overwrites the L1D
+    /// from the cached image anyway (and restores it incrementally when the
+    /// L1D still carries the tracking baseline from the previous case).
+    pub fn flush_caches_keep_l1d(&mut self) {
+        self.mem.flush_all_except_l1d();
+    }
+
     /// Fills every L1D set with out-of-sandbox conflicting addresses — the
     /// paper's cache initialisation ("64 x 8 addresses for an 8-way, 32KB L1
     /// cache") that makes both installs *and evictions* observable.
@@ -489,7 +641,7 @@ impl Simulator {
     /// this runs once per test case on the fuzzing hot path.
     pub fn prefill_l1d_conflicting(&mut self) {
         match &self.prefill_image {
-            Some(img) => self.mem.l1d.restore_from(img),
+            Some(img) => self.mem.l1d.restore_tracked_from(img),
             None => {
                 self.prefill_l1d_conflicting_fresh();
                 self.prefill_image = Some(self.mem.l1d.clone());
@@ -640,29 +792,25 @@ impl Simulator {
     /// Marks entries that reached the visibility point and triggers
     /// safe-point actions (exposes, LFB installs).
     fn update_safety(&mut self) {
-        let mut blocked = false;
         for idx in self.commit_ptr..self.rob.len() {
             if self.rob[idx].squashed {
                 continue;
             }
-            if !blocked && self.rob[idx].safe_at.is_none() {
+            if self.rob[idx].safe_at.is_none() {
                 self.rob[idx].safe_at = Some(self.cycle);
                 self.on_safe(idx);
             }
             let e = &self.rob[idx];
-            // Unresolved conditional branches block younger safety.
+            // Unresolved conditional branches block younger safety, as do
+            // stores with unresolved addresses. Nothing past the first
+            // blocker can change this cycle, so the scan stops there.
             if e.is_cond_branch && !matches!(e.state, EState::Done { .. }) {
-                blocked = true;
+                break;
             }
-            // Stores with unresolved addresses block younger safety.
             if let Some(m) = &e.mem {
                 if m.effect.writes() && m.addr.is_none() {
-                    blocked = true;
+                    break;
                 }
-            }
-            if blocked && self.rob[idx].safe_at.is_none() {
-                // Entries past the first blocker stay unsafe this cycle.
-                continue;
             }
         }
     }
@@ -761,7 +909,24 @@ impl Simulator {
 
     /// Attempts to issue every ready entry, oldest first.
     fn issue_stage(&mut self) {
-        for idx in self.commit_ptr..self.rob.len() {
+        // Advance the resume pointer over the settled prefix: squashed,
+        // committed, and issued (`Executing`/`Done`) entries never return to
+        // `Waiting`, so they can never need issuing again — and a fence in
+        // the prefix is necessarily `Done` (fences go `Waiting` → `Done`
+        // directly), so the fence barrier below cannot be skipped over. The
+        // scan then starts at the first entry that could still act instead
+        // of re-walking the whole window every dirty cycle.
+        let mut from = self.issue_from.max(self.commit_ptr);
+        while from < self.rob.len() {
+            let e = &self.rob[from];
+            if e.squashed || e.committed || !matches!(e.state, EState::Waiting) {
+                from += 1;
+            } else {
+                break;
+            }
+        }
+        self.issue_from = from;
+        for idx in from..self.rob.len() {
             if self.rob[idx].squashed
                 || self.rob[idx].committed
                 || !matches!(self.rob[idx].state, EState::Waiting)
@@ -1449,11 +1614,17 @@ impl Simulator {
                     self.rename[FLAGS_IDX] = None;
                 }
             }
-            if let Some(m) = self.rob[idx].mem.clone() {
-                if m.effect.writes() {
-                    let addr = m.addr.expect("store resolved before commit");
-                    let width = m.effect.mem_ref().width;
-                    let data = match m.effect {
+            // Copy out the commit-relevant memory fields (all `Copy`) —
+            // no `MemState` clone per committed instruction.
+            let mem = self.rob[idx]
+                .mem
+                .as_ref()
+                .map(|m| (m.effect, m.addr, m.split, m.bypassed));
+            if let Some((effect, addr, split, bypassed)) = mem {
+                if effect.writes() {
+                    let addr = addr.expect("store resolved before commit");
+                    let width = effect.mem_ref().width;
+                    let data = match effect {
                         MemEffect::Store(_) | MemEffect::Rmw(_) => {
                             self.rob[idx].result.expect("store data at commit")
                         }
@@ -1469,7 +1640,7 @@ impl Simulator {
                         FillMode::Fill,
                         &mut self.log,
                     );
-                    if m.split {
+                    if split {
                         let second = addr + width.bytes() - 1;
                         self.mem.request(
                             idx,
@@ -1482,7 +1653,7 @@ impl Simulator {
                         );
                     }
                 }
-                if m.effect.reads() && m.bypassed {
+                if effect.reads() && bypassed {
                     self.mdp.train_no_conflict(self.rob[idx].pc);
                 }
             }
@@ -1517,9 +1688,10 @@ impl Simulator {
             }
             let pc = self.fetch_pc;
             let instr = self.program.instrs[pc];
+            let decoded = self.decoded.instrs[pc];
             self.mem.fetch_line(code_addr(pc));
             self.fetched += 1;
-            let taken_break = self.dispatch(pc, instr);
+            let taken_break = self.dispatch(pc, instr, &decoded);
             if taken_break {
                 return;
             }
@@ -1527,55 +1699,38 @@ impl Simulator {
     }
 
     /// Dispatches one instruction; returns `true` if fetch must stop this
-    /// cycle (taken branch or EXIT).
-    fn dispatch(&mut self, pc: usize, instr: Instr) -> bool {
-        let eff = instr.effects();
+    /// cycle (taken branch or EXIT). All static questions — source indices,
+    /// destination, flags behaviour, memory effect, resolved branch targets
+    /// — come from the per-pc [`DecodedInstr`] table instead of being
+    /// recomputed from [`Instr::effects`] on every fetch.
+    fn dispatch(&mut self, pc: usize, instr: Instr, decoded: &DecodedInstr) -> bool {
         let idx = self.rob.len();
         let mut srcs = SrcList::default();
-        let add_src = |rename: &[Option<usize>; 17],
-                       regs: &[u64; 16],
-                       flags: Flags,
-                       srcs: &mut SrcList,
-                       ri: usize| {
-            if srcs.iter().any(|&(i, _)| i == ri) {
-                return;
-            }
-            let v = match rename[ri] {
+        for &ri in &decoded.srcs {
+            let ri = ri as usize;
+            let v = match self.rename[ri] {
                 Some(p) => SrcVal::Producer(p),
-                None if ri == FLAGS_IDX => SrcVal::Ready(flags.bits() as u64),
-                None => SrcVal::Ready(regs[ri]),
+                None if ri == FLAGS_IDX => SrcVal::Ready(self.flags.bits() as u64),
+                None => SrcVal::Ready(self.regs[ri]),
             };
             srcs.push((ri, v));
-        };
-        for r in &eff.reads {
-            add_src(&self.rename, &self.regs, self.flags, &mut srcs, r.index());
-        }
-        // Partial-width writes merge into the old value: the destination is
-        // an implicit source.
-        if let Some((r, w)) = eff.writes {
-            if matches!(w, Width::B | Width::W) {
-                add_src(&self.rename, &self.regs, self.flags, &mut srcs, r.index());
-            }
-        }
-        if eff.reads_flags {
-            add_src(&self.rename, &self.regs, self.flags, &mut srcs, FLAGS_IDX);
         }
 
-        let ghr_at_fetch = self.bp.state().1;
+        let ghr_at_fetch = self.bp.ghr();
         let mut predicted_taken = None;
         let mut branch_target = 0usize;
         let mut stop_fetch = false;
         let mut state = EState::Waiting;
 
-        match instr {
-            Instr::Jmp { target } => {
-                branch_target = self.program.target_index(target);
+        match decoded.flow {
+            Flow::Jump { target } => {
+                branch_target = target;
                 self.fetch_pc = branch_target;
                 state = EState::Done { at: self.cycle };
                 stop_fetch = true;
             }
-            Instr::Jcc { target, .. } | Instr::Loop { target, .. } => {
-                branch_target = self.program.target_index(target);
+            Flow::CondBranch { target } => {
+                branch_target = target;
                 let taken = self.bp.predict(pc);
                 predicted_taken = Some(taken);
                 self.branch_order.push((pc, taken));
@@ -1588,13 +1743,13 @@ impl Simulator {
                 self.fetch_pc = if taken { branch_target } else { pc + 1 };
                 stop_fetch = true;
             }
-            Instr::Exit => {
+            Flow::Exit => {
                 state = EState::Done { at: self.cycle };
                 self.halted_fetch = true;
                 self.fetch_pc = pc + 1;
                 stop_fetch = true;
             }
-            _ => {
+            Flow::Seq => {
                 self.fetch_pc = pc + 1;
             }
         }
@@ -1606,9 +1761,9 @@ impl Simulator {
             state,
             result: None,
             out_flags: None,
-            writes: eff.writes,
-            writes_flags: eff.writes_flags,
-            mem: eff.mem.map(|effect| MemState {
+            writes: decoded.writes,
+            writes_flags: decoded.writes_flags,
+            mem: decoded.mem.map(|effect| MemState {
                 effect,
                 addr: None,
                 split: false,
@@ -1619,7 +1774,7 @@ impl Simulator {
                 unrecorded_fill: false,
                 parked: false,
             }),
-            is_cond_branch: instr.is_cond_branch(),
+            is_cond_branch: decoded.is_cond_branch(),
             predicted_taken,
             ghr_at_fetch,
             resolved_taken: None,
@@ -1632,10 +1787,10 @@ impl Simulator {
             exposed: false,
             tainted: false,
         };
-        if let Some((r, _)) = eff.writes {
+        if let Some((r, _)) = decoded.writes {
             self.rename[r.index()] = Some(idx);
         }
-        if eff.writes_flags {
+        if decoded.writes_flags {
             self.rename[FLAGS_IDX] = Some(idx);
         }
         self.rob.push(entry);
@@ -1664,25 +1819,23 @@ pub enum DigestKind {
 
 const SEQ_SEED: u64 = 0xcbf2_9ce4_8422_2325;
 
-/// SplitMix64 finalizer — a cheap 64-bit mixer with full avalanche.
-#[inline]
-fn mix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
+use amulet_util::mix64;
 
-/// Order-independent digest of a set of unique elements (Zobrist-style
-/// XOR of mixed elements, plus the cardinality so ∅ and {0} differ).
+/// Order-independent digest of a set of unique elements: a Zobrist-style
+/// XOR fold of mixed elements, finished with the section (domain
+/// separation) and the cardinality (so ∅ and {0} differ). This is the
+/// reference form of the incremental accumulator the caches and TLB
+/// maintain ([`crate::cache::Cache::digest`]) — both must agree, which
+/// `digest_tests` asserts.
+#[cfg(test)]
 fn set_digest(items: impl Iterator<Item = u64>, section: u64) -> u64 {
     let mut acc = 0u64;
     let mut n = 0u64;
     for x in items {
-        acc ^= mix64(x ^ section.rotate_left(32));
+        acc ^= mix64(x);
         n += 1;
     }
-    acc ^ mix64(n ^ section)
+    amulet_util::residency_digest(acc, n, section)
 }
 
 /// Sequential (order-sensitive) fold.
@@ -1718,6 +1871,66 @@ mod digest_tests {
         let h1 = seq_fold(seq_fold(SEQ_SEED, 1), 2);
         let h2 = seq_fold(seq_fold(SEQ_SEED, 2), 1);
         assert_ne!(h1, h2);
+    }
+
+    /// The incremental Zobrist accumulators must equal the reference fold
+    /// after an adversarial mix of fills, evictions, undo
+    /// invalidate/restore, flushes, and prefill-image restores.
+    #[test]
+    fn incremental_cache_digest_matches_reference_fold() {
+        use crate::defense::InsecureBaseline;
+        let mut sim = Simulator::new(
+            SimConfig::default().amplified(2, 2),
+            Box::new(InsecureBaseline),
+        );
+        sim.flush_caches();
+        sim.prefill_l1d_conflicting();
+        let check = |sim: &Simulator| {
+            assert_eq!(
+                sim.mem.l1d.digest(0x1d),
+                set_digest(sim.mem.l1d.iter_lines(), 0x1d)
+            );
+            assert_eq!(
+                sim.mem.l1i.digest(0x11),
+                set_digest(sim.mem.l1i.iter_lines(), 0x11)
+            );
+            assert_eq!(
+                sim.mem.dtlb.digest(0x71b),
+                set_digest(sim.mem.dtlb.iter_pages(), 0x71b)
+            );
+        };
+        check(&sim);
+        // Drive fills/evictions/undos directly on the memory system.
+        let mut log = DebugLog::new(1000);
+        for i in 0..40u64 {
+            let addr = 0x4000 + i * 0x940;
+            let mode = match i % 3 {
+                0 => FillMode::Fill,
+                1 => FillMode::FillUndo { record: true },
+                _ => FillMode::Park,
+            };
+            let out = sim
+                .mem
+                .request(i as usize, addr, i % 2 == 0, i % 5 == 0, i, mode, &mut log);
+            sim.mem.tick(out.completion, &mut log);
+            sim.mem.dtlb.access(addr);
+            sim.mem.fetch_line(amulet_isa::code_addr(i as usize * 7));
+        }
+        for seq in 0..40usize {
+            if seq % 4 == 0 {
+                sim.mem.undo_for(seq, 10_000, seq % 8 == 0, &mut log);
+            }
+            if seq % 5 == 0 {
+                sim.mem.release_parked(seq, 10_000, &mut log);
+            }
+        }
+        sim.mem.tick(20_000, &mut log);
+        check(&sim);
+        sim.mem.dtlb.invalidate_page(4);
+        sim.flush_caches();
+        check(&sim);
+        sim.prefill_l1d_conflicting();
+        check(&sim);
     }
 
     #[test]

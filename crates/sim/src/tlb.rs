@@ -4,6 +4,8 @@
 //! (KV3) is a tainted speculative store installing a TLB entry. Like the
 //! caches, only the footprint matters, so entries are page numbers.
 
+use amulet_util::{mix64, residency_digest};
+
 /// Fully-associative TLB with LRU replacement.
 #[derive(Debug, Clone)]
 pub struct Tlb {
@@ -11,6 +13,10 @@ pub struct Tlb {
     page_bytes: u64,
     entries: Vec<(u64, u64)>, // (page number, lru stamp)
     stamp: u64,
+    /// XOR of `mix64(page)` over resident entries — the same incremental
+    /// Zobrist residency accumulator as [`crate::cache::Cache`], giving an
+    /// O(1) footprint digest ([`Tlb::digest`]).
+    zobrist: u64,
 }
 
 impl Tlb {
@@ -30,7 +36,14 @@ impl Tlb {
             page_bytes,
             entries: Vec::with_capacity(capacity),
             stamp: 0,
+            zobrist: 0,
         }
+    }
+
+    /// O(1) order-independent digest of the resident-page set, domain
+    /// separated by `section` (see [`crate::cache::Cache::digest`]).
+    pub fn digest(&self, section: u64) -> u64 {
+        residency_digest(self.zobrist, self.entries.len() as u64, section)
     }
 
     /// The page number containing a virtual address.
@@ -54,9 +67,11 @@ impl Tlb {
                 .enumerate()
                 .min_by_key(|(_, (_, lru))| *lru)
                 .expect("capacity > 0");
-            self.entries.swap_remove(idx);
+            let (evicted, _) = self.entries.swap_remove(idx);
+            self.zobrist ^= mix64(evicted);
         }
         self.entries.push((page, self.stamp));
+        self.zobrist ^= mix64(page);
         false
     }
 
@@ -68,12 +83,21 @@ impl Tlb {
 
     /// Removes a page if present.
     pub fn invalidate_page(&mut self, page: u64) {
-        self.entries.retain(|(p, _)| *p != page);
+        let zobrist = &mut self.zobrist;
+        self.entries.retain(|(p, _)| {
+            if *p == page {
+                *zobrist ^= mix64(page);
+                false
+            } else {
+                true
+            }
+        });
     }
 
     /// Drops all entries.
     pub fn flush(&mut self) {
         self.entries.clear();
+        self.zobrist = 0;
     }
 
     /// Sorted resident page numbers — the µarch-trace snapshot.

@@ -25,6 +25,6 @@ pub mod taintset;
 
 pub use arrayvec::ArrayVec;
 pub use bitset::BitSet;
-pub use rng::{SplitMix64, Xoshiro256};
+pub use rng::{mix64, residency_digest, SplitMix64, Xoshiro256};
 pub use stats::{fmt_duration_s, Summary};
 pub use taintset::{TaintPool, TaintSet};

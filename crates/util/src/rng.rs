@@ -40,6 +40,29 @@ impl SplitMix64 {
     }
 }
 
+/// The SplitMix64 step applied to a constant: a cheap stateless 64-bit
+/// mixer with full avalanche (increment, then finalize), shared by the
+/// simulator's trace digests and the caches' incremental Zobrist residency
+/// accumulators. Not part of [`SplitMix64`]'s stream — the generator mixes
+/// its post-increment state directly.
+#[inline]
+pub fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Finalizes a Zobrist residency accumulator (`zobrist` = XOR of
+/// [`mix64`]-ed unique elements, `count` = cardinality) into a
+/// domain-separated set digest. The single definition shared by the
+/// simulator's incremental cache/TLB digests and their reference fold, so
+/// the finalization scheme cannot drift between them.
+#[inline]
+pub fn residency_digest(zobrist: u64, count: u64, section: u64) -> u64 {
+    mix64(zobrist ^ section.rotate_left(32)) ^ mix64(count ^ section)
+}
+
 /// xoshiro256**: fast all-purpose 64-bit PRNG with 256-bit state.
 ///
 /// This is the generator behind every random decision AMuLeT makes. It is

@@ -1,0 +1,103 @@
+//! Per-case cost breakdown of the fuzzing hot path (dev tool).
+//!
+//! Splits one `Executor::run_case` into its components and times each over
+//! the fixed-seed quick-campaign workload, so perf work targets the real
+//! hotspots instead of folklore. Run with `--release`.
+
+use amulet::contracts::{ContractKind, LeakageModel};
+use amulet::defenses::DefenseKind;
+use amulet::fuzz::{
+    boosted_inputs, Executor, ExecutorConfig, Generator, GeneratorConfig, InputGenConfig,
+};
+use amulet::sim::{DigestKind, LogMode, SimConfig, Simulator};
+use amulet::util::Xoshiro256;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let model = LeakageModel::new(ContractKind::CtSeq);
+    let mut generator = Generator::new(GeneratorConfig::default(), 11);
+    let mut rng = Xoshiro256::seed_from_u64(12);
+    let input_cfg = InputGenConfig {
+        base_inputs: 4,
+        mutations: 6,
+        pages: 1,
+    };
+    let workload: Vec<_> = (0..60)
+        .map(|_| {
+            let flat = generator.program().flatten_shared();
+            let inputs = boosted_inputs(&model, &flat, &input_cfg, &mut rng);
+            (flat, inputs)
+        })
+        .collect();
+    let cases: usize = workload.iter().map(|(_, i)| i.len()).sum();
+    let reps = 20;
+
+    // Arm 1: the full hot path.
+    let mut executor = Executor::new(ExecutorConfig::new(DefenseKind::Baseline));
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for (flat, inputs) in &workload {
+            for input in inputs {
+                black_box(executor.run_case(flat, input));
+            }
+        }
+    }
+    let full = t0.elapsed().as_secs_f64();
+
+    // Arm 2: components on a bare simulator. Note the reset here is the
+    // plain flush + full prefill restore — the executor's real reset path
+    // keeps the L1D tracking baseline alive and restores touched sets only,
+    // so arm 1's total can undercut this arm's component sum.
+    let mut sim = Simulator::new(SimConfig::default(), DefenseKind::Baseline.build());
+    sim.set_log_mode(LogMode::Off);
+    let (mut t_reset, mut t_load, mut t_run, mut t_digest) = (0.0f64, 0.0, 0.0, 0.0);
+    for _ in 0..reps {
+        for (flat, inputs) in &workload {
+            for input in inputs {
+                let t = Instant::now();
+                sim.flush_caches();
+                sim.prefill_l1d_conflicting();
+                t_reset += t.elapsed().as_secs_f64();
+                let t = Instant::now();
+                sim.load_test_shared(flat, input);
+                t_load += t.elapsed().as_secs_f64();
+                let t = Instant::now();
+                black_box(sim.run());
+                t_run += t.elapsed().as_secs_f64();
+                let t = Instant::now();
+                black_box(sim.trace_digest(DigestKind::L1dTlb { include_l1i: false }));
+                t_digest += t.elapsed().as_secs_f64();
+            }
+        }
+    }
+    // Workload shape: what one case looks like to the cycle loop.
+    let (mut fetched, mut committed, mut cycles, mut warped, mut squashes) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    for (flat, inputs) in &workload {
+        for input in inputs {
+            let r = executor.run_case(flat, input);
+            fetched += r.result.fetched as u64;
+            committed += r.result.committed as u64;
+            cycles += r.result.cycles;
+            warped += r.result.warped_cycles;
+            squashes += r.result.squashes as u64;
+        }
+    }
+    let c = cases as f64;
+    println!(
+        "shape: {:.1} fetched, {:.1} committed, {:.1} cycles ({:.1} stepped), {:.2} squashes /case",
+        fetched as f64 / c,
+        committed as f64 / c,
+        cycles as f64 / c,
+        (cycles - warped) as f64 / c,
+        squashes as f64 / c
+    );
+    let n = (reps * cases) as f64;
+    println!("cases: {cases} x {reps} reps");
+    println!("full run_case:   {:>8.0} ns/case", full / n * 1e9);
+    println!("  flush+prefill: {:>8.0} ns/case", t_reset / n * 1e9);
+    println!("  load_test:     {:>8.0} ns/case", t_load / n * 1e9);
+    println!("  sim.run():     {:>8.0} ns/case", t_run / n * 1e9);
+    println!("  trace_digest:  {:>8.0} ns/case", t_digest / n * 1e9);
+}
