@@ -1,0 +1,338 @@
+//! `amulet drive` — the driver end of the multi-process campaign fabric.
+//!
+//! `drive --procs N` runs one campaign sharded over `N` spawned
+//! `amulet worker` processes instead of in-process threads. The scheduling
+//! and reduction machinery is *the same* as the in-process pool's —
+//! [`CursorSource`] hands out batches, [`reduce_fragments`] merges them —
+//! only the transport differs: assignments and results travel as
+//! `amulet_core::proto` JSON lines over the workers' stdin/stdout pipes.
+//! Consequently `drive --procs 1`, `drive --procs 4` and the in-process
+//! `campaign` run (same `--batch`) produce the same
+//! [`CampaignReport::fingerprint`] — asserted by
+//! `tests/multiproc_determinism.rs` and CI.
+//!
+//! The driver loop ([`run_driver`]) is generic over a [`WorkerLink`]
+//! transport and a `connect` factory, for three reasons: OS-process links
+//! ([`ProcLink`]) are just one implementation; worker crash recovery is a
+//! reconnect (a replacement worker re-runs the batch — batch results are
+//! schedule-independent, so a restart cannot perturb the fingerprint); and
+//! tests can drive the whole fabric through in-memory channels, failure
+//! injection included.
+//!
+//! See `docs/DISTRIBUTED.md` for the operator-level picture.
+
+use crate::{print_report, report_json, Args, JsonSink, ShapeOptions};
+use amulet_core::proto::{FragmentReport, Msg, PROTO_VERSION};
+use amulet_core::{
+    reduce_fragments, BatchSink, BatchSource, BatchSpec, CampaignConfig, CampaignReport,
+    CollectSink, CursorSource,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A bidirectional, line-delimited message channel to one worker.
+///
+/// Implementations must deliver messages in order and flush eagerly; an
+/// `Err` from either direction marks the link dead (the driver reconnects
+/// and re-runs the in-flight batch).
+pub trait WorkerLink {
+    /// Sends one message.
+    fn send(&mut self, msg: &Msg) -> Result<(), String>;
+    /// Receives the next message (blocking).
+    fn recv(&mut self) -> Result<Msg, String>;
+}
+
+/// Driver-side knobs of a multi-process run.
+#[derive(Debug, Clone, Copy)]
+pub struct DriveConfig {
+    /// Worker processes (links) to drive concurrently.
+    pub procs: usize,
+    /// Programs per batch — part of the deterministic stream identity,
+    /// exactly as for the in-process pool.
+    pub batch_programs: usize,
+    /// Reconnect-and-retry attempts per batch before the campaign fails.
+    pub retries: usize,
+}
+
+impl Default for DriveConfig {
+    fn default() -> Self {
+        DriveConfig {
+            procs: 2,
+            batch_programs: amulet_core::ShardConfig::default().batch_programs,
+            retries: 2,
+        }
+    }
+}
+
+/// Drives one campaign over `drive.procs` worker links and reduces the
+/// streamed fragments deterministically.
+///
+/// `connect` is called once per link slot, plus once per reconnect after a
+/// link failure. Each fresh link must open with a `hello` whose version and
+/// config echo match `cfg` ([`PROTO_VERSION`]); an initial handshake
+/// failure is a configuration error and aborts the slot immediately, while
+/// reconnect failures during crash recovery consume the in-flight batch's
+/// retry budget (a transient spawn failure must not abort a campaign that
+/// still has retries). `tee`, when given, receives every accepted fragment
+/// as one JSONL line — the raw material CI uploads as a build artifact.
+pub fn run_driver<L, C>(
+    cfg: &CampaignConfig,
+    drive: &DriveConfig,
+    connect: C,
+    tee: Option<Box<dyn Write + Send>>,
+) -> Result<CampaignReport, String>
+where
+    L: WorkerLink,
+    C: Fn() -> Result<L, String> + Sync,
+{
+    let source = CursorSource::new(cfg, drive.batch_programs);
+    let sink = CollectSink::new();
+    let tee = Mutex::new(tee);
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for _ in 0..drive.procs.max(1) {
+            scope.spawn(|| {
+                if let Err(e) = drive_one_link(cfg, drive, &connect, &source, &sink, &tee) {
+                    // A dead link slot is fatal for the campaign (batches
+                    // it would have run are gone), but the other slots
+                    // drain the source first so the error report is
+                    // complete rather than racy.
+                    errors.lock().unwrap().push(e);
+                }
+            });
+        }
+    });
+
+    let errors = errors.into_inner().unwrap();
+    if !errors.is_empty() {
+        return Err(errors.join("; "));
+    }
+    let wall = start.elapsed();
+    let hit = source.earliest_hit();
+    Ok(reduce_fragments(
+        cfg.clone(),
+        sink.into_fragments(),
+        hit,
+        wall,
+    ))
+}
+
+/// Connects a link and consumes its `hello` handshake.
+fn connect_checked<L: WorkerLink>(
+    cfg: &CampaignConfig,
+    connect: &impl Fn() -> Result<L, String>,
+) -> Result<L, String> {
+    let mut link = connect()?;
+    match link.recv()? {
+        Msg::Hello(hello) => hello.check(cfg)?,
+        other => return Err(format!("expected hello, got {:?}", other.tag())),
+    }
+    Ok(link)
+}
+
+/// One link slot's scheduling loop: pull a batch, assign it, collect the
+/// fragment, forward the find-first broadcast; on link failure, reconnect
+/// and re-run the batch (at most `drive.retries` times per batch).
+fn drive_one_link<L: WorkerLink>(
+    cfg: &CampaignConfig,
+    drive: &DriveConfig,
+    connect: &(impl Fn() -> Result<L, String> + Sync),
+    source: &CursorSource,
+    sink: &CollectSink,
+    tee: &Mutex<Option<Box<dyn Write + Send>>>,
+) -> Result<(), String> {
+    let mut link = Some(connect_checked(cfg, connect)?);
+    // The lowest cancel floor already sent on *this* link. A replacement
+    // worker starts with no floor, so the slot re-sends it.
+    let mut sent_floor = usize::MAX;
+
+    while let Some(spec) = source.next_batch() {
+        let mut attempts = 0;
+        let reply = loop {
+            // Reconnects (after a crash) share the batch's retry budget:
+            // a transient spawn failure — likeliest right after a child
+            // died — must not abort the campaign while retries remain.
+            let result = match link.as_mut() {
+                Some(live) => assign_batch(live, &spec, source, &mut sent_floor),
+                None => connect_checked(cfg, connect)
+                    .map(|fresh| {
+                        sent_floor = usize::MAX;
+                        link.insert(fresh)
+                    })
+                    .and_then(|live| assign_batch(live, &spec, source, &mut sent_floor)),
+            };
+            match result {
+                Ok(reply) => break reply,
+                Err(e) if attempts < drive.retries => {
+                    attempts += 1;
+                    eprintln!(
+                        "drive: batch {} failed ({e}); restarting worker (attempt {attempts}/{})",
+                        spec.index, drive.retries
+                    );
+                    link = None;
+                }
+                Err(e) => {
+                    return Err(format!(
+                        "batch {} failed after {attempts} restarts: {e}",
+                        spec.index
+                    ))
+                }
+            }
+        };
+        if !reply.violations.is_empty() {
+            source.record_hit(reply.index);
+        }
+        if let Some(t) = tee.lock().unwrap().as_mut() {
+            writeln!(t, "{}", Msg::Fragment(reply.clone()).to_line())
+                .map_err(|e| format!("fragment tee write failed: {e}"))?;
+        }
+        sink.submit(reply.into_fragment());
+    }
+
+    if let Some(live) = link.as_mut() {
+        // Best-effort: a worker that misses the shutdown exits on EOF.
+        let _ = live.send(&Msg::Shutdown);
+    }
+    Ok(())
+}
+
+/// Assigns one batch over a live link: forwards a lowered cancel floor
+/// first, then the batch, then awaits its fragment.
+fn assign_batch<L: WorkerLink>(
+    link: &mut L,
+    spec: &BatchSpec,
+    source: &CursorSource,
+    sent_floor: &mut usize,
+) -> Result<FragmentReport, String> {
+    if let Some(hit) = source.earliest_hit() {
+        if hit < *sent_floor {
+            link.send(&Msg::Cancel { earliest: hit })?;
+            *sent_floor = hit;
+        }
+    }
+    link.send(&Msg::Batch(*spec))?;
+    match link.recv()? {
+        Msg::Fragment(reply) if reply.index == spec.index => Ok(reply),
+        Msg::Fragment(reply) => Err(format!(
+            "fragment answers batch {}, expected {}",
+            reply.index, spec.index
+        )),
+        other => Err(format!("expected fragment, got {:?}", other.tag())),
+    }
+}
+
+/// A [`WorkerLink`] over a spawned `amulet worker` child process's
+/// stdin/stdout pipes (stderr is inherited, so worker logs interleave with
+/// the driver's).
+#[derive(Debug)]
+pub struct ProcLink {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl ProcLink {
+    /// Spawns `program worker <worker_args...>` and wires up its pipes.
+    pub fn spawn(program: &std::path::Path, worker_args: &[String]) -> Result<Self, String> {
+        let mut child = Command::new(program)
+            .arg("worker")
+            .args(worker_args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("cannot spawn worker {}: {e}", program.display()))?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Ok(ProcLink {
+            child,
+            stdin: Some(stdin),
+            stdout,
+        })
+    }
+}
+
+impl WorkerLink for ProcLink {
+    fn send(&mut self, msg: &Msg) -> Result<(), String> {
+        let stdin = self.stdin.as_mut().ok_or("worker stdin closed")?;
+        writeln!(stdin, "{}", msg.to_line())
+            .and_then(|()| stdin.flush())
+            .map_err(|e| format!("worker write failed: {e}"))
+    }
+
+    fn recv(&mut self) -> Result<Msg, String> {
+        let mut line = String::new();
+        let n = self
+            .stdout
+            .read_line(&mut line)
+            .map_err(|e| format!("worker read failed: {e}"))?;
+        if n == 0 {
+            return Err("worker exited (EOF on stdout)".into());
+        }
+        Msg::parse_line(&line)
+    }
+}
+
+impl Drop for ProcLink {
+    /// Closes the worker's stdin (EOF ends its serve loop), gives it a
+    /// moment to exit cleanly, then kills and reaps — a dropped link never
+    /// leaks a child process, even on error paths.
+    fn drop(&mut self) {
+        drop(self.stdin.take());
+        for _ in 0..100 {
+            match self.child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) => std::thread::sleep(std::time::Duration::from_millis(2)),
+                Err(_) => break,
+            }
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// `amulet drive`.
+pub(crate) fn cmd_drive(mut args: Args) -> Result<(), String> {
+    let shape = ShapeOptions::parse(&mut args)?;
+    let procs = args.parsed::<usize>("--procs")?.unwrap_or(2).max(1);
+    let batch_programs = args
+        .parsed::<usize>("--batch")?
+        .unwrap_or(DriveConfig::default().batch_programs)
+        .max(1);
+    let fragments_path = args.value("--fragments")?;
+    let mut sink = JsonSink::open(args.value("--json")?)?;
+    args.finish()?;
+
+    let cfg = shape.config();
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let worker_args = shape.worker_argv();
+    let tee: Option<Box<dyn Write + Send>> = match fragments_path.as_deref() {
+        None => None,
+        Some(p) => Some(Box::new(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(p)
+                .map_err(|e| format!("cannot open {p}: {e}"))?,
+        )),
+    };
+
+    eprintln!(
+        "driving {} × {} ({} cases) over {procs} worker processes, proto v{PROTO_VERSION}",
+        shape.defense.name(),
+        shape.contract.name(),
+        cfg.total_cases()
+    );
+    let drive = DriveConfig {
+        procs,
+        batch_programs,
+        retries: 2,
+    };
+    let report = run_driver(&cfg, &drive, || ProcLink::spawn(&exe, &worker_args), tee)?;
+    print_report(&report);
+    sink.line(&report_json(&report, "drive", procs, Some(batch_programs)))
+}

@@ -1,8 +1,9 @@
-//! The `amulet` command line — campaigns, scenario matrices, and a quick
-//! throughput bench over the AMuLeT-rs workspace, with zero external
-//! dependencies (the argument parser and JSON writer are hand-rolled here).
+//! The `amulet` command line — campaigns, scenario matrices, a quick
+//! throughput bench, and the multi-process campaign fabric, with zero
+//! external dependencies (the argument parser is hand-rolled here; the
+//! JSON writer/parser live in `amulet_util::json`).
 //!
-//! Three subcommands, mirroring how the paper's evaluation is driven:
+//! Subcommands, mirroring how the paper's evaluation is driven:
 //!
 //! - `amulet campaign` — one defense × contract campaign, sharded across a
 //!   worker pool by default (`--instance-parallel` restores the classic one
@@ -12,9 +13,16 @@
 //!   machine-readable JSON lines.
 //! - `amulet bench` — instance-parallel vs. sharded quick-campaign
 //!   throughput on this host.
+//! - `amulet drive` — the same campaign sharded over `--procs` **worker
+//!   processes** (spawned `amulet worker` children speaking
+//!   `amulet_core::proto` over pipes), fingerprint-identical to the
+//!   in-process run; see [`drive`] and `docs/DISTRIBUTED.md`.
+//! - `amulet worker` — the child end of `drive` (also usable by external
+//!   drivers speaking the protocol); see [`worker`].
 //!
-//! The library half exists so the parsing and report formatting are unit
-//! testable; `src/main.rs` only forwards `std::env::args` to [`run`].
+//! The library half exists so the parsing, report formatting and the
+//! fabric's driver/worker loops are unit testable; `src/main.rs` only
+//! forwards `std::env::args` to [`run`].
 //!
 //! # Examples
 //!
@@ -27,11 +35,17 @@
 //! assert_eq!(parse_contract("ct-seq"), Ok(ContractKind::CtSeq));
 //! ```
 
+pub mod drive;
+pub mod worker;
+
 use amulet_contracts::ContractKind;
 use amulet_core::{Campaign, CampaignConfig, CampaignReport, ShardConfig};
 use amulet_defenses::DefenseKind;
-use std::fmt::Write as _;
 use std::time::Instant;
+
+pub use amulet_util::{json_string, JsonObj};
+pub use drive::{run_driver, DriveConfig, ProcLink, WorkerLink};
+pub use worker::serve_worker;
 
 /// Usage text printed by `amulet help` (and on usage errors).
 pub const USAGE: &str = "\
@@ -44,6 +58,8 @@ SUBCOMMANDS:
     campaign    Run one defense × contract campaign (sharded by default)
     matrix      Run a defense × contract scenario matrix
     bench       Compare instance-parallel vs sharded quick-campaign throughput
+    drive       Run one campaign across worker *processes* (multi-process fabric)
+    worker      Serve batches over stdin/stdout (spawned by `drive`)
     list        List available defenses and contracts
     help        Show this message
 
@@ -70,6 +86,16 @@ MATRIX OPTIONS:
 BENCH OPTIONS:
     --programs N          Programs per instance (default: 12)
     --workers N, --batch N, --seed N, --no-cycle-skip                As above
+
+DRIVE OPTIONS (shape options as for campaign):
+    --procs N             Worker processes to spawn (default: 2)
+    --batch N             Programs per batch (part of the stream identity)
+    --fragments PATH      Tee received fragment JSONL to PATH
+    --json PATH           Append the reduced campaign report line to PATH
+
+WORKER OPTIONS:
+    shape options as for campaign; speaks the wire protocol on stdin/stdout
+    (see docs/DISTRIBUTED.md)
 ";
 
 /// A hand-rolled argument scanner: flags and `--key value` / `--key=value`
@@ -198,101 +224,6 @@ where
     }
 }
 
-/// Minimal JSON object writer (strings, numbers, booleans, raw nested
-/// values) — enough for the CLI's report lines without a serialisation
-/// dependency.
-#[derive(Debug)]
-pub struct JsonObj {
-    buf: String,
-}
-
-impl JsonObj {
-    /// Starts an object.
-    pub fn new() -> Self {
-        JsonObj { buf: "{".into() }
-    }
-
-    fn key(&mut self, key: &str) {
-        if self.buf.len() > 1 {
-            self.buf.push(',');
-        }
-        self.buf.push_str(&json_string(key));
-        self.buf.push(':');
-    }
-
-    /// Adds a string field (escaped).
-    pub fn str(mut self, key: &str, value: &str) -> Self {
-        self.key(key);
-        self.buf.push_str(&json_string(value));
-        self
-    }
-
-    /// Adds a numeric field. Non-finite values serialise as `null`.
-    pub fn num(mut self, key: &str, value: f64) -> Self {
-        self.key(key);
-        if value.is_finite() {
-            let _ = write!(self.buf, "{value}");
-        } else {
-            self.buf.push_str("null");
-        }
-        self
-    }
-
-    /// Adds an integer field.
-    pub fn int(mut self, key: &str, value: u64) -> Self {
-        self.key(key);
-        let _ = write!(self.buf, "{value}");
-        self
-    }
-
-    /// Adds a boolean field.
-    pub fn bool(mut self, key: &str, value: bool) -> Self {
-        self.key(key);
-        self.buf.push_str(if value { "true" } else { "false" });
-        self
-    }
-
-    /// Adds a pre-serialised JSON value verbatim.
-    pub fn raw(mut self, key: &str, value: &str) -> Self {
-        self.key(key);
-        self.buf.push_str(value);
-        self
-    }
-
-    /// Closes the object.
-    pub fn finish(mut self) -> String {
-        self.buf.push('}');
-        self.buf
-    }
-}
-
-impl Default for JsonObj {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-/// Escapes a string into a JSON string literal.
-pub fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
 /// Serialises one campaign report as a self-contained JSON line (the
 /// machine-readable form of [`CampaignReport::summary_row`], plus the
 /// deterministic fingerprint). `batch_programs` must be given for sharded
@@ -351,14 +282,14 @@ pub fn report_json(
 }
 
 /// Where `--json` output goes.
-enum JsonSink {
+pub(crate) enum JsonSink {
     None,
     Stdout,
     File(std::fs::File),
 }
 
 impl JsonSink {
-    fn open(path: Option<String>) -> Result<Self, String> {
+    pub(crate) fn open(path: Option<String>) -> Result<Self, String> {
         match path.as_deref() {
             None => Ok(JsonSink::None),
             Some("-") => Ok(JsonSink::Stdout),
@@ -371,7 +302,7 @@ impl JsonSink {
         }
     }
 
-    fn line(&mut self, line: &str) -> Result<(), String> {
+    pub(crate) fn line(&mut self, line: &str) -> Result<(), String> {
         use std::io::Write as _;
         match self {
             JsonSink::None => Ok(()),
@@ -401,6 +332,78 @@ fn shape_config(
     cfg
 }
 
+/// The campaign-identity flags shared by `campaign`, `drive` and `worker` —
+/// everything that determines the deterministic case stream (and therefore
+/// the fingerprint), parsed once and reproducible as a worker command line.
+#[derive(Debug, Clone)]
+pub struct ShapeOptions {
+    /// Defense under test.
+    pub defense: DefenseKind,
+    /// Contract to test against.
+    pub contract: ContractKind,
+    /// Paper-scaled shape at this scale (`None` = the quick shape).
+    pub scale: Option<f64>,
+    /// Campaign seed override.
+    pub seed: Option<u64>,
+    /// Stop at the first confirmed violation.
+    pub find_first: bool,
+    /// Disable the event-driven time-warp cycle scheduler.
+    pub no_cycle_skip: bool,
+}
+
+impl ShapeOptions {
+    /// Consumes the shape flags from `args`.
+    pub fn parse(args: &mut Args) -> Result<Self, String> {
+        Ok(ShapeOptions {
+            defense: match args.value("--defense")? {
+                Some(name) => parse_defense(&name)?,
+                None => DefenseKind::Baseline,
+            },
+            contract: match args.value("--contract")? {
+                Some(name) => parse_contract(&name)?,
+                None => ContractKind::CtSeq,
+            },
+            scale: args.parsed::<f64>("--scale")?,
+            seed: args.parsed::<u64>("--seed")?,
+            find_first: args.flag("--find-first"),
+            no_cycle_skip: args.flag("--no-cycle-skip"),
+        })
+    }
+
+    /// The campaign configuration these flags select.
+    pub fn config(&self) -> CampaignConfig {
+        let mut cfg = shape_config(self.defense, self.contract, self.scale, self.seed);
+        cfg.stop_on_first = self.find_first;
+        cfg.sim.cycle_skip = !self.no_cycle_skip;
+        cfg
+    }
+
+    /// The argument vector reproducing these flags on an `amulet worker`
+    /// command line — how `drive` guarantees its workers resolve the exact
+    /// campaign it will fingerprint (double-checked by the hello handshake).
+    pub fn worker_argv(&self) -> Vec<String> {
+        let cfg = self.config();
+        let mut argv = vec![
+            "--defense".into(),
+            self.defense.name().into(),
+            "--contract".into(),
+            self.contract.name().into(),
+            "--seed".into(),
+            cfg.seed.to_string(),
+        ];
+        if let Some(scale) = self.scale {
+            argv.push(format!("--scale={scale}"));
+        }
+        if self.find_first {
+            argv.push("--find-first".into());
+        }
+        if self.no_cycle_skip {
+            argv.push("--no-cycle-skip".into());
+        }
+        argv
+    }
+}
+
 fn shard_options(args: &mut Args) -> Result<ShardConfig, String> {
     let mut shard = ShardConfig::default();
     if let Some(w) = args.parsed::<usize>("--workers")? {
@@ -414,26 +417,13 @@ fn shard_options(args: &mut Args) -> Result<ShardConfig, String> {
 
 /// `amulet campaign`.
 fn cmd_campaign(mut args: Args) -> Result<(), String> {
-    let defense = match args.value("--defense")? {
-        Some(name) => parse_defense(&name)?,
-        None => DefenseKind::Baseline,
-    };
-    let contract = match args.value("--contract")? {
-        Some(name) => parse_contract(&name)?,
-        None => ContractKind::CtSeq,
-    };
-    let scale = args.parsed::<f64>("--scale")?;
-    let seed = args.parsed::<u64>("--seed")?;
-    let find_first = args.flag("--find-first");
+    let shape = ShapeOptions::parse(&mut args)?;
     let instance_parallel = args.flag("--instance-parallel");
-    let no_cycle_skip = args.flag("--no-cycle-skip");
     let shard = shard_options(&mut args)?;
     let mut sink = JsonSink::open(args.value("--json")?)?;
     args.finish()?;
 
-    let mut cfg = shape_config(defense, contract, scale, seed);
-    cfg.stop_on_first = find_first;
-    cfg.sim.cycle_skip = !no_cycle_skip;
+    let cfg = shape.config();
     let (orchestrator, workers) = if instance_parallel {
         ("instances", cfg.instances)
     } else {
@@ -441,8 +431,8 @@ fn cmd_campaign(mut args: Args) -> Result<(), String> {
     };
     eprintln!(
         "running {} × {} ({} cases, {orchestrator} orchestrator, {workers} workers)",
-        defense.name(),
-        contract.name(),
+        shape.defense.name(),
+        shape.contract.name(),
         cfg.total_cases()
     );
     let report = if instance_parallel {
@@ -451,6 +441,13 @@ fn cmd_campaign(mut args: Args) -> Result<(), String> {
         Campaign::new(cfg).run_sharded(shard)
     };
 
+    print_report(&report);
+    let batch = (!instance_parallel).then_some(shard.batch_programs);
+    sink.line(&report_json(&report, orchestrator, workers, batch))
+}
+
+/// The human-readable campaign summary `campaign` and `drive` share.
+pub(crate) fn print_report(report: &CampaignReport) {
     println!("{}", CampaignReport::summary_header());
     println!("{}", report.summary_row());
     for (class, count) in report.unique_classes() {
@@ -462,8 +459,6 @@ fn cmd_campaign(mut args: Args) -> Result<(), String> {
         report.warp_ratio()
     );
     println!("fingerprint: {:#018x}", report.fingerprint());
-    let batch = (!instance_parallel).then_some(shard.batch_programs);
-    sink.line(&report_json(&report, orchestrator, workers, batch))
 }
 
 /// `amulet matrix`.
@@ -583,6 +578,8 @@ pub fn run(argv: &[String]) -> i32 {
         "campaign" => cmd_campaign(args),
         "matrix" => cmd_matrix(args),
         "bench" => cmd_bench(args),
+        "drive" => drive::cmd_drive(args),
+        "worker" => worker::cmd_worker(args),
         "list" => cmd_list(args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -681,6 +678,7 @@ mod tests {
         let report = CampaignReport {
             config: CampaignConfig::quick(DefenseKind::SpecLfb, ContractKind::CtSeq),
             violations: Vec::new(),
+            digests: Vec::new(),
             stats: ScanStats {
                 cases: 672,
                 classes: 96,

@@ -1,0 +1,213 @@
+//! `amulet worker` — the child end of the multi-process campaign fabric.
+//!
+//! A worker resolves its campaign configuration from the same shape flags
+//! as `amulet campaign` (`--defense`, `--contract`, `--scale`, `--seed`,
+//! `--find-first`, `--no-cycle-skip`), announces a [`Hello`] on stdout,
+//! then serves
+//! `batch` assignments from stdin until `shutdown` (or EOF — a vanished
+//! driver never leaves a worker behind). One process holds one persistent
+//! [`UnitRuntime`], exactly like one thread of the in-process pool, so a
+//! batch's results are independent of which process ran it.
+//!
+//! Stdout carries *only* protocol lines; human-readable logging goes to
+//! stderr. The loop itself ([`serve_worker`]) is generic over its streams,
+//! which is how `tests/multiproc_determinism.rs` drives whole worker
+//! sessions in memory.
+
+use crate::{Args, ShapeOptions};
+use amulet_core::proto::{FragmentReport, Hello, Msg};
+use amulet_core::{run_batch, CampaignConfig, UnitRuntime};
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+/// Serves one worker session: hello, then batch → fragment until
+/// `shutdown` or EOF.
+///
+/// Find-first semantics: a [`Msg::Cancel`] lowers the worker's cancel
+/// floor; a later batch assignment *above* the floor is answered with a
+/// skipped fragment (zero work) instead of being executed. This can never
+/// change the reduced result — the floor only ever holds indices with
+/// confirmed violations, so every skipped index lies strictly past the
+/// final earliest hit, in the suffix the reducer discards anyway.
+///
+/// # Examples
+///
+/// A complete in-memory session (this is exactly what travels over the
+/// pipes of a real `amulet drive` run):
+///
+/// ```
+/// use amulet_cli::serve_worker;
+/// use amulet_core::proto::Msg;
+/// use amulet_core::{BatchSpec, CampaignConfig};
+/// use amulet_contracts::ContractKind;
+/// use amulet_defenses::DefenseKind;
+///
+/// let mut cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+/// cfg.programs_per_instance = 1;
+/// let spec = BatchSpec { index: 0, instance: 0, batch: 0, programs: 1 };
+/// let script = format!("{}\n{}\n", Msg::Batch(spec).to_line(), Msg::Shutdown.to_line());
+/// let mut out = Vec::new();
+/// serve_worker(&cfg, script.as_bytes(), &mut out).unwrap();
+/// let lines: Vec<Msg> = String::from_utf8(out)
+///     .unwrap()
+///     .lines()
+///     .map(|l| Msg::parse_line(l).unwrap())
+///     .collect();
+/// assert!(matches!(lines[0], Msg::Hello(_)));
+/// assert!(matches!(&lines[1], Msg::Fragment(f) if f.index == 0 && !f.skipped));
+/// ```
+pub fn serve_worker(
+    cfg: &CampaignConfig,
+    input: impl BufRead,
+    mut out: impl Write,
+) -> Result<(), String> {
+    send(&mut out, &Msg::Hello(Hello::for_config(cfg)))?;
+    let anchor = Instant::now();
+    let mut rt = UnitRuntime::new();
+    let mut cancel_floor = usize::MAX;
+    for line in input.lines() {
+        let line = line.map_err(|e| format!("worker: read failed: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Msg::parse_line(&line)? {
+            Msg::Batch(spec) => {
+                let reply = if cfg.stop_on_first && spec.index > cancel_floor {
+                    FragmentReport::skipped(spec.index)
+                } else {
+                    FragmentReport::from_fragment(&run_batch(cfg, &spec, anchor, &mut rt))
+                };
+                send(&mut out, &Msg::Fragment(reply))?;
+            }
+            Msg::Cancel { earliest } => cancel_floor = cancel_floor.min(earliest),
+            Msg::Shutdown => break,
+            other => {
+                return Err(format!(
+                    "worker: unexpected {:?} message from driver",
+                    other.tag()
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Writes one protocol line and flushes — every message must reach the
+/// driver promptly; the pipe is the scheduler's critical path.
+fn send(out: &mut impl Write, msg: &Msg) -> Result<(), String> {
+    writeln!(out, "{}", msg.to_line())
+        .and_then(|()| out.flush())
+        .map_err(|e| format!("worker: write failed: {e}"))
+}
+
+/// `amulet worker`.
+pub(crate) fn cmd_worker(mut args: Args) -> Result<(), String> {
+    let shape = ShapeOptions::parse(&mut args)?;
+    args.finish()?;
+    let cfg = shape.config();
+    eprintln!(
+        "worker {}: serving {} × {} (seed {})",
+        std::process::id(),
+        shape.defense.name(),
+        shape.contract.name(),
+        cfg.seed
+    );
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve_worker(&cfg, stdin.lock(), stdout.lock())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amulet_contracts::ContractKind;
+    use amulet_core::BatchSpec;
+    use amulet_defenses::DefenseKind;
+
+    fn session(cfg: &CampaignConfig, script: &[Msg]) -> Vec<Msg> {
+        let input: String = script
+            .iter()
+            .map(|m| format!("{}\n", m.to_line()))
+            .collect();
+        let mut out = Vec::new();
+        serve_worker(cfg, input.as_bytes(), &mut out).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Msg::parse_line(l).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn worker_answers_batches_and_stops_on_shutdown() {
+        let mut cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+        cfg.instances = 1;
+        cfg.programs_per_instance = 2;
+        let spec = |index| BatchSpec {
+            index,
+            instance: 0,
+            batch: index,
+            programs: 1,
+        };
+        let replies = session(
+            &cfg,
+            &[Msg::Batch(spec(0)), Msg::Batch(spec(1)), Msg::Shutdown],
+        );
+        assert_eq!(replies.len(), 3, "hello + two fragments");
+        let Msg::Hello(h) = &replies[0] else {
+            panic!("first message must be hello");
+        };
+        assert!(h.check(&cfg).is_ok());
+        for (i, reply) in replies[1..].iter().enumerate() {
+            let Msg::Fragment(f) = reply else {
+                panic!("expected fragment")
+            };
+            assert_eq!(f.index, i);
+            assert!(!f.skipped);
+            assert!(f.stats.cases > 0);
+        }
+    }
+
+    #[test]
+    fn cancel_floor_skips_later_batches_in_find_first_mode() {
+        let mut cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+        cfg.instances = 1;
+        cfg.programs_per_instance = 8;
+        cfg.stop_on_first = true;
+        let spec = |index| BatchSpec {
+            index,
+            instance: 0,
+            batch: index,
+            programs: 1,
+        };
+        let replies = session(
+            &cfg,
+            &[
+                Msg::Cancel { earliest: 2 },
+                Msg::Batch(spec(2)), // at the floor: executes
+                Msg::Batch(spec(5)), // past the floor: skipped
+                Msg::Shutdown,
+            ],
+        );
+        let Msg::Fragment(at_floor) = &replies[1] else {
+            panic!()
+        };
+        let Msg::Fragment(past) = &replies[2] else {
+            panic!()
+        };
+        assert!(!at_floor.skipped && at_floor.stats.cases > 0);
+        assert!(past.skipped && past.stats.cases == 0);
+    }
+
+    #[test]
+    fn eof_without_shutdown_is_a_clean_exit() {
+        let cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+        let mut out = Vec::new();
+        serve_worker(&cfg, &b""[..], &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(matches!(
+            Msg::parse_line(text.lines().next().unwrap()).unwrap(),
+            Msg::Hello(_)
+        ));
+    }
+}

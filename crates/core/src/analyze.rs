@@ -43,6 +43,40 @@ pub enum ViolationClass {
 }
 
 impl ViolationClass {
+    /// Every class in the catalogue, in declaration order.
+    pub const ALL: [ViolationClass; 12] = [
+        ViolationClass::SpectreV1,
+        ViolationClass::SpectreV4,
+        ViolationClass::SpecEviction,
+        ViolationClass::MshrInterference,
+        ViolationClass::SpecStoreNotCleaned,
+        ViolationClass::SplitNotCleaned,
+        ViolationClass::TooMuchCleaning,
+        ViolationClass::LfbFirstLoad,
+        ViolationClass::SpecIFetch,
+        ViolationClass::UnxpecTiming,
+        ViolationClass::SttStoreTlb,
+        ViolationClass::Unknown,
+    ];
+
+    /// The class with the given [`ViolationClass::paper_id`], if any — the
+    /// inverse used when violation digests come back over the wire protocol.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use amulet_core::ViolationClass;
+    ///
+    /// assert_eq!(ViolationClass::from_paper_id("UV1"), Some(ViolationClass::SpecEviction));
+    /// for class in ViolationClass::ALL {
+    ///     assert_eq!(ViolationClass::from_paper_id(class.paper_id()), Some(class));
+    /// }
+    /// assert_eq!(ViolationClass::from_paper_id("UV99"), None);
+    /// ```
+    pub fn from_paper_id(id: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|c| c.paper_id() == id)
+    }
+
     /// Paper identifier (e.g. `"UV1"`).
     pub fn paper_id(self) -> &'static str {
         match self {
@@ -294,5 +328,34 @@ mod tests {
         assert_eq!(ViolationClass::SpecEviction.paper_id(), "UV1");
         assert_eq!(ViolationClass::SttStoreTlb.paper_id(), "KV3");
         assert!(ViolationClass::MshrInterference.to_string().contains("UV2"));
+    }
+
+    /// `ViolationClass::ALL` is hand-maintained; this exhaustive match
+    /// fails to *compile* when a variant is added, forcing `ALL` (and with
+    /// it the wire protocol's class round-trip) to be updated in the same
+    /// change instead of failing at runtime on the first driven campaign
+    /// that confirms the new class.
+    #[test]
+    fn all_covers_every_variant_in_declaration_order() {
+        fn position(c: ViolationClass) -> usize {
+            match c {
+                ViolationClass::SpectreV1 => 0,
+                ViolationClass::SpectreV4 => 1,
+                ViolationClass::SpecEviction => 2,
+                ViolationClass::MshrInterference => 3,
+                ViolationClass::SpecStoreNotCleaned => 4,
+                ViolationClass::SplitNotCleaned => 5,
+                ViolationClass::TooMuchCleaning => 6,
+                ViolationClass::LfbFirstLoad => 7,
+                ViolationClass::SpecIFetch => 8,
+                ViolationClass::UnxpecTiming => 9,
+                ViolationClass::SttStoreTlb => 10,
+                ViolationClass::Unknown => 11,
+            }
+        }
+        assert_eq!(ViolationClass::ALL.len(), 12);
+        for (i, c) in ViolationClass::ALL.into_iter().enumerate() {
+            assert_eq!(position(c), i, "{} out of place in ALL", c.paper_id());
+        }
     }
 }

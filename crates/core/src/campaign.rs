@@ -142,13 +142,73 @@ struct InstanceResult {
     first_detection: Option<Duration>,
 }
 
+/// The deterministic skeleton of one confirmed violation — exactly the
+/// fields [`CampaignReport::fingerprint`] hashes, and exactly what crosses
+/// process boundaries in a distributed campaign (`amulet_core::proto`).
+///
+/// A full [`Violation`] carries the program, inputs, starting contexts and
+/// debug logs for root-cause analysis; its digest carries only the
+/// schedule-independent identity: the class, the shared contract-trace
+/// digest, and the three µarch-trace difference sets. Two runs that agree
+/// on every digest (and on the detector counters) agree on the campaign
+/// fingerprint.
+///
+/// # Examples
+///
+/// ```
+/// use amulet_core::campaign::ViolationDigest;
+/// use amulet_core::ViolationClass;
+///
+/// let d = ViolationDigest {
+///     class: ViolationClass::SpectreV1,
+///     ctrace_digest: 0xfeed,
+///     l1d_diff: vec![0x4740],
+///     dtlb_diff: vec![],
+///     l1i_diff: vec![],
+/// };
+/// assert_eq!(d.class.paper_id(), "Spectre-v1");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViolationDigest {
+    /// The catalogue class ([`classify`]'s verdict).
+    pub class: ViolationClass,
+    /// Digest of the contract trace both inputs share.
+    pub ctrace_digest: u64,
+    /// L1D cache-line set difference between the two µarch traces.
+    pub l1d_diff: Vec<u64>,
+    /// D-TLB page set difference.
+    pub dtlb_diff: Vec<u64>,
+    /// L1I cache-line set difference.
+    pub l1i_diff: Vec<u64>,
+}
+
+impl ViolationDigest {
+    /// Extracts the digest of a confirmed violation.
+    pub fn of(v: &Violation, class: ViolationClass) -> Self {
+        ViolationDigest {
+            class,
+            ctrace_digest: v.ctrace_digest,
+            l1d_diff: v.utrace_a.l1d_diff(&v.utrace_b),
+            dtlb_diff: v.utrace_a.dtlb_diff(&v.utrace_b),
+            l1i_diff: v.utrace_a.l1i_diff(&v.utrace_b),
+        }
+    }
+}
+
 /// Aggregated campaign results, with the paper's reporting metrics.
 #[derive(Debug)]
 pub struct CampaignReport {
     /// The configuration that produced this report.
     pub config: CampaignConfig,
-    /// Confirmed violations with their classes (filtered).
+    /// Confirmed violations with their classes (filtered). Reports reduced
+    /// from wire fragments (`amulet drive`) leave this empty — the full
+    /// artefacts stay in the worker process — and carry only
+    /// [`CampaignReport::digests`].
     pub violations: Vec<(Violation, ViolationClass)>,
+    /// Deterministic per-violation digests, in the same order as
+    /// [`CampaignReport::violations`] for in-process runs; always populated,
+    /// and the sole violation input to [`CampaignReport::fingerprint`].
+    pub digests: Vec<ViolationDigest>,
     /// Aggregate detector counters.
     pub stats: ScanStats,
     /// Wall-clock campaign duration (longest instance).
@@ -164,7 +224,7 @@ pub struct CampaignReport {
 impl CampaignReport {
     /// Whether any violation was confirmed.
     pub fn violation_found(&self) -> bool {
-        !self.violations.is_empty()
+        !self.digests.is_empty()
     }
 
     /// Measured throughput in test cases per second (this substrate).
@@ -187,11 +247,12 @@ impl CampaignReport {
         self.stats.warped_cycles as f64 / (self.stats.sim_cycles.max(1)) as f64
     }
 
-    /// Count of violations per class.
+    /// Count of violations per class (computed from the digests, so it is
+    /// available for wire-reduced reports too).
     pub fn unique_classes(&self) -> BTreeMap<ViolationClass, usize> {
         let mut m = BTreeMap::new();
-        for (_, c) in &self.violations {
-            *m.entry(*c).or_insert(0usize) += 1;
+        for d in &self.digests {
+            *m.entry(d.class).or_insert(0usize) += 1;
         }
         m
     }
@@ -247,7 +308,11 @@ impl CampaignReport {
     /// they found the same things; in particular a
     /// [`ShardedCampaign`](crate::ShardedCampaign) produces the same
     /// fingerprint at any worker count (asserted by
-    /// `tests/shard_determinism.rs`).
+    /// `tests/shard_determinism.rs`), and an `amulet drive` run reduces
+    /// wire fragments to the same fingerprint at any process count
+    /// (`tests/multiproc_determinism.rs`) — the hash input is
+    /// [`CampaignReport::digests`], which survives the wire protocol
+    /// bit-exactly.
     pub fn fingerprint(&self) -> u64 {
         let mut fp = Fnv1a::new();
         fp.str(self.config.defense.name());
@@ -265,20 +330,16 @@ impl CampaignReport {
         fp.u64(self.stats.validation_runs as u64);
         fp.u64(self.stats.confirmed as u64);
         fp.u64(self.detection_times.count());
-        fp.u64(self.violations.len() as u64);
-        for (v, class) in &self.violations {
-            fp.str(class.paper_id());
-            fp.u64(v.ctrace_digest);
+        fp.u64(self.digests.len() as u64);
+        for d in &self.digests {
+            fp.str(d.class.paper_id());
+            fp.u64(d.ctrace_digest);
             // Length-prefix each diff section so a leak moving between
             // structures (e.g. L1D → D-TLB) can never hash identically.
-            for diff in [
-                v.utrace_a.l1d_diff(&v.utrace_b),
-                v.utrace_a.dtlb_diff(&v.utrace_b),
-                v.utrace_a.l1i_diff(&v.utrace_b),
-            ] {
+            for diff in [&d.l1d_diff, &d.dtlb_diff, &d.l1i_diff] {
                 fp.u64(diff.len() as u64);
-                for d in diff {
-                    fp.u64(d);
+                for &x in diff.iter() {
+                    fp.u64(x);
                 }
             }
         }
@@ -382,6 +443,7 @@ impl Campaign {
 
         let mut report = CampaignReport {
             violations: Vec::new(),
+            digests: Vec::new(),
             stats: ScanStats::default(),
             wall,
             detection_times: Summary::new(),
@@ -399,6 +461,11 @@ impl Campaign {
             }
             report.violations.extend(r.violations);
         }
+        report.digests = report
+            .violations
+            .iter()
+            .map(|(v, c)| ViolationDigest::of(v, *c))
+            .collect();
         report
     }
 }
@@ -425,12 +492,17 @@ pub(crate) fn executor_for(cfg: &CampaignConfig) -> Executor {
 ///
 /// Reusing this across shard batches is invisible to results:
 /// [`Executor::reset_unit`] returns the executor to power-on predictor
-/// state at the top of every [`run_programs`] call, and the detector's
+/// state at the top of every `run_programs` call, and the detector's
 /// scratch never leaks state between scans — each batch sees exactly the
 /// state freshly built components would give it, so the fingerprint stays
 /// worker-count-invariant (`tests/shard_determinism.rs`).
+///
+/// Public because out-of-process workers (`amulet worker`) hold one per
+/// process and run batches through
+/// [`run_batch`](crate::shard::run_batch), exactly like an in-process pool
+/// thread.
 #[derive(Debug, Default)]
-pub(crate) struct UnitRuntime {
+pub struct UnitRuntime {
     executor: Option<Executor>,
     detector: Option<Detector>,
     boost: ModelScratch,
@@ -438,7 +510,8 @@ pub(crate) struct UnitRuntime {
 }
 
 impl UnitRuntime {
-    pub(crate) fn new() -> Self {
+    /// An empty runtime; components are built lazily on first use.
+    pub fn new() -> Self {
         Self::default()
     }
 }
@@ -598,6 +671,7 @@ mod tests {
         CampaignReport {
             config: CampaignConfig::quick(defense, contract),
             violations: Vec::new(),
+            digests: Vec::new(),
             stats: ScanStats::default(),
             wall: Duration::from_millis(1234),
             detection_times: Summary::new(),

@@ -24,7 +24,10 @@
 //! 6. [`campaign`] orchestrates multi-instance testing campaigns with the
 //!    paper's metrics: throughput, detection time, unique violations, and
 //!    [`shard`] scales a campaign across a work-stealing worker pool with
-//!    deterministic (worker-count-independent) results.
+//!    deterministic (worker-count-independent) results. [`proto`] carries
+//!    the same batches and fragments across *process* boundaries — the
+//!    wire protocol behind `amulet drive` / `amulet worker` — with
+//!    fingerprints equal to the in-process run at any process count.
 //!
 //! # Examples
 //!
@@ -51,16 +54,21 @@ pub mod executor;
 pub mod generator;
 pub mod inputs;
 pub mod minimize;
+pub mod proto;
 pub mod shard;
 pub mod trace;
 
 pub use analyze::{classify, ViolationClass, ViolationFilter};
-pub use campaign::{Campaign, CampaignConfig, CampaignReport};
+pub use campaign::{Campaign, CampaignConfig, CampaignReport, UnitRuntime, ViolationDigest};
 pub use cost::{CostModel, TimeBreakdown};
 pub use detect::{Detector, ScanStats, Violation};
 pub use executor::{CaseDigest, CaseRun, ExecMode, Executor, ExecutorConfig};
 pub use generator::{Generator, GeneratorConfig};
 pub use inputs::{boosted_inputs, boosted_inputs_into, InputGenConfig};
 pub use minimize::{minimize, Minimized};
-pub use shard::{ShardConfig, ShardedCampaign};
+pub use proto::{FragmentReport, Hello, Msg, PROTO_VERSION};
+pub use shard::{
+    plan_batches, reduce_fragments, run_batch, BatchSink, BatchSource, BatchSpec, CollectSink,
+    CursorSource, Fragment, ShardConfig, ShardedCampaign,
+};
 pub use trace::{TraceFormat, UTrace};

@@ -1,0 +1,554 @@
+//! The multi-process campaign wire protocol.
+//!
+//! `amulet drive` scales a campaign past one process by shipping
+//! [`BatchSpec`] assignments to `amulet worker` processes over
+//! stdin/stdout pipes and streaming per-batch [`FragmentReport`]s back.
+//! This module is the wire format: a versioned, line-oriented JSON protocol
+//! ([one message per line](Msg::to_line), built on the workspace's
+//! hand-rolled [`JsonObj`] writer and [`parse_json`] parser — no
+//! serialisation dependency).
+//!
+//! # Message flow
+//!
+//! ```text
+//! worker → driver   {"type":"hello", ...}        once, on startup (version + config echo)
+//! driver → worker   {"type":"cancel", ...}       find-first broadcast (optional)
+//! driver → worker   {"type":"batch", ...}        one assignment
+//! worker → driver   {"type":"fragment", ...}     the assignment's result
+//! driver → worker   {"type":"shutdown"}          end of plan; worker exits
+//! ```
+//!
+//! # Determinism contract
+//!
+//! Everything the campaign fingerprint hashes crosses the wire bit-exactly:
+//! detector counters are JSON integers (parsed into exact `u64`s, never
+//! through `f64`), and 64-bit digests and diff entries are hex *strings* so
+//! even external double-based JSON readers can consume fragment logs
+//! without rounding. Wall-clock fields (`first_detection_s`) are advisory —
+//! the fingerprint covers their presence, not their value.
+//!
+//! # Examples
+//!
+//! Every message type survives serialise → parse unchanged:
+//!
+//! ```
+//! use amulet_core::proto::{FragmentReport, Msg};
+//! use amulet_core::shard::BatchSpec;
+//!
+//! let batch = Msg::Batch(BatchSpec { index: 7, instance: 1, batch: 3, programs: 4 });
+//! let line = batch.to_line();
+//! assert!(line.starts_with(r#"{"type":"batch""#));
+//! assert_eq!(Msg::parse_line(&line).unwrap(), batch);
+//!
+//! let frag = Msg::Fragment(FragmentReport::skipped(9));
+//! assert_eq!(Msg::parse_line(&frag.to_line()).unwrap(), frag);
+//! ```
+
+use crate::analyze::ViolationClass;
+use crate::campaign::{CampaignConfig, ViolationDigest};
+use crate::detect::ScanStats;
+use crate::shard::{BatchSpec, Fragment};
+use amulet_util::json::{parse_json, JsonObj, JsonValue};
+use std::time::Duration;
+
+/// Wire protocol version. The worker's [`Msg::Hello`] carries it; the
+/// driver refuses to drive a worker speaking any other version.
+pub const PROTO_VERSION: u64 = 1;
+
+/// The worker's startup announcement: protocol version plus an echo of the
+/// campaign identity it resolved from its command line, so a driver/worker
+/// flag mismatch fails the handshake instead of silently producing a
+/// fingerprint from a different campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// The worker's [`PROTO_VERSION`].
+    pub proto: u64,
+    /// Defense display name (e.g. `"Baseline"`).
+    pub defense: String,
+    /// Contract paper name (e.g. `"CT-SEQ"`).
+    pub contract: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Campaign instances — with `programs` and `inputs`, the shape echo
+    /// that catches a `--scale` mismatch (same defense/contract/seed,
+    /// different case stream).
+    pub instances: u64,
+    /// Programs per instance.
+    pub programs: u64,
+    /// Inputs per program.
+    pub inputs: u64,
+}
+
+impl Hello {
+    /// The hello a worker running `cfg` announces.
+    pub fn for_config(cfg: &CampaignConfig) -> Self {
+        Hello {
+            proto: PROTO_VERSION,
+            defense: cfg.defense.name().to_string(),
+            contract: cfg.contract.name().to_string(),
+            seed: cfg.seed,
+            instances: cfg.instances as u64,
+            programs: cfg.programs_per_instance as u64,
+            inputs: cfg.inputs.total() as u64,
+        }
+    }
+
+    /// Checks this hello against the driver's expectation, returning a
+    /// description of the first mismatch.
+    pub fn check(&self, cfg: &CampaignConfig) -> Result<(), String> {
+        if self.proto != PROTO_VERSION {
+            return Err(format!(
+                "protocol version mismatch: worker speaks v{}, driver v{PROTO_VERSION}",
+                self.proto
+            ));
+        }
+        let expect = Hello::for_config(cfg);
+        if *self != expect {
+            return Err(format!(
+                "config mismatch: worker announced {}/{} seed {} shape {}x{}x{}, \
+                 driver expects {}/{} seed {} shape {}x{}x{}",
+                self.defense,
+                self.contract,
+                self.seed,
+                self.instances,
+                self.programs,
+                self.inputs,
+                expect.defense,
+                expect.contract,
+                expect.seed,
+                expect.instances,
+                expect.programs,
+                expect.inputs
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One batch's results in wire form: the deterministic reduction inputs
+/// (counters + violation digests), never the full artefacts — programs,
+/// inputs, contexts and debug logs stay in the worker process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragmentReport {
+    /// Global batch index this fragment answers.
+    pub index: usize,
+    /// True when the worker skipped execution because the batch index lies
+    /// past a received [`Msg::Cancel`] floor. Skipped fragments carry zero
+    /// stats and are always past the earliest hit, so the reducer drops
+    /// them with the rest of the post-hit suffix.
+    pub skipped: bool,
+    /// Detector counters for this batch.
+    pub stats: ScanStats,
+    /// Seconds from the worker's anchor to the batch's first confirmation.
+    pub first_detection_s: Option<f64>,
+    /// Per-violation deterministic digests, in confirmation order.
+    pub violations: Vec<ViolationDigest>,
+}
+
+impl FragmentReport {
+    /// The wire form of an executed [`Fragment`].
+    pub fn from_fragment(frag: &Fragment) -> Self {
+        FragmentReport {
+            index: frag.index,
+            skipped: false,
+            stats: frag.stats,
+            first_detection_s: frag.first_detection.map(|d| d.as_secs_f64()),
+            violations: frag.digests.clone(),
+        }
+    }
+
+    /// A skipped-batch acknowledgement (see [`FragmentReport::skipped`]).
+    pub fn skipped(index: usize) -> Self {
+        FragmentReport {
+            index,
+            skipped: true,
+            stats: ScanStats::default(),
+            first_detection_s: None,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Converts back into the reducer's [`Fragment`] (digest-only; the
+    /// `violations` artefact list stays empty). An out-of-range detection
+    /// time degrades to `None` rather than panicking — [`Msg::parse_line`]
+    /// already rejects such values, this is the backstop for hand-built
+    /// reports.
+    pub fn into_fragment(self) -> Fragment {
+        Fragment {
+            index: self.index,
+            violations: Vec::new(),
+            digests: self.violations,
+            stats: self.stats,
+            first_detection: self
+                .first_detection_s
+                .and_then(|s| Duration::try_from_secs_f64(s).ok()),
+        }
+    }
+}
+
+/// A wire message — one JSON object per line, discriminated by its
+/// `"type"` tag.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Worker → driver, once on startup: version handshake + config echo.
+    Hello(Hello),
+    /// Driver → worker: execute this batch and answer with a fragment.
+    Batch(BatchSpec),
+    /// Driver → worker: a violation was confirmed in batch `earliest`;
+    /// batches with a greater index may be answered with a skipped
+    /// fragment.
+    Cancel {
+        /// Earliest batch index with a confirmed violation so far.
+        earliest: usize,
+    },
+    /// Driver → worker: no more batches; exit cleanly.
+    Shutdown,
+    /// Worker → driver: one batch's results.
+    Fragment(FragmentReport),
+}
+
+impl Msg {
+    /// Every `"type"` tag the protocol emits, in flow order. The operator's
+    /// handbook (`docs/DISTRIBUTED.md`) documents exactly this set — a test
+    /// asserts the two never drift apart.
+    pub const TAGS: [&'static str; 5] = ["hello", "batch", "cancel", "shutdown", "fragment"];
+
+    /// This message's `"type"` tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Msg::Hello(_) => "hello",
+            Msg::Batch(_) => "batch",
+            Msg::Cancel { .. } => "cancel",
+            Msg::Shutdown => "shutdown",
+            Msg::Fragment(_) => "fragment",
+        }
+    }
+
+    /// Serialises to one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let obj = JsonObj::new().str("type", self.tag());
+        match self {
+            Msg::Hello(h) => obj
+                .int("proto", h.proto)
+                .str("defense", &h.defense)
+                .str("contract", &h.contract)
+                // Strings for the same reason report lines use them: a u64
+                // above 2^53 would be rounded by double-based readers.
+                .str("seed", &h.seed.to_string())
+                .int("instances", h.instances)
+                .int("programs", h.programs)
+                .int("inputs", h.inputs)
+                .finish(),
+            Msg::Batch(b) => obj
+                .int("index", b.index as u64)
+                .int("instance", b.instance as u64)
+                .int("batch", b.batch as u64)
+                .int("programs", b.programs as u64)
+                .finish(),
+            Msg::Cancel { earliest } => obj.int("earliest", *earliest as u64).finish(),
+            Msg::Shutdown => obj.finish(),
+            Msg::Fragment(f) => {
+                let mut out = obj.int("index", f.index as u64).bool("skipped", f.skipped);
+                out = out
+                    .int("cases", f.stats.cases as u64)
+                    .int("classes", f.stats.classes as u64)
+                    .int("candidates", f.stats.candidates as u64)
+                    .int("validation_runs", f.stats.validation_runs as u64)
+                    .int("confirmed", f.stats.confirmed as u64)
+                    .int("sim_cycles", f.stats.sim_cycles)
+                    .int("warped_cycles", f.stats.warped_cycles);
+                if let Some(s) = f.first_detection_s {
+                    out = out.num("first_detection_s", s);
+                }
+                let violations: Vec<String> = f.violations.iter().map(violation_to_json).collect();
+                out.raw("violations", &format!("[{}]", violations.join(",")))
+                    .finish()
+            }
+        }
+    }
+
+    /// Parses one JSON line back into a message.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use amulet_core::proto::Msg;
+    ///
+    /// let msg = Msg::parse_line(r#"{"type":"cancel","earliest":3}"#).unwrap();
+    /// assert_eq!(msg, Msg::Cancel { earliest: 3 });
+    /// assert!(Msg::parse_line(r#"{"type":"warp"}"#).is_err());
+    /// ```
+    pub fn parse_line(line: &str) -> Result<Msg, String> {
+        let v = parse_json(line.trim())?;
+        let tag = str_field(&v, "type")?;
+        match tag {
+            "hello" => Ok(Msg::Hello(Hello {
+                proto: u64_field(&v, "proto")?,
+                defense: str_field(&v, "defense")?.to_string(),
+                contract: str_field(&v, "contract")?.to_string(),
+                seed: str_field(&v, "seed")?
+                    .parse()
+                    .map_err(|_| "hello: bad seed".to_string())?,
+                instances: u64_field(&v, "instances")?,
+                programs: u64_field(&v, "programs")?,
+                inputs: u64_field(&v, "inputs")?,
+            })),
+            "batch" => Ok(Msg::Batch(BatchSpec {
+                index: usize_field(&v, "index")?,
+                instance: usize_field(&v, "instance")?,
+                batch: usize_field(&v, "batch")?,
+                programs: usize_field(&v, "programs")?,
+            })),
+            "cancel" => Ok(Msg::Cancel {
+                earliest: usize_field(&v, "earliest")?,
+            }),
+            "shutdown" => Ok(Msg::Shutdown),
+            "fragment" => {
+                let stats = ScanStats {
+                    cases: usize_field(&v, "cases")?,
+                    classes: usize_field(&v, "classes")?,
+                    candidates: usize_field(&v, "candidates")?,
+                    validation_runs: usize_field(&v, "validation_runs")?,
+                    confirmed: usize_field(&v, "confirmed")?,
+                    sim_cycles: u64_field(&v, "sim_cycles")?,
+                    warped_cycles: u64_field(&v, "warped_cycles")?,
+                };
+                let violations = v
+                    .get("violations")
+                    .and_then(JsonValue::as_arr)
+                    .ok_or("fragment: missing violations array")?
+                    .iter()
+                    .map(violation_from_json)
+                    .collect::<Result<Vec<_>, _>>()?;
+                // Validate here so a malformed worker yields a protocol
+                // error, not a Duration-conversion panic downstream. The
+                // parser can produce non-finite values (`1e999` → inf) and
+                // `Duration::from_secs_f64` panics at or above 2^64
+                // seconds, so both bounds are load-bearing.
+                let first_detection_s = match v.get("first_detection_s").and_then(JsonValue::as_f64)
+                {
+                    Some(s) if !s.is_finite() || s < 0.0 || s >= u64::MAX as f64 => {
+                        return Err(format!("fragment: bad first_detection_s {s}"))
+                    }
+                    other => other,
+                };
+                Ok(Msg::Fragment(FragmentReport {
+                    index: usize_field(&v, "index")?,
+                    skipped: v
+                        .get("skipped")
+                        .and_then(JsonValue::as_bool)
+                        .unwrap_or(false),
+                    stats,
+                    first_detection_s,
+                    violations,
+                }))
+            }
+            other => Err(format!("unknown message type {other:?}")),
+        }
+    }
+}
+
+/// Serialises one violation digest as a JSON object. Digests and diff
+/// entries are hex strings — bit-exact for any JSON reader.
+fn violation_to_json(d: &ViolationDigest) -> String {
+    let hex_arr = |xs: &[u64]| {
+        let items: Vec<String> = xs.iter().map(|x| format!("\"{x:#x}\"")).collect();
+        format!("[{}]", items.join(","))
+    };
+    JsonObj::new()
+        .str("class", d.class.paper_id())
+        .str("ctrace", &format!("{:#018x}", d.ctrace_digest))
+        .raw("l1d_diff", &hex_arr(&d.l1d_diff))
+        .raw("dtlb_diff", &hex_arr(&d.dtlb_diff))
+        .raw("l1i_diff", &hex_arr(&d.l1i_diff))
+        .finish()
+}
+
+fn violation_from_json(v: &JsonValue) -> Result<ViolationDigest, String> {
+    let class_id = str_field(v, "class")?;
+    let class = ViolationClass::from_paper_id(class_id)
+        .ok_or_else(|| format!("unknown violation class {class_id:?}"))?;
+    Ok(ViolationDigest {
+        class,
+        ctrace_digest: hex_u64(str_field(v, "ctrace")?)?,
+        l1d_diff: hex_arr_field(v, "l1d_diff")?,
+        dtlb_diff: hex_arr_field(v, "dtlb_diff")?,
+        l1i_diff: hex_arr_field(v, "l1i_diff")?,
+    })
+}
+
+fn str_field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn u64_field(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing integer field {key:?}"))
+}
+
+fn usize_field(v: &JsonValue, key: &str) -> Result<usize, String> {
+    u64_field(v, key).map(|n| n as usize)
+}
+
+fn hex_u64(s: &str) -> Result<u64, String> {
+    let digits = s
+        .strip_prefix("0x")
+        .ok_or_else(|| format!("expected 0x-prefixed hex, got {s:?}"))?;
+    u64::from_str_radix(digits, 16).map_err(|_| format!("bad hex value {s:?}"))
+}
+
+fn hex_arr_field(v: &JsonValue, key: &str) -> Result<Vec<u64>, String> {
+    v.get(key)
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| format!("missing array field {key:?}"))?
+        .iter()
+        .map(|item| {
+            item.as_str()
+                .ok_or_else(|| format!("{key}: expected hex string"))
+                .and_then(hex_u64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_digest() -> ViolationDigest {
+        ViolationDigest {
+            class: ViolationClass::SpectreV1,
+            ctrace_digest: 0xdead_beef_cafe_f00d,
+            l1d_diff: vec![0x4740, 0x4100],
+            dtlb_diff: vec![4],
+            l1i_diff: vec![],
+        }
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        let msgs = [
+            Msg::Hello(Hello {
+                proto: PROTO_VERSION,
+                defense: "Baseline".into(),
+                contract: "CT-SEQ".into(),
+                seed: u64::MAX,
+                instances: 2,
+                programs: 12,
+                inputs: 28,
+            }),
+            Msg::Batch(BatchSpec {
+                index: 11,
+                instance: 1,
+                batch: 5,
+                programs: 4,
+            }),
+            Msg::Cancel { earliest: 3 },
+            Msg::Shutdown,
+            Msg::Fragment(FragmentReport {
+                index: 11,
+                skipped: false,
+                stats: ScanStats {
+                    cases: 112,
+                    classes: 16,
+                    candidates: 2,
+                    validation_runs: 4,
+                    confirmed: 1,
+                    sim_cycles: u64::MAX - 7,
+                    warped_cycles: 1 << 60,
+                },
+                first_detection_s: Some(0.015625),
+                violations: vec![sample_digest()],
+            }),
+            Msg::Fragment(FragmentReport::skipped(42)),
+        ];
+        for msg in msgs {
+            let line = msg.to_line();
+            assert!(!line.contains('\n'), "one line per message: {line}");
+            assert_eq!(Msg::parse_line(&line).unwrap(), msg, "{line}");
+        }
+    }
+
+    #[test]
+    fn tags_match_the_enum() {
+        let msgs = [
+            Msg::Hello(Hello::for_config(&CampaignConfig::quick(
+                amulet_defenses::DefenseKind::Baseline,
+                amulet_contracts::ContractKind::CtSeq,
+            ))),
+            Msg::Batch(BatchSpec {
+                index: 0,
+                instance: 0,
+                batch: 0,
+                programs: 1,
+            }),
+            Msg::Cancel { earliest: 0 },
+            Msg::Shutdown,
+            Msg::Fragment(FragmentReport::skipped(0)),
+        ];
+        let tags: Vec<&str> = msgs.iter().map(Msg::tag).collect();
+        assert_eq!(tags, Msg::TAGS);
+    }
+
+    #[test]
+    fn hello_checks_version_and_config() {
+        let cfg = CampaignConfig::quick(
+            amulet_defenses::DefenseKind::Baseline,
+            amulet_contracts::ContractKind::CtSeq,
+        );
+        let hello = Hello::for_config(&cfg);
+        assert!(hello.check(&cfg).is_ok());
+        let mut wrong_proto = hello.clone();
+        wrong_proto.proto = PROTO_VERSION + 1;
+        assert!(wrong_proto.check(&cfg).unwrap_err().contains("version"));
+        let mut wrong_seed = hello.clone();
+        wrong_seed.seed ^= 1;
+        assert!(wrong_seed.check(&cfg).unwrap_err().contains("mismatch"));
+    }
+
+    #[test]
+    fn fragment_to_fragment_round_trip_preserves_reduction_inputs() {
+        let frag = Fragment {
+            index: 5,
+            violations: Vec::new(),
+            digests: vec![sample_digest()],
+            stats: ScanStats {
+                cases: 7,
+                sim_cycles: 1234,
+                ..ScanStats::default()
+            },
+            first_detection: Some(Duration::from_millis(125)),
+        };
+        let rep = FragmentReport::from_fragment(&frag);
+        let line = Msg::Fragment(rep).to_line();
+        let Msg::Fragment(parsed) = Msg::parse_line(&line).unwrap() else {
+            panic!("wrong tag");
+        };
+        let back = parsed.into_fragment();
+        assert_eq!(back.index, frag.index);
+        assert_eq!(back.digests, frag.digests);
+        assert_eq!(back.stats, frag.stats);
+        assert_eq!(back.first_detection, frag.first_detection);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "{}",
+            r#"{"type":"batch","index":0}"#,
+            r#"{"type":"fragment","index":0}"#,
+            r#"{"type":"nope"}"#,
+            "not json",
+            // A negative, non-finite or Duration-overflowing detection
+            // time must be a protocol error, not a later panic.
+            r#"{"type":"fragment","index":0,"skipped":false,"cases":0,"classes":0,"candidates":0,"validation_runs":0,"confirmed":0,"sim_cycles":0,"warped_cycles":0,"first_detection_s":-0.5,"violations":[]}"#,
+            r#"{"type":"fragment","index":0,"skipped":false,"cases":0,"classes":0,"candidates":0,"validation_runs":0,"confirmed":0,"sim_cycles":0,"warped_cycles":0,"first_detection_s":1e30,"violations":[]}"#,
+            r#"{"type":"fragment","index":0,"skipped":false,"cases":0,"classes":0,"candidates":0,"validation_runs":0,"confirmed":0,"sim_cycles":0,"warped_cycles":0,"first_detection_s":1e999,"violations":[]}"#,
+        ] {
+            assert!(Msg::parse_line(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -1,4 +1,5 @@
-//! Sharded, work-stealing campaign orchestration.
+//! Sharded, work-stealing campaign orchestration — and the scheduling /
+//! reduction primitives the multi-process campaign fabric is built from.
 //!
 //! [`Campaign::run`](crate::Campaign::run) parallelises across campaign
 //! *instances* — at most `cfg.instances` threads, which leaves a many-core
@@ -9,21 +10,29 @@
 //!   ([`ShardConfig::batch_programs`] programs each). A batch is the unit of
 //!   scheduling *and* of determinism: its generator and input RNG streams
 //!   are derived from `(campaign seed, instance, batch)` alone, and it runs
-//!   on a fresh executor, so its results are identical no matter which
-//!   worker runs it, in what order, or how many workers exist.
-//! - A fixed pool of [`ShardConfig::workers`] threads pulls batches off a
-//!   shared atomic cursor (work stealing without queues: the cursor hands
-//!   out batch indices in order, so a slow batch never blocks the rest).
+//!   on executor state reset to batch-fresh semantics, so its results are
+//!   identical no matter which worker runs it, in what order, how many
+//!   workers exist — or **which process** they live in.
+//! - A [`BatchSource`] hands out batches and carries the find-first
+//!   early-exit broadcast; a [`BatchSink`] collects the resulting
+//!   [`Fragment`]s. The canonical source is [`CursorSource`] (work stealing
+//!   without queues: an atomic cursor hands out batch indices in order, so
+//!   a slow batch never blocks the rest) and the canonical sink is
+//!   [`CollectSink`]. The in-process pool ([`ShardedCampaign`]) and the
+//!   multi-process driver (`amulet drive`, which serialises assignments
+//!   over `amulet_core::proto`) are two consumers of the *same* source and
+//!   reducer — which is why their fingerprints agree.
 //! - In find-first mode ([`CampaignConfig::stop_on_first`]) a confirmed
-//!   violation broadcasts its batch index; workers stop pulling batches
-//!   beyond the earliest violating index, and the reducer discards any
-//!   speculatively-completed fragment past it. Because the cursor hands out
-//!   indices in order, every batch at or before the earliest hit has run to
-//!   completion — the surviving prefix is exactly what a single worker
-//!   would have produced.
-//! - A deterministic reducer merges the per-batch fragments in batch order
+//!   violation broadcasts its batch index; the source stops handing out
+//!   batches beyond the earliest violating index, and the reducer discards
+//!   any speculatively-completed fragment past it. Because the cursor hands
+//!   out indices in order, every batch at or before the earliest hit has
+//!   run to completion — the surviving prefix is exactly what a single
+//!   worker would have produced.
+//! - [`reduce_fragments`] merges the per-batch fragments in batch order
 //!   into one [`CampaignReport`], so
-//!   [`CampaignReport::fingerprint`] is equal across worker counts.
+//!   [`CampaignReport::fingerprint`] is equal across worker counts and
+//!   process counts.
 //!
 //! The batch size is part of the deterministic shape: changing
 //! `batch_programs` (like changing the campaign seed) selects a different —
@@ -43,7 +52,8 @@
 //! assert_eq!(serial.fingerprint(), pooled.fingerprint());
 //! ```
 
-use crate::campaign::{run_programs, CampaignConfig, CampaignReport, UnitRuntime};
+use crate::analyze::ViolationClass;
+use crate::campaign::{run_programs, CampaignConfig, CampaignReport, UnitRuntime, ViolationDigest};
 use crate::cost::CostModel;
 use crate::detect::{ScanStats, Violation};
 use amulet_util::{SplitMix64, Summary, Xoshiro256};
@@ -94,29 +104,157 @@ impl ShardConfig {
 }
 
 /// One schedulable unit: a contiguous run of programs within an instance.
+///
+/// A batch is fully identified by its coordinates — results depend on
+/// `(campaign seed, instance, batch)` and `programs` only, never on
+/// scheduling — which is what makes the spec safe to serialise and ship to
+/// another process (`amulet_core::proto`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct BatchSpec {
+pub struct BatchSpec {
     /// Global batch index (reducer sort key and early-exit broadcast key).
-    index: usize,
+    pub index: usize,
     /// Campaign instance this batch belongs to.
-    instance: usize,
+    pub instance: usize,
     /// Batch number within the instance (RNG derivation key).
-    batch: usize,
+    pub batch: usize,
     /// Programs in this batch (the final batch of an instance may be short).
-    programs: usize,
+    pub programs: usize,
 }
 
-/// Results of one executed batch, merged by the reducer in `index` order.
+/// Results of one executed batch, merged by [`reduce_fragments`] in `index`
+/// order.
+///
+/// In-process pools carry the full [`Violation`] artefacts; fragments
+/// reconstructed from the wire protocol carry only the deterministic
+/// [`ViolationDigest`]s (the full artefacts stay in the worker process).
+/// `digests` is always authoritative — it is what the campaign fingerprint
+/// hashes.
+#[derive(Debug, Default)]
+pub struct Fragment {
+    /// Global batch index this fragment answers.
+    pub index: usize,
+    /// Full violation artefacts (empty for wire-reduced fragments).
+    pub violations: Vec<(Violation, ViolationClass)>,
+    /// Deterministic per-violation digests, same order as `violations`.
+    pub digests: Vec<ViolationDigest>,
+    /// Detector counters for this batch.
+    pub stats: ScanStats,
+    /// Time from the campaign anchor to this batch's first confirmation.
+    pub first_detection: Option<Duration>,
+}
+
+/// Hands batches to workers and carries the find-first broadcast.
+///
+/// The contract every implementation must keep for determinism: batch
+/// indices are handed out **in order, each at most once**, and after
+/// [`BatchSource::record_hit`]`(i)` no index greater than the smallest
+/// recorded `i` need be handed out (handing it out anyway is allowed — the
+/// reducer discards fragments past the earliest hit).
+pub trait BatchSource: Sync {
+    /// The next batch to execute, or `None` when the plan is exhausted (or
+    /// everything left is past the earliest recorded hit).
+    fn next_batch(&self) -> Option<BatchSpec>;
+
+    /// Broadcasts a confirmed violation in batch `index` (no-op unless the
+    /// campaign runs find-first).
+    fn record_hit(&self, index: usize);
+}
+
+/// Collects executed fragments for reduction.
+pub trait BatchSink: Sync {
+    /// Accepts one executed fragment (any order; the reducer sorts).
+    fn submit(&self, fragment: Fragment);
+}
+
+/// The canonical [`BatchSource`]: the whole batch plan behind an atomic
+/// cursor, plus the find-first early-exit broadcast (an atomic `fetch_min`
+/// of the earliest violating batch index).
 #[derive(Debug)]
-struct BatchResult {
-    index: usize,
-    violations: Vec<(Violation, crate::analyze::ViolationClass)>,
-    stats: ScanStats,
-    first_detection: Option<Duration>,
+pub struct CursorSource {
+    batches: Vec<BatchSpec>,
+    cursor: AtomicUsize,
+    earliest_hit: AtomicUsize,
+    stop_on_first: bool,
 }
 
-/// Splits a campaign into per-instance batches of `batch_programs` programs.
-fn plan_batches(cfg: &CampaignConfig, batch_programs: usize) -> Vec<BatchSpec> {
+impl CursorSource {
+    /// Plans `cfg`'s batches at the given batch size.
+    pub fn new(cfg: &CampaignConfig, batch_programs: usize) -> Self {
+        CursorSource {
+            batches: plan_batches(cfg, batch_programs),
+            cursor: AtomicUsize::new(0),
+            earliest_hit: AtomicUsize::new(usize::MAX),
+            stop_on_first: cfg.stop_on_first,
+        }
+    }
+
+    /// Total batches in the plan.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// The earliest batch index with a recorded hit, if any.
+    pub fn earliest_hit(&self) -> Option<usize> {
+        let hit = self.earliest_hit.load(Ordering::SeqCst);
+        (hit != usize::MAX).then_some(hit)
+    }
+}
+
+impl BatchSource for CursorSource {
+    fn next_batch(&self) -> Option<BatchSpec> {
+        let idx = self.cursor.fetch_add(1, Ordering::SeqCst);
+        if idx >= self.batches.len() {
+            return None;
+        }
+        // Early-exit: batches past the earliest confirmed hit would be
+        // discarded by the reducer anyway. (`earliest_hit` only decreases,
+        // so a withheld index can never end up at or before the final hit.)
+        if self.stop_on_first && idx > self.earliest_hit.load(Ordering::SeqCst) {
+            return None;
+        }
+        Some(self.batches[idx])
+    }
+
+    fn record_hit(&self, index: usize) {
+        if self.stop_on_first {
+            self.earliest_hit.fetch_min(index, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The canonical [`BatchSink`]: a mutex-guarded fragment vector.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    fragments: Mutex<Vec<Fragment>>,
+}
+
+impl CollectSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the sink, yielding the collected fragments (arrival order).
+    pub fn into_fragments(self) -> Vec<Fragment> {
+        self.fragments.into_inner().unwrap()
+    }
+}
+
+impl BatchSink for CollectSink {
+    fn submit(&self, fragment: Fragment) {
+        self.fragments.lock().unwrap().push(fragment);
+    }
+}
+
+/// Splits a campaign into per-instance batches of `batch_programs` programs
+/// (clamped to at least 1). Global indices are dense and ordered — the
+/// reducer sort key and the find-first broadcast key.
+pub fn plan_batches(cfg: &CampaignConfig, batch_programs: usize) -> Vec<BatchSpec> {
     let per_batch = batch_programs.max(1);
     let mut out = Vec::new();
     for instance in 0..cfg.instances {
@@ -149,30 +287,91 @@ fn batch_seed(campaign_seed: u64, instance: usize, batch: usize) -> u64 {
 }
 
 /// Runs one batch with its own derived RNG streams, through the same
-/// per-program scan loop as the instance-parallel orchestrator
-/// ([`run_programs`]). `campaign_start` anchors detection times to the
-/// campaign, so the reducer's min over batches is the true wall-clock time
-/// until the campaign first confirmed a violation (a per-batch time would
-/// measure schedule position instead).
+/// per-program scan loop as the instance-parallel orchestrator. `anchor`
+/// ties detection times to the campaign start, so the reducer's min over
+/// batches is the true wall-clock time until the campaign first confirmed a
+/// violation (a per-batch time would measure schedule position instead; in
+/// a multi-process run each worker anchors to its own start, which only
+/// shifts the *value* — the fingerprint covers presence, not timing).
 ///
 /// `rt` is the calling worker's persistent [`UnitRuntime`]: the executor
 /// and scratch buffers are *reused* across every batch the worker runs, and
-/// reset to batch-fresh semantics inside [`run_programs`] — so results stay
-/// independent of which worker ran the batch.
-fn run_batch(
+/// reset to batch-fresh semantics inside the scan loop — so results stay
+/// independent of which worker (thread **or process**) ran the batch.
+pub fn run_batch(
     cfg: &CampaignConfig,
     spec: &BatchSpec,
-    campaign_start: Instant,
+    anchor: Instant,
     rt: &mut UnitRuntime,
-) -> BatchResult {
+) -> Fragment {
     let mut rng = Xoshiro256::seed_from_u64(batch_seed(cfg.seed, spec.instance, spec.batch));
-    let scan = run_programs(cfg, &mut rng, spec.programs, campaign_start, rt);
-    BatchResult {
+    let scan = run_programs(cfg, &mut rng, spec.programs, anchor, rt);
+    let digests = scan
+        .violations
+        .iter()
+        .map(|(v, c)| ViolationDigest::of(v, *c))
+        .collect();
+    Fragment {
         index: spec.index,
         violations: scan.violations,
+        digests,
         stats: scan.stats,
         first_detection: scan.first_detection,
     }
+}
+
+/// The deterministic reducer both the in-process pool and the
+/// multi-process driver share: sorts fragments by batch index, keeps the
+/// `index <= earliest_hit` prefix when find-first trimmed the plan, and
+/// folds stats / violations / detection time into one [`CampaignReport`].
+///
+/// Find-first cancellation can never change the reduced prefix: sources
+/// hand out batch indices in order, so every batch at or before the
+/// earliest hit ran to completion before the campaign stopped, and
+/// fragments past the hit — including `amulet worker`'s skipped-batch
+/// acknowledgements — are exactly the ones dropped here.
+pub fn reduce_fragments(
+    cfg: CampaignConfig,
+    mut fragments: Vec<Fragment>,
+    earliest_hit: Option<usize>,
+    wall: Duration,
+) -> CampaignReport {
+    fragments.sort_by_key(|r| r.index);
+    if cfg.stop_on_first {
+        // Keep the deterministic prefix: every batch at or before the
+        // earliest hit ran to completion; anything later is a scheduling
+        // artefact.
+        let hit = earliest_hit.unwrap_or(usize::MAX);
+        fragments.retain(|r| r.index <= hit);
+    }
+
+    let mut report = CampaignReport {
+        violations: Vec::new(),
+        digests: Vec::new(),
+        stats: ScanStats::default(),
+        wall,
+        detection_times: Summary::new(),
+        modeled_seconds: CostModel::default().campaign_seconds(
+            cfg.mode,
+            cfg.programs_per_instance,
+            cfg.inputs.total(),
+        ),
+        config: cfg,
+    };
+    // Detection time: one sample — the earliest confirmation across all
+    // batches, i.e. the campaign's wall-clock time-to-first-violation.
+    // (Per-batch samples would average schedule position, not detection
+    // speed.)
+    let first_hit = fragments.iter().filter_map(|r| r.first_detection).min();
+    if let Some(d) = first_hit {
+        report.detection_times.add(d.as_secs_f64());
+    }
+    for r in fragments {
+        report.stats.merge(&r.stats);
+        report.violations.extend(r.violations);
+        report.digests.extend(r.digests);
+    }
+    report
 }
 
 /// A campaign run on a sharded worker pool.
@@ -197,79 +396,29 @@ impl ShardedCampaign {
     pub fn run(self) -> CampaignReport {
         let cfg = self.cfg;
         let workers = self.shard.resolved_workers();
-        let batches = plan_batches(&cfg, self.shard.batch_programs);
+        let source = CursorSource::new(&cfg, self.shard.batch_programs);
+        let sink = CollectSink::new();
         let start = Instant::now();
 
-        // Work-stealing without queues: a shared cursor hands out batch
-        // indices in order. `earliest_hit` is the find-first broadcast — the
-        // smallest batch index with a confirmed violation so far.
-        let cursor = AtomicUsize::new(0);
-        let earliest_hit = AtomicUsize::new(usize::MAX);
-        let results: Mutex<Vec<BatchResult>> = Mutex::new(Vec::with_capacity(batches.len()));
         std::thread::scope(|scope| {
             for _ in 0..workers.max(1) {
                 scope.spawn(|| {
                     // One executor + scratch set per (worker, defense),
                     // reused across every batch this worker pulls.
                     let mut rt = UnitRuntime::new();
-                    loop {
-                        let idx = cursor.fetch_add(1, Ordering::SeqCst);
-                        if idx >= batches.len() {
-                            break;
+                    while let Some(spec) = source.next_batch() {
+                        let frag = run_batch(&cfg, &spec, start, &mut rt);
+                        if !frag.digests.is_empty() {
+                            source.record_hit(spec.index);
                         }
-                        // Early-exit: batches past the earliest confirmed hit
-                        // would be discarded by the reducer anyway. (`earliest_hit`
-                        // only decreases, so a skipped index can never end up at
-                        // or before the final hit.)
-                        if cfg.stop_on_first && idx > earliest_hit.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        let res = run_batch(&cfg, &batches[idx], start, &mut rt);
-                        if cfg.stop_on_first && !res.violations.is_empty() {
-                            earliest_hit.fetch_min(idx, Ordering::SeqCst);
-                        }
-                        results.lock().unwrap().push(res);
+                        sink.submit(frag);
                     }
                 });
             }
         });
         let wall = start.elapsed();
-
-        let mut results = results.into_inner().unwrap();
-        results.sort_by_key(|r| r.index);
-        if cfg.stop_on_first {
-            // Keep the deterministic prefix: every batch at or before the
-            // earliest hit ran to completion (the cursor hands out indices
-            // in order); anything later is a scheduling artefact.
-            let hit = earliest_hit.load(Ordering::SeqCst);
-            results.retain(|r| r.index <= hit);
-        }
-
-        let mut report = CampaignReport {
-            violations: Vec::new(),
-            stats: ScanStats::default(),
-            wall,
-            detection_times: Summary::new(),
-            modeled_seconds: CostModel::default().campaign_seconds(
-                cfg.mode,
-                cfg.programs_per_instance,
-                cfg.inputs.total(),
-            ),
-            config: cfg,
-        };
-        // Detection time: one sample — the earliest confirmation across all
-        // batches, i.e. the campaign's wall-clock time-to-first-violation.
-        // (Per-batch samples would average schedule position, not detection
-        // speed.)
-        let first_hit = results.iter().filter_map(|r| r.first_detection).min();
-        if let Some(d) = first_hit {
-            report.detection_times.add(d.as_secs_f64());
-        }
-        for r in results {
-            report.stats.merge(&r.stats);
-            report.violations.extend(r.violations);
-        }
-        report
+        let hit = source.earliest_hit();
+        reduce_fragments(cfg, sink.into_fragments(), hit, wall)
     }
 }
 
@@ -324,6 +473,67 @@ mod tests {
     }
 
     #[test]
+    fn cursor_source_hands_out_in_order_and_honours_hits() {
+        let mut cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+        cfg.instances = 1;
+        cfg.programs_per_instance = 10;
+        cfg.stop_on_first = true;
+        let source = CursorSource::new(&cfg, 1);
+        assert_eq!(source.len(), 10);
+        assert_eq!(source.next_batch().unwrap().index, 0);
+        assert_eq!(source.next_batch().unwrap().index, 1);
+        source.record_hit(3);
+        assert_eq!(source.earliest_hit(), Some(3));
+        // Indices at or before the hit still flow; later ones are withheld.
+        assert_eq!(source.next_batch().unwrap().index, 2);
+        assert_eq!(source.next_batch().unwrap().index, 3);
+        assert!(source.next_batch().is_none());
+        // The broadcast only ever decreases.
+        source.record_hit(7);
+        assert_eq!(source.earliest_hit(), Some(3));
+        source.record_hit(1);
+        assert_eq!(source.earliest_hit(), Some(1));
+    }
+
+    #[test]
+    fn cursor_source_without_find_first_ignores_hits() {
+        let mut cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+        cfg.instances = 1;
+        cfg.programs_per_instance = 4;
+        let source = CursorSource::new(&cfg, 1);
+        source.record_hit(0);
+        assert_eq!(source.earliest_hit(), None, "no-op without stop_on_first");
+        let mut count = 0;
+        while source.next_batch().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 4, "every batch still flows");
+    }
+
+    #[test]
+    fn reducer_trims_to_the_earliest_hit_prefix() {
+        let mut cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+        cfg.stop_on_first = true;
+        let frag = |index: usize, cases: usize| Fragment {
+            index,
+            stats: ScanStats {
+                cases,
+                ..ScanStats::default()
+            },
+            ..Fragment::default()
+        };
+        // Out-of-order arrival, with a speculatively-completed fragment (4)
+        // past the hit at 2.
+        let report = reduce_fragments(
+            cfg,
+            vec![frag(4, 100), frag(0, 1), frag(2, 10), frag(1, 2)],
+            Some(2),
+            Duration::ZERO,
+        );
+        assert_eq!(report.stats.cases, 13, "fragment 4 was discarded");
+    }
+
+    #[test]
     fn sharded_quick_campaign_finds_baseline_violations() {
         let mut cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
         cfg.programs_per_instance = 20;
@@ -340,6 +550,11 @@ mod tests {
             report.stats.cases,
             report.config.total_cases(),
             "without find-first, every planned case executes"
+        );
+        assert_eq!(
+            report.digests.len(),
+            report.violations.len(),
+            "in-process fragments carry digests alongside full violations"
         );
     }
 }

@@ -1,0 +1,189 @@
+//! Wire-protocol round trips: every message type of the multi-process
+//! campaign fabric must survive serialise → parse bit-exactly — including
+//! violation fragments carrying µarch diffs, whose contents feed the
+//! campaign fingerprint — and the operator's handbook must document
+//! exactly the tag set the protocol emits.
+
+use amulet::fuzz::proto::{FragmentReport, Hello, Msg, PROTO_VERSION};
+use amulet::fuzz::{BatchSpec, CampaignConfig, ScanStats, ViolationClass, ViolationDigest};
+use amulet::{contracts::ContractKind, defenses::DefenseKind};
+use std::collections::BTreeSet;
+
+/// The handbook the tag test audits.
+const HANDBOOK: &str = include_str!("../docs/DISTRIBUTED.md");
+
+fn quick_cfg() -> CampaignConfig {
+    CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq)
+}
+
+/// A fragment with the richest payload the protocol carries: multiple
+/// violations, full-width digests, diffs in every structure.
+fn loaded_fragment() -> FragmentReport {
+    FragmentReport {
+        index: 17,
+        skipped: false,
+        stats: ScanStats {
+            cases: 672,
+            classes: 96,
+            candidates: 5,
+            validation_runs: 20,
+            confirmed: 2,
+            sim_cycles: 0xffff_ffff_ffff_fff1,
+            warped_cycles: 1 << 62,
+        },
+        first_detection_s: Some(0.734_375),
+        violations: vec![
+            ViolationDigest {
+                class: ViolationClass::SpectreV1,
+                ctrace_digest: u64::MAX,
+                l1d_diff: vec![0x4740, 0x4100, u64::MAX],
+                dtlb_diff: vec![4],
+                l1i_diff: vec![],
+            },
+            ViolationDigest {
+                class: ViolationClass::SttStoreTlb,
+                ctrace_digest: 0,
+                l1d_diff: vec![],
+                dtlb_diff: vec![0x7f],
+                l1i_diff: vec![0x40_1040],
+            },
+        ],
+    }
+}
+
+fn all_message_shapes() -> Vec<Msg> {
+    vec![
+        Msg::Hello(Hello::for_config(&quick_cfg())),
+        Msg::Hello(Hello {
+            proto: PROTO_VERSION,
+            defense: "STT".into(),
+            contract: "ARCH-SEQ".into(),
+            seed: u64::MAX,
+            instances: 100,
+            programs: 200,
+            inputs: 140,
+        }),
+        Msg::Batch(BatchSpec {
+            index: 0,
+            instance: 0,
+            batch: 0,
+            programs: 1,
+        }),
+        Msg::Batch(BatchSpec {
+            index: usize::MAX >> 1,
+            instance: 99,
+            batch: 1_000_000,
+            programs: 4,
+        }),
+        Msg::Cancel { earliest: 0 },
+        Msg::Cancel {
+            earliest: usize::MAX >> 1,
+        },
+        Msg::Shutdown,
+        Msg::Fragment(FragmentReport::skipped(3)),
+        Msg::Fragment(loaded_fragment()),
+    ]
+}
+
+#[test]
+fn every_message_type_survives_serialise_parse() {
+    for msg in all_message_shapes() {
+        let line = msg.to_line();
+        assert!(
+            !line.contains('\n'),
+            "line protocol: one message per line ({line})"
+        );
+        let parsed = Msg::parse_line(&line).expect(&line);
+        assert_eq!(parsed, msg, "round trip changed {line}");
+        // And a second trip is a fixed point.
+        assert_eq!(parsed.to_line(), line);
+    }
+}
+
+#[test]
+fn violation_digests_cross_the_wire_bit_exactly() {
+    let msg = Msg::Fragment(loaded_fragment());
+    let Msg::Fragment(parsed) = Msg::parse_line(&msg.to_line()).unwrap() else {
+        panic!("tag changed");
+    };
+    let original = loaded_fragment();
+    assert_eq!(parsed.violations, original.violations);
+    assert_eq!(parsed.stats, original.stats);
+    // The digests are hex strings on the wire so double-based JSON readers
+    // can't round them; make sure full-width values really are present.
+    let line = msg.to_line();
+    assert!(line.contains("\"0xffffffffffffffff\""), "{line}");
+}
+
+#[test]
+fn every_violation_class_round_trips_in_a_fragment() {
+    for class in ViolationClass::ALL {
+        let frag = FragmentReport {
+            violations: vec![ViolationDigest {
+                class,
+                ctrace_digest: 1,
+                l1d_diff: vec![],
+                dtlb_diff: vec![],
+                l1i_diff: vec![],
+            }],
+            ..FragmentReport::skipped(0)
+        };
+        let Msg::Fragment(parsed) = Msg::parse_line(&Msg::Fragment(frag).to_line()).unwrap() else {
+            panic!("tag changed");
+        };
+        assert_eq!(parsed.violations[0].class, class, "{}", class.paper_id());
+    }
+}
+
+/// The acceptance gate for the operator's handbook: the set of message
+/// tags it documents (every `"type":"..."` occurrence in its worked
+/// examples) is exactly the set the protocol can emit. A message type
+/// added without documentation — or documentation of a type that no
+/// longer exists — fails here.
+#[test]
+fn handbook_documents_exactly_the_emitted_tag_set() {
+    let mut documented = BTreeSet::new();
+    let mut rest = HANDBOOK;
+    while let Some(at) = rest.find("\"type\":\"") {
+        rest = &rest[at + "\"type\":\"".len()..];
+        let end = rest.find('"').expect("unterminated tag in handbook");
+        documented.insert(&rest[..end]);
+        rest = &rest[end..];
+    }
+    let emitted: BTreeSet<&str> = Msg::TAGS.into_iter().collect();
+    assert_eq!(
+        documented, emitted,
+        "docs/DISTRIBUTED.md worked examples must cover exactly the protocol's tags"
+    );
+    // The version constant is part of the documented contract too.
+    assert!(
+        HANDBOOK.contains(&format!("\"proto\":{PROTO_VERSION}")),
+        "handbook hello example must show the current protocol version"
+    );
+}
+
+#[test]
+fn hello_handshake_rejects_version_and_config_drift() {
+    let cfg = quick_cfg();
+    let good = Hello::for_config(&cfg);
+    assert!(good.check(&cfg).is_ok());
+
+    let mut other_seed = cfg.clone();
+    other_seed.seed += 1;
+    assert!(good.check(&other_seed).is_err());
+
+    // A shape mismatch (what a --scale drift produces: same
+    // defense/contract/seed, different case stream) must also fail.
+    let mut other_shape = cfg.clone();
+    other_shape.programs_per_instance *= 2;
+    assert!(
+        good.check(&other_shape).unwrap_err().contains("shape"),
+        "shape drift must fail the handshake"
+    );
+
+    let stale = Hello {
+        proto: PROTO_VERSION + 1,
+        ..good
+    };
+    assert!(stale.check(&cfg).unwrap_err().contains("version"));
+}
