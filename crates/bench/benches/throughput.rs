@@ -17,6 +17,9 @@
 //! `"speedup"` for the hot-path comparison).
 
 use amulet_bench::{banner, env_usize};
+use amulet_cli::{
+    run_driver, serve_session, DriveConfig, FaultCounters, FaultPlan, FaultyLink, TcpLink,
+};
 use amulet_contracts::{ContractKind, LeakageModel, ModelScratch};
 use amulet_core::{
     boosted_inputs, boosted_inputs_into, Campaign, CampaignConfig, Detector, ExecMode, Executor,
@@ -305,6 +308,101 @@ fn stt_hot_path(json: &mut String, programs: usize) {
     );
 }
 
+/// The cross-host fleet overhead, measured: the full `amulet drive` driver
+/// loop (handshake, heartbeat, batch round trips, reduction) over loopback
+/// TCP workers, clean and under hostile seeded fault injection (drops,
+/// truncations, severed links, delays — recovery re-runs batches, so this
+/// arm prices the robustness ladder). Both arms must reduce to one
+/// fingerprint; the workers are in-process accept loops standing in for
+/// remote hosts, detached threads that die with the bench. Median of 3
+/// runs per arm.
+fn fleet_bench(json: &mut String) {
+    let cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+    let workers = 2usize;
+    let mut addrs = Vec::new();
+    for _ in 0..workers {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        addrs.push(listener.local_addr().unwrap().to_string());
+        let worker_cfg = cfg.clone();
+        std::thread::spawn(move || {
+            while let Ok((stream, _)) = listener.accept() {
+                let _ = stream.set_nodelay(true);
+                let Ok(clone) = stream.try_clone() else {
+                    continue;
+                };
+                let reader = std::io::BufReader::new(clone);
+                let _ = serve_session(&worker_cfg, reader, &stream, &mut std::io::sink());
+            }
+        });
+    }
+    // Deadlines sized for a bench: hostile drops resolve through timeouts,
+    // and a spurious expiry is safe (it costs a retry, never the result).
+    let drive = DriveConfig {
+        procs: workers,
+        liveness: std::time::Duration::from_millis(500),
+        batch_timeout: std::time::Duration::from_secs(5),
+        backoff_base: std::time::Duration::from_millis(1),
+        backoff_max: std::time::Duration::from_millis(8),
+        ..DriveConfig::default()
+    };
+    let addrs = std::sync::Arc::new(addrs);
+    let mut fingerprints = Vec::new();
+    for (label, hostile) in [("clean", false), ("hostile", true)] {
+        let counters = Arc::new(FaultCounters::default());
+        let mut samples = Vec::new();
+        let mut cases = 0usize;
+        for round in 0..3u64 {
+            let connections = std::sync::atomic::AtomicUsize::new(0);
+            let t0 = Instant::now();
+            let report = if hostile {
+                run_driver(
+                    &cfg,
+                    &drive,
+                    |slot| {
+                        // Fresh fault schedule per connection, or a
+                        // first-send sever would repeat forever.
+                        let n =
+                            connections.fetch_add(1, std::sync::atomic::Ordering::SeqCst) as u64;
+                        let plan = FaultPlan::hostile(
+                            0xBE7C ^ (round << 32) ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        );
+                        let link = TcpLink::connect(&addrs[slot % addrs.len()], drive.liveness)?;
+                        Ok(FaultyLink::new(link, plan, counters.clone()))
+                    },
+                    None,
+                    None,
+                )
+            } else {
+                run_driver(
+                    &cfg,
+                    &drive,
+                    |slot| TcpLink::connect(&addrs[slot % addrs.len()], drive.liveness),
+                    None,
+                    None,
+                )
+            }
+            .expect("fleet bench campaign");
+            samples.push(t0.elapsed().as_secs_f64());
+            cases = report.stats.cases;
+            fingerprints.push(report.fingerprint());
+        }
+        samples.sort_by(f64::total_cmp);
+        let rate = cases as f64 / samples[1];
+        let injected = counters.total();
+        println!(
+            "fleet ({label:>7}): {workers} tcp workers  {rate:>9.0} cases/s  {injected} injected faults"
+        );
+        let _ = writeln!(
+            json,
+            "{{\"bench\":\"throughput\",\"kind\":\"fleet\",\"name\":\"{label}\",\"transport\":\"tcp-loopback\",\"workers\":{workers},\"injected_faults\":{injected},\"cases\":{cases},\"cases_per_sec\":{rate:.1}}}"
+        );
+    }
+    assert!(
+        fingerprints.windows(2).all(|w| w[0] == w[1]),
+        "fleet fingerprint moved across transports/faults: {fingerprints:?}"
+    );
+}
+
 /// End-to-end quick-campaign throughput: the classic instance-parallel
 /// orchestrator (parallelism capped at `cfg.instances`, 2 for the quick
 /// shape) vs. the sharded work-stealing orchestrator saturating
@@ -391,6 +489,10 @@ fn main() {
         json,
         "{{\"bench\":\"throughput\",\"kind\":\"sharded_campaign\",\"name\":\"Baseline\",\"contract\":\"CT-SEQ\",\"workers\":{workers},\"batch_programs\":{batch},\"host_threads\":{host_threads},\"cases\":{scases},\"cases_per_sec\":{sharded_rate:.1},\"instance_parallel_cases_per_sec\":{instance_rate:.1},\"speedup\":{sharded_speedup:.3}}}"
     );
+
+    // 1d. The cross-host fleet: the same campaign through real loopback TCP
+    // links, clean and under hostile fault injection.
+    fleet_bench(&mut json);
 
     // 2. Fixed-seed quick campaign per defense, with the warp win made
     // observable per defense (cycles/case is timing-model output and thus

@@ -15,10 +15,13 @@
 //!   throughput on this host.
 //! - `amulet drive` — the same campaign sharded over `--procs` **worker
 //!   processes** (spawned `amulet worker` children speaking
-//!   `amulet_core::proto` over pipes), fingerprint-identical to the
-//!   in-process run; see [`drive`] and `docs/DISTRIBUTED.md`.
-//! - `amulet worker` — the child end of `drive` (also usable by external
-//!   drivers speaking the protocol); see [`worker`].
+//!   `amulet_core::proto` over pipes) or over `--connect host:port,...`
+//!   **TCP workers** on other hosts, fingerprint-identical to the
+//!   in-process run and robust to worker crashes, hangs and churn; see
+//!   [`drive`], [`net`] and `docs/DISTRIBUTED.md`.
+//! - `amulet worker` — the serving end of `drive`: stdin/stdout when
+//!   spawned, `--listen ADDR` for TCP (also usable by external drivers
+//!   speaking the protocol); see [`worker`].
 //!
 //! The library half exists so the parsing, report formatting and the
 //! fabric's driver/worker loops are unit testable; `src/main.rs` only
@@ -36,6 +39,8 @@
 //! ```
 
 pub mod drive;
+pub mod fault;
+pub mod net;
 pub mod worker;
 
 use amulet_contracts::ContractKind;
@@ -45,7 +50,9 @@ use std::time::Instant;
 
 pub use amulet_util::{json_string, JsonObj};
 pub use drive::{run_driver, DriveConfig, ProcLink, WorkerLink};
-pub use worker::serve_worker;
+pub use fault::{FaultCounters, FaultPlan, FaultyLink};
+pub use net::{parse_connect_list, serve_listener, ListenConfig, TcpLink};
+pub use worker::{serve_session, serve_worker, SessionStats};
 
 /// Usage text printed by `amulet help` (and on usage errors).
 pub const USAGE: &str = "\
@@ -89,12 +96,25 @@ BENCH OPTIONS:
 
 DRIVE OPTIONS (shape options as for campaign):
     --procs N             Worker processes to spawn (default: 2)
+    --connect A,B,...     Drive remote workers over TCP (host:port list;
+                          one slot per address, --procs is ignored)
     --batch N             Programs per batch (part of the stream identity)
+    --retries N           Reconnect-and-retry attempts per batch (default: 2)
+    --quarantine-after N  Retire a slot after N consecutive batch failures
+                          (default: 3)
+    --liveness-s S        Handshake/heartbeat deadline in seconds (default: 10)
+    --batch-timeout-s S   Per-batch fragment deadline in seconds (default: 120)
     --fragments PATH      Tee received fragment JSONL to PATH
+    --events PATH         Append the fleet event log (connects, failures,
+                          backoff, quarantines) as JSONL to PATH
     --json PATH           Append the reduced campaign report line to PATH
 
-WORKER OPTIONS:
-    shape options as for campaign; speaks the wire protocol on stdin/stdout
+WORKER OPTIONS (shape options as for campaign):
+    --listen ADDR         Serve the protocol over TCP on ADDR (e.g.
+                          0.0.0.0:7711; :0 picks a port, announced on stderr)
+    --sessions N          With --listen: exit after N driver sessions (0 = forever)
+    --idle-timeout-s S    With --listen: end a session after S idle seconds
+    without --listen: speaks the wire protocol on stdin/stdout
     (see docs/DISTRIBUTED.md)
 ";
 

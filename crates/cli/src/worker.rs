@@ -1,27 +1,51 @@
-//! `amulet worker` — the child end of the multi-process campaign fabric.
+//! `amulet worker` — the serving end of the multi-process campaign fabric.
 //!
 //! A worker resolves its campaign configuration from the same shape flags
 //! as `amulet campaign` (`--defense`, `--contract`, `--scale`, `--seed`,
-//! `--find-first`, `--no-cycle-skip`), announces a [`Hello`] on stdout,
-//! then serves
-//! `batch` assignments from stdin until `shutdown` (or EOF — a vanished
-//! driver never leaves a worker behind). One process holds one persistent
-//! [`UnitRuntime`], exactly like one thread of the in-process pool, so a
-//! batch's results are independent of which process ran it.
+//! `--find-first`, `--no-cycle-skip`), announces a [`Hello`] on its
+//! output, then serves `batch` assignments until `shutdown` (or EOF — a
+//! vanished driver never leaves a worker behind). One session holds one
+//! persistent [`UnitRuntime`], exactly like one thread of the in-process
+//! pool, so a batch's results are independent of which worker ran it.
 //!
-//! Stdout carries *only* protocol lines; human-readable logging goes to
-//! stderr. The loop itself ([`serve_worker`]) is generic over its streams,
-//! which is how `tests/multiproc_determinism.rs` drives whole worker
-//! sessions in memory.
+//! Two transports share the same loop ([`serve_session`]):
+//!
+//! - **pipes** (spawned by `amulet drive --procs`): protocol on
+//!   stdin/stdout, logs on stderr;
+//! - **TCP** (`amulet worker --listen ADDR`): protocol on the socket,
+//!   structured JSON logs on stderr — see `crate::net::serve_listener`.
+//!
+//! The loop is *tolerant*: a malformed or unexpected line is logged as a
+//! structured `error` event and skipped (the driver recovers via its own
+//! deadline), and a trailing partial line at EOF — a driver that died
+//! mid-frame — ends the session cleanly instead of poisoning it.
 
 use crate::{Args, ShapeOptions};
 use amulet_core::proto::{FragmentReport, Hello, Msg};
 use amulet_core::{run_batch, CampaignConfig, UnitRuntime};
+use amulet_util::JsonObj;
 use std::io::{BufRead, Write};
 use std::time::Instant;
 
+/// What one worker session did — returned so listeners and tests can log
+/// and assert on the session shape.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Batches executed.
+    pub batches: usize,
+    /// Batches answered as skipped (past the cancel floor).
+    pub skipped: usize,
+    /// Heartbeats answered.
+    pub pings: usize,
+    /// Malformed or unexpected input lines tolerated.
+    pub malformed: usize,
+}
+
 /// Serves one worker session: hello, then batch → fragment until
-/// `shutdown` or EOF.
+/// `shutdown` or EOF, answering `ping` heartbeats between batches.
+/// Structured JSON log events (`worker_error`, `worker_eof_truncated`,
+/// `worker_idle_timeout`) go to `log`; only an unwritable *output* is a
+/// hard error (the driver is gone and taking its deadline with it).
 ///
 /// Find-first semantics: a [`Msg::Cancel`] lowers the worker's cancel
 /// floor; a later batch assignment *above* the floor is answered with a
@@ -29,11 +53,104 @@ use std::time::Instant;
 /// change the reduced result — the floor only ever holds indices with
 /// confirmed violations, so every skipped index lies strictly past the
 /// final earliest hit, in the suffix the reducer discards anyway.
+pub fn serve_session(
+    cfg: &CampaignConfig,
+    mut input: impl BufRead,
+    mut out: impl Write,
+    log: &mut impl Write,
+) -> Result<SessionStats, String> {
+    send(&mut out, &Msg::Hello(Hello::for_config(cfg)))?;
+    let anchor = Instant::now();
+    let mut rt = UnitRuntime::new();
+    let mut cancel_floor = usize::MAX;
+    let mut stats = SessionStats::default();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match input.read_line(&mut line) {
+            Ok(0) => break, // EOF: driver hung up — clean exit.
+            Ok(_) if !line.ends_with('\n') => {
+                // A trailing partial line: the driver died mid-frame.
+                // Tolerate it — the frame is unusable but the session
+                // ended, which is all it means.
+                log_event(log, "worker_eof_truncated", |o| {
+                    o.int("bytes", line.len() as u64)
+                });
+                stats.malformed += 1;
+                break;
+            }
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // The listener's per-session idle deadline (SO_RCVTIMEO)
+                // expired: end the session so the listener can accept a
+                // fresh connection.
+                log_event(log, "worker_idle_timeout", |o| o);
+                break;
+            }
+            Err(e) => return Err(format!("worker: read failed: {e}")),
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let msg = match Msg::parse_line(&line) {
+            Ok(msg) => msg,
+            Err(e) => {
+                // Garbage on the wire (a truncated or corrupted frame).
+                // Skip it — the driver's deadline, not our exit, handles
+                // the lost message.
+                log_event(log, "worker_error", |o| {
+                    o.str("error", &e).int("line_bytes", line.len() as u64)
+                });
+                stats.malformed += 1;
+                continue;
+            }
+        };
+        match msg {
+            Msg::Ping { token } => {
+                stats.pings += 1;
+                send(&mut out, &Msg::Pong { token })?;
+            }
+            Msg::Batch(spec) => {
+                let reply = if cfg.stop_on_first && spec.index > cancel_floor {
+                    stats.skipped += 1;
+                    FragmentReport::skipped(spec.index)
+                } else {
+                    stats.batches += 1;
+                    FragmentReport::from_fragment(&run_batch(cfg, &spec, anchor, &mut rt))
+                };
+                send(&mut out, &Msg::Fragment(reply))?;
+            }
+            Msg::Cancel { earliest } => cancel_floor = cancel_floor.min(earliest),
+            Msg::Shutdown => break,
+            other => {
+                // Valid protocol, wrong direction (a hello or fragment
+                // echoed back at us): log and keep serving.
+                log_event(log, "worker_error", |o| {
+                    o.str(
+                        "error",
+                        &format!("unexpected {:?} message from driver", other.tag()),
+                    )
+                });
+                stats.malformed += 1;
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Serves one worker session and discards the stats — the stable
+/// entry point the in-memory tests and pipe transport use. Logs go to
+/// stderr.
 ///
 /// # Examples
 ///
 /// A complete in-memory session (this is exactly what travels over the
-/// pipes of a real `amulet drive` run):
+/// pipes or sockets of a real `amulet drive` run):
 ///
 /// ```
 /// use amulet_cli::serve_worker;
@@ -59,62 +176,76 @@ use std::time::Instant;
 pub fn serve_worker(
     cfg: &CampaignConfig,
     input: impl BufRead,
-    mut out: impl Write,
+    out: impl Write,
 ) -> Result<(), String> {
-    send(&mut out, &Msg::Hello(Hello::for_config(cfg)))?;
-    let anchor = Instant::now();
-    let mut rt = UnitRuntime::new();
-    let mut cancel_floor = usize::MAX;
-    for line in input.lines() {
-        let line = line.map_err(|e| format!("worker: read failed: {e}"))?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        match Msg::parse_line(&line)? {
-            Msg::Batch(spec) => {
-                let reply = if cfg.stop_on_first && spec.index > cancel_floor {
-                    FragmentReport::skipped(spec.index)
-                } else {
-                    FragmentReport::from_fragment(&run_batch(cfg, &spec, anchor, &mut rt))
-                };
-                send(&mut out, &Msg::Fragment(reply))?;
-            }
-            Msg::Cancel { earliest } => cancel_floor = cancel_floor.min(earliest),
-            Msg::Shutdown => break,
-            other => {
-                return Err(format!(
-                    "worker: unexpected {:?} message from driver",
-                    other.tag()
-                ))
-            }
-        }
-    }
-    Ok(())
+    serve_session(cfg, input, out, &mut std::io::stderr()).map(|_| ())
 }
 
 /// Writes one protocol line and flushes — every message must reach the
-/// driver promptly; the pipe is the scheduler's critical path.
+/// driver promptly; the link is the scheduler's critical path.
 fn send(out: &mut impl Write, msg: &Msg) -> Result<(), String> {
     writeln!(out, "{}", msg.to_line())
         .and_then(|()| out.flush())
         .map_err(|e| format!("worker: write failed: {e}"))
 }
 
+/// One structured JSON log line (best-effort — logging must never take a
+/// session down).
+fn log_event(log: &mut impl Write, event: &str, detail: impl FnOnce(JsonObj) -> JsonObj) {
+    let line = detail(JsonObj::new().str("event", event)).finish();
+    let _ = writeln!(log, "{line}");
+    let _ = log.flush();
+}
+
 /// `amulet worker`.
 pub(crate) fn cmd_worker(mut args: Args) -> Result<(), String> {
     let shape = ShapeOptions::parse(&mut args)?;
+    let listen = args.value("--listen")?;
+    let sessions = args.parsed::<usize>("--sessions")?.unwrap_or(0);
+    let idle_s = args.parsed::<f64>("--idle-timeout-s")?;
     args.finish()?;
     let cfg = shape.config();
-    eprintln!(
-        "worker {}: serving {} × {} (seed {})",
-        std::process::id(),
-        shape.defense.name(),
-        shape.contract.name(),
-        cfg.seed
-    );
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    serve_worker(&cfg, stdin.lock(), stdout.lock())
+    match listen {
+        Some(addr) => {
+            eprintln!(
+                "worker {}: listening on {addr}, serving {} × {} (seed {})",
+                std::process::id(),
+                shape.defense.name(),
+                shape.contract.name(),
+                cfg.seed
+            );
+            let idle_timeout = match idle_s {
+                None => None,
+                Some(s) if s.is_finite() && s > 0.0 => Some(std::time::Duration::from_secs_f64(s)),
+                Some(_) => {
+                    return Err("--idle-timeout-s: expected a positive number of seconds".into())
+                }
+            };
+            crate::net::serve_listener(
+                &cfg,
+                &crate::net::ListenConfig {
+                    addr,
+                    sessions,
+                    idle_timeout,
+                },
+            )
+        }
+        None => {
+            if sessions != 0 || idle_s.is_some() {
+                return Err("--sessions/--idle-timeout-s require --listen".into());
+            }
+            eprintln!(
+                "worker {}: serving {} × {} (seed {})",
+                std::process::id(),
+                shape.defense.name(),
+                shape.contract.name(),
+                cfg.seed
+            );
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_worker(&cfg, stdin.lock(), stdout.lock())
+        }
+    }
 }
 
 #[cfg(test)]
@@ -124,18 +255,24 @@ mod tests {
     use amulet_core::BatchSpec;
     use amulet_defenses::DefenseKind;
 
+    fn session_raw(cfg: &CampaignConfig, input: &str) -> (Vec<Msg>, SessionStats, String) {
+        let mut out = Vec::new();
+        let mut log = Vec::new();
+        let stats = serve_session(cfg, input.as_bytes(), &mut out, &mut log).unwrap();
+        let replies = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Msg::parse_line(l).unwrap())
+            .collect();
+        (replies, stats, String::from_utf8(log).unwrap())
+    }
+
     fn session(cfg: &CampaignConfig, script: &[Msg]) -> Vec<Msg> {
         let input: String = script
             .iter()
             .map(|m| format!("{}\n", m.to_line()))
             .collect();
-        let mut out = Vec::new();
-        serve_worker(cfg, input.as_bytes(), &mut out).unwrap();
-        String::from_utf8(out)
-            .unwrap()
-            .lines()
-            .map(|l| Msg::parse_line(l).unwrap())
-            .collect()
+        session_raw(cfg, &input).0
     }
 
     #[test]
@@ -166,6 +303,21 @@ mod tests {
             assert!(!f.skipped);
             assert!(f.stats.cases > 0);
         }
+    }
+
+    #[test]
+    fn pings_are_answered_with_matching_pongs() {
+        let cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+        let replies = session(
+            &cfg,
+            &[
+                Msg::Ping { token: 41 },
+                Msg::Ping { token: u64::MAX },
+                Msg::Shutdown,
+            ],
+        );
+        assert!(matches!(replies[1], Msg::Pong { token: 41 }));
+        assert!(matches!(replies[2], Msg::Pong { token: u64::MAX }));
     }
 
     #[test]
@@ -202,12 +354,55 @@ mod tests {
     #[test]
     fn eof_without_shutdown_is_a_clean_exit() {
         let cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
-        let mut out = Vec::new();
-        serve_worker(&cfg, &b""[..], &mut out).unwrap();
-        let text = String::from_utf8(out).unwrap();
-        assert!(matches!(
-            Msg::parse_line(text.lines().next().unwrap()).unwrap(),
-            Msg::Hello(_)
-        ));
+        let (replies, stats, _) = session_raw(&cfg, "");
+        assert!(matches!(replies[0], Msg::Hello(_)));
+        assert_eq!(stats, SessionStats::default());
+    }
+
+    /// The malformed-input satellite: garbage and wrong-direction lines
+    /// are logged as structured `worker_error` events and skipped, and a
+    /// trailing partial line at EOF ends the session cleanly — the worker
+    /// keeps serving through everything else.
+    #[test]
+    fn malformed_lines_are_logged_and_tolerated() {
+        let mut cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+        cfg.instances = 1;
+        cfg.programs_per_instance = 1;
+        let spec = BatchSpec {
+            index: 0,
+            instance: 0,
+            batch: 0,
+            programs: 1,
+        };
+        let input = format!(
+            "this is not json\n{}\n{}\n{}",
+            Msg::Pong { token: 9 }.to_line(), // wrong direction
+            Msg::Batch(spec).to_line(),
+            r#"{"type":"shutdo"# // truncated partial line, no newline
+        );
+        let (replies, stats, log) = session_raw(&cfg, &input);
+        assert!(matches!(replies[0], Msg::Hello(_)));
+        assert!(
+            matches!(&replies[1], Msg::Fragment(f) if f.index == 0 && !f.skipped),
+            "the batch after the garbage still executed"
+        );
+        assert_eq!(stats.batches, 1);
+        assert_eq!(
+            stats.malformed, 3,
+            "garbage + wrong direction + truncated tail"
+        );
+        assert_eq!(
+            log.matches("\"event\":\"worker_error\"").count(),
+            2,
+            "{log}"
+        );
+        assert_eq!(
+            log.matches("\"event\":\"worker_eof_truncated\"").count(),
+            1,
+            "{log}"
+        );
+        for line in log.lines() {
+            amulet_util::parse_json(line).expect("log lines are valid JSON");
+        }
     }
 }

@@ -68,7 +68,7 @@ pub use inputs::{boosted_inputs, boosted_inputs_into, InputGenConfig};
 pub use minimize::{minimize, Minimized};
 pub use proto::{FragmentReport, Hello, Msg, PROTO_VERSION};
 pub use shard::{
-    plan_batches, reduce_fragments, run_batch, BatchSink, BatchSource, BatchSpec, CollectSink,
-    CursorSource, Fragment, ShardConfig, ShardedCampaign,
+    plan_batches, reduce_fragments, run_batch, verify_fragment_coverage, BatchSink, BatchSource,
+    BatchSpec, CollectSink, CursorSource, Fragment, ShardConfig, ShardedCampaign,
 };
 pub use trace::{TraceFormat, UTrace};

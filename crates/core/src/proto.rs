@@ -12,6 +12,8 @@
 //!
 //! ```text
 //! worker → driver   {"type":"hello", ...}        once, on startup (version + config echo)
+//! driver → worker   {"type":"ping", ...}         liveness probe (heartbeat)
+//! worker → driver   {"type":"pong", ...}         probe echo (same token)
 //! driver → worker   {"type":"cancel", ...}       find-first broadcast (optional)
 //! driver → worker   {"type":"batch", ...}        one assignment
 //! worker → driver   {"type":"fragment", ...}     the assignment's result
@@ -53,7 +55,11 @@ use std::time::Duration;
 
 /// Wire protocol version. The worker's [`Msg::Hello`] carries it; the
 /// driver refuses to drive a worker speaking any other version.
-pub const PROTO_VERSION: u64 = 1;
+///
+/// Version 2 added the `ping`/`pong` heartbeat pair — the liveness layer a
+/// cross-host transport needs (a pipe to a child process fails fast on
+/// crash; a TCP peer can wedge silently).
+pub const PROTO_VERSION: u64 = 2;
 
 /// The worker's startup announcement: protocol version plus an echo of the
 /// campaign identity it resolved from its command line, so a driver/worker
@@ -192,6 +198,19 @@ impl FragmentReport {
 pub enum Msg {
     /// Worker → driver, once on startup: version handshake + config echo.
     Hello(Hello),
+    /// Driver → worker: liveness probe. A live worker answers immediately
+    /// with a [`Msg::Pong`] echoing the token; a driver that hears nothing
+    /// within its liveness deadline declares the link dead. Carries no
+    /// campaign state, so probes can never perturb results.
+    Ping {
+        /// Opaque echo token matching a probe to its reply.
+        token: u64,
+    },
+    /// Worker → driver: probe echo (same token).
+    Pong {
+        /// The token of the [`Msg::Ping`] this answers.
+        token: u64,
+    },
     /// Driver → worker: execute this batch and answer with a fragment.
     Batch(BatchSpec),
     /// Driver → worker: a violation was confirmed in batch `earliest`;
@@ -211,12 +230,16 @@ impl Msg {
     /// Every `"type"` tag the protocol emits, in flow order. The operator's
     /// handbook (`docs/DISTRIBUTED.md`) documents exactly this set — a test
     /// asserts the two never drift apart.
-    pub const TAGS: [&'static str; 5] = ["hello", "batch", "cancel", "shutdown", "fragment"];
+    pub const TAGS: [&'static str; 7] = [
+        "hello", "ping", "pong", "batch", "cancel", "shutdown", "fragment",
+    ];
 
     /// This message's `"type"` tag.
     pub fn tag(&self) -> &'static str {
         match self {
             Msg::Hello(_) => "hello",
+            Msg::Ping { .. } => "ping",
+            Msg::Pong { .. } => "pong",
             Msg::Batch(_) => "batch",
             Msg::Cancel { .. } => "cancel",
             Msg::Shutdown => "shutdown",
@@ -239,6 +262,7 @@ impl Msg {
                 .int("programs", h.programs)
                 .int("inputs", h.inputs)
                 .finish(),
+            Msg::Ping { token } | Msg::Pong { token } => obj.int("token", *token).finish(),
             Msg::Batch(b) => obj
                 .int("index", b.index as u64)
                 .int("instance", b.instance as u64)
@@ -293,6 +317,12 @@ impl Msg {
                 programs: u64_field(&v, "programs")?,
                 inputs: u64_field(&v, "inputs")?,
             })),
+            "ping" => Ok(Msg::Ping {
+                token: u64_field(&v, "token")?,
+            }),
+            "pong" => Ok(Msg::Pong {
+                token: u64_field(&v, "token")?,
+            }),
             "batch" => Ok(Msg::Batch(BatchSpec {
                 index: usize_field(&v, "index")?,
                 instance: usize_field(&v, "instance")?,
@@ -439,6 +469,8 @@ mod tests {
                 programs: 12,
                 inputs: 28,
             }),
+            Msg::Ping { token: u64::MAX },
+            Msg::Pong { token: 0 },
             Msg::Batch(BatchSpec {
                 index: 11,
                 instance: 1,
@@ -478,6 +510,8 @@ mod tests {
                 amulet_defenses::DefenseKind::Baseline,
                 amulet_contracts::ContractKind::CtSeq,
             ))),
+            Msg::Ping { token: 1 },
+            Msg::Pong { token: 1 },
             Msg::Batch(BatchSpec {
                 index: 0,
                 instance: 0,
@@ -540,6 +574,8 @@ mod tests {
             "{}",
             r#"{"type":"batch","index":0}"#,
             r#"{"type":"fragment","index":0}"#,
+            r#"{"type":"ping"}"#,
+            r#"{"type":"pong","token":"seven"}"#,
             r#"{"type":"nope"}"#,
             "not json",
             // A negative, non-finite or Duration-overflowing detection

@@ -320,6 +320,53 @@ pub fn run_batch(
     }
 }
 
+/// Verifies that a set of fragments covers the reduced plan exactly: every
+/// batch index the reducer will keep (`0..total_batches`, or `0..=hit` in
+/// find-first mode) is present exactly once, and no index appears twice.
+///
+/// The in-process pool satisfies this by construction; a fault-tolerant
+/// driver — where batches are re-run after crashes, re-assigned after
+/// quarantines, and adopted by surviving workers — calls this before
+/// reducing, so a scheduling bug under churn becomes a loud campaign error
+/// instead of a silently wrong (but plausible-looking) fingerprint.
+pub fn verify_fragment_coverage(
+    cfg: &CampaignConfig,
+    fragments: &[Fragment],
+    earliest_hit: Option<usize>,
+    total_batches: usize,
+) -> Result<(), String> {
+    let kept_end = match (cfg.stop_on_first, earliest_hit) {
+        (true, Some(hit)) => total_batches.min(hit + 1),
+        _ => total_batches,
+    };
+    let mut seen = vec![false; total_batches];
+    for frag in fragments {
+        if frag.index >= total_batches {
+            return Err(format!(
+                "fragment for batch {} outside the {}-batch plan",
+                frag.index, total_batches
+            ));
+        }
+        if seen[frag.index] {
+            return Err(format!("duplicate fragment for batch {}", frag.index));
+        }
+        seen[frag.index] = true;
+    }
+    let missing: Vec<String> = (0..kept_end)
+        .filter(|&i| !seen[i])
+        .map(|i| i.to_string())
+        .collect();
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} of {kept_end} reduced batches missing (indices {})",
+            missing.len(),
+            missing.join(", ")
+        ))
+    }
+}
+
 /// The deterministic reducer both the in-process pool and the
 /// multi-process driver share: sorts fragments by batch index, keeps the
 /// `index <= earliest_hit` prefix when find-first trimmed the plan, and
@@ -531,6 +578,37 @@ mod tests {
             Duration::ZERO,
         );
         assert_eq!(report.stats.cases, 13, "fragment 4 was discarded");
+    }
+
+    #[test]
+    fn coverage_verifier_flags_missing_duplicate_and_stray_fragments() {
+        let mut cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+        let frag = |index: usize| Fragment {
+            index,
+            ..Fragment::default()
+        };
+        // Complete plan: fine in any arrival order.
+        let full = vec![frag(2), frag(0), frag(1)];
+        assert!(verify_fragment_coverage(&cfg, &full, None, 3).is_ok());
+        // A hole is an error, and the message names the index.
+        let holed = vec![frag(0), frag(2)];
+        let err = verify_fragment_coverage(&cfg, &holed, None, 3).unwrap_err();
+        assert!(err.contains("indices 1"), "{err}");
+        // Duplicates are an error even when every index is covered.
+        let duped = vec![frag(0), frag(1), frag(1), frag(2)];
+        assert!(verify_fragment_coverage(&cfg, &duped, None, 3)
+            .unwrap_err()
+            .contains("duplicate"));
+        // An index outside the plan is an error.
+        let stray = vec![frag(0), frag(5)];
+        assert!(verify_fragment_coverage(&cfg, &stray, None, 3)
+            .unwrap_err()
+            .contains("outside"));
+        // Find-first: only the prefix up to the hit must be covered.
+        cfg.stop_on_first = true;
+        let prefix = vec![frag(0), frag(1)];
+        assert!(verify_fragment_coverage(&cfg, &prefix, Some(1), 5).is_ok());
+        assert!(verify_fragment_coverage(&cfg, &prefix, Some(2), 5).is_err());
     }
 
     #[test]

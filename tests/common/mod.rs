@@ -1,0 +1,181 @@
+//! Shared in-memory transport for the fabric tests: the real
+//! `amulet worker` serve loop and the real `amulet drive` driver loop run
+//! against each other over channel-backed links (the process transport
+//! swapped out, every other line of the fabric identical).
+//!
+//! Used by `multiproc_determinism.rs` (clean runs) and `fleet_faults.rs`
+//! (the same links wrapped in seeded fault injection).
+
+#![allow(dead_code)] // each test binary uses a subset
+
+use amulet::contracts::ContractKind;
+use amulet::defenses::DefenseKind;
+use amulet::fuzz::proto::Msg;
+use amulet::fuzz::{CampaignConfig, CampaignReport, ShardConfig, ShardedCampaign};
+use amulet_cli::{DriveConfig, WorkerLink};
+use std::io::{BufReader, Read, Write};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+pub const BATCH_PROGRAMS: usize = 3;
+
+pub fn quick_cfg(stop_on_first: bool) -> CampaignConfig {
+    let mut cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+    cfg.programs_per_instance = 15;
+    cfg.stop_on_first = stop_on_first;
+    cfg
+}
+
+pub fn in_process(cfg: &CampaignConfig) -> CampaignReport {
+    ShardedCampaign::new(
+        cfg.clone(),
+        ShardConfig {
+            workers: 2,
+            batch_programs: BATCH_PROGRAMS,
+        },
+    )
+    .run()
+}
+
+/// A [`DriveConfig`] with millisecond-scale backoff and tight-but-safe
+/// deadlines, so failure paths resolve quickly under test.
+pub fn quick_drive(procs: usize) -> DriveConfig {
+    DriveConfig {
+        procs,
+        batch_programs: BATCH_PROGRAMS,
+        retries: 2,
+        liveness: Duration::from_secs(5),
+        batch_timeout: Duration::from_secs(60),
+        backoff_base: Duration::from_millis(1),
+        backoff_max: Duration::from_millis(8),
+        quarantine_after: 3,
+        seed: 2025,
+    }
+}
+
+// ---- channel-backed transport -------------------------------------------
+
+/// Driver side of an in-memory link: lines out, lines in.
+pub struct MemLink {
+    pub tx: Sender<String>,
+    pub rx: Receiver<String>,
+}
+
+impl WorkerLink for MemLink {
+    fn send(&mut self, msg: &Msg) -> Result<(), String> {
+        self.tx
+            .send(msg.to_line())
+            .map_err(|_| "worker hung up".to_string())
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Msg>, String> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(line) => Msg::parse_line(&line).map(Some),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err("worker hung up".to_string()),
+        }
+    }
+}
+
+/// Worker-side `Read` over a line channel (each received line is one
+/// newline-terminated chunk, so `BufRead` behaves exactly as it does over
+/// a pipe).
+pub struct ChanReader {
+    rx: Receiver<String>,
+    pending: Vec<u8>,
+    pos: usize,
+}
+
+impl Read for ChanReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.pending.len() {
+            match self.rx.recv() {
+                Ok(line) => {
+                    self.pending = line.into_bytes();
+                    self.pending.push(b'\n');
+                    self.pos = 0;
+                }
+                Err(_) => return Ok(0), // driver hung up = EOF
+            }
+        }
+        let n = buf.len().min(self.pending.len() - self.pos);
+        buf[..n].copy_from_slice(&self.pending[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Worker-side `Write` over a line channel: buffers until newline, sends
+/// complete lines.
+pub struct ChanWriter {
+    tx: Sender<String>,
+    buf: Vec<u8>,
+}
+
+impl Write for ChanWriter {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        while let Some(nl) = self.buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.buf.drain(..=nl).collect();
+            let line = String::from_utf8_lossy(&line[..nl]).into_owned();
+            if self.tx.send(line).is_err() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "driver hung up",
+                ));
+            }
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Boots a real worker serve loop on its own thread and hands back the
+/// driver's end of the link.
+pub fn spawn_mem_worker(cfg: &CampaignConfig) -> MemLink {
+    let (to_worker, worker_rx) = channel::<String>();
+    let (worker_tx, from_worker) = channel::<String>();
+    let cfg = cfg.clone();
+    std::thread::spawn(move || {
+        let reader = BufReader::new(ChanReader {
+            rx: worker_rx,
+            pending: Vec::new(),
+            pos: 0,
+        });
+        let writer = ChanWriter {
+            tx: worker_tx,
+            buf: Vec::new(),
+        };
+        // Errors are expected when a test tears a link down mid-batch;
+        // logs go nowhere (the tests assert on driver-side events).
+        let _ = amulet_cli::serve_session(&cfg, reader, writer, &mut std::io::sink());
+    });
+    MemLink {
+        tx: to_worker,
+        rx: from_worker,
+    }
+}
+
+/// A `Write` that appends into a shared buffer — the capture sink for
+/// fragment tees and fleet event logs.
+pub struct SharedBuf(pub std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    pub fn pair() -> (Self, std::sync::Arc<std::sync::Mutex<Vec<u8>>>) {
+        let buf = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        (SharedBuf(buf.clone()), buf)
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(data);
+        Ok(data.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}

@@ -5,148 +5,31 @@
 //! fingerprint must equal the in-process sharded run at any process count —
 //! with find-first cancellation and worker crash/restart included.
 //!
-//! The subprocess version of the same assertion (spawned binaries, real
-//! pipes) lives in `crates/cli/tests/drive_determinism.rs`; CI additionally
-//! diffs `amulet drive --procs 2` against the in-process CLI run.
+//! The hostile-network generalization (drops, truncations, severed links,
+//! churn) lives in `tests/fleet_faults.rs`; the subprocess version of the
+//! same assertion (spawned binaries, real pipes) in
+//! `crates/cli/tests/drive_determinism.rs`; CI additionally diffs
+//! `amulet drive --procs 2` and a loopback-TCP fleet against the
+//! in-process CLI run.
 
-use amulet::contracts::ContractKind;
-use amulet::defenses::DefenseKind;
+mod common;
+
 use amulet::fuzz::proto::Msg;
-use amulet::fuzz::{CampaignConfig, CampaignReport, ShardConfig, ShardedCampaign};
-use amulet_cli::{run_driver, serve_worker, DriveConfig, WorkerLink};
-use std::io::{BufReader, Read, Write};
+use amulet::fuzz::{CampaignConfig, CampaignReport};
+use amulet_cli::{run_driver, WorkerLink};
+use common::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-
-const BATCH_PROGRAMS: usize = 3;
-
-fn quick_cfg(stop_on_first: bool) -> CampaignConfig {
-    let mut cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
-    cfg.programs_per_instance = 15;
-    cfg.stop_on_first = stop_on_first;
-    cfg
-}
-
-fn in_process(cfg: &CampaignConfig) -> CampaignReport {
-    ShardedCampaign::new(
-        cfg.clone(),
-        ShardConfig {
-            workers: 2,
-            batch_programs: BATCH_PROGRAMS,
-        },
-    )
-    .run()
-}
-
-// ---- channel-backed transport -------------------------------------------
-
-/// Driver side of an in-memory link: lines out, lines in.
-struct MemLink {
-    tx: Sender<String>,
-    rx: Receiver<String>,
-}
-
-impl WorkerLink for MemLink {
-    fn send(&mut self, msg: &Msg) -> Result<(), String> {
-        self.tx
-            .send(msg.to_line())
-            .map_err(|_| "worker hung up".to_string())
-    }
-
-    fn recv(&mut self) -> Result<Msg, String> {
-        let line = self.rx.recv().map_err(|_| "worker hung up".to_string())?;
-        Msg::parse_line(&line)
-    }
-}
-
-/// Worker-side `Read` over a line channel (each received line is one
-/// newline-terminated chunk, so `BufRead::lines` behaves exactly as it
-/// does over a pipe).
-struct ChanReader {
-    rx: Receiver<String>,
-    pending: Vec<u8>,
-    pos: usize,
-}
-
-impl Read for ChanReader {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        if self.pos >= self.pending.len() {
-            match self.rx.recv() {
-                Ok(line) => {
-                    self.pending = line.into_bytes();
-                    self.pending.push(b'\n');
-                    self.pos = 0;
-                }
-                Err(_) => return Ok(0), // driver hung up = EOF
-            }
-        }
-        let n = buf.len().min(self.pending.len() - self.pos);
-        buf[..n].copy_from_slice(&self.pending[self.pos..self.pos + n]);
-        self.pos += n;
-        Ok(n)
-    }
-}
-
-/// Worker-side `Write` over a line channel: buffers until newline, sends
-/// complete lines.
-struct ChanWriter {
-    tx: Sender<String>,
-    buf: Vec<u8>,
-}
-
-impl Write for ChanWriter {
-    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
-        self.buf.extend_from_slice(data);
-        while let Some(nl) = self.buf.iter().position(|&b| b == b'\n') {
-            let line: Vec<u8> = self.buf.drain(..=nl).collect();
-            let line = String::from_utf8_lossy(&line[..nl]).into_owned();
-            if self.tx.send(line).is_err() {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::BrokenPipe,
-                    "driver hung up",
-                ));
-            }
-        }
-        Ok(data.len())
-    }
-
-    fn flush(&mut self) -> std::io::Result<()> {
-        Ok(())
-    }
-}
-
-/// Boots a real worker serve loop on its own thread and hands back the
-/// driver's end of the link.
-fn spawn_mem_worker(cfg: &CampaignConfig) -> MemLink {
-    let (to_worker, worker_rx) = channel::<String>();
-    let (worker_tx, from_worker) = channel::<String>();
-    let cfg = cfg.clone();
-    std::thread::spawn(move || {
-        let reader = BufReader::new(ChanReader {
-            rx: worker_rx,
-            pending: Vec::new(),
-            pos: 0,
-        });
-        let writer = ChanWriter {
-            tx: worker_tx,
-            buf: Vec::new(),
-        };
-        // Errors are expected when the test tears a link down mid-batch.
-        let _ = serve_worker(&cfg, reader, writer);
-    });
-    MemLink {
-        tx: to_worker,
-        rx: from_worker,
-    }
-}
+use std::time::Duration;
 
 fn drive_in_memory(cfg: &CampaignConfig, procs: usize) -> CampaignReport {
-    let drive = DriveConfig {
-        procs,
-        batch_programs: BATCH_PROGRAMS,
-        retries: 2,
-    };
-    run_driver(cfg, &drive, || Ok(spawn_mem_worker(cfg)), None).expect("in-memory drive")
+    run_driver(
+        cfg,
+        &quick_drive(procs),
+        |_slot| Ok(spawn_mem_worker(cfg)),
+        None,
+        None,
+    )
+    .expect("in-memory drive")
 }
 
 // ---- the determinism assertions -----------------------------------------
@@ -222,32 +105,30 @@ fn worker_crashes_and_restarts_do_not_perturb_the_fingerprint() {
             self.inner.send(msg)
         }
 
-        fn recv(&mut self) -> Result<Msg, String> {
-            self.inner.recv()
+        fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Msg>, String> {
+            self.inner.recv_timeout(timeout)
         }
     }
 
     let cfg = quick_cfg(false);
     let reference = in_process(&cfg);
 
-    // The first two connections crash after two sends each; replacements
-    // are reliable. With `retries: 2` per batch, the campaign must finish.
+    // The first two connections crash after four sends each (enough to
+    // get through the heartbeat and die around the batch assignment);
+    // replacements are reliable. With `retries: 2` per batch, the
+    // campaign must finish.
     let connections = AtomicUsize::new(0);
-    let drive = DriveConfig {
-        procs: 3,
-        batch_programs: BATCH_PROGRAMS,
-        retries: 2,
-    };
     let driven = run_driver(
         &cfg,
-        &drive,
-        || {
+        &quick_drive(3),
+        |_slot| {
             let n = connections.fetch_add(1, Ordering::SeqCst);
             Ok(FlakyLink {
                 inner: spawn_mem_worker(&cfg),
-                sends_left: if n < 2 { 2 } else { usize::MAX },
+                sends_left: if n < 2 { 4 } else { usize::MAX },
             })
         },
+        None,
         None,
     )
     .expect("campaign survives worker crashes");
@@ -263,32 +144,14 @@ fn worker_crashes_and_restarts_do_not_perturb_the_fingerprint() {
 /// one line per executed batch (the artifact CI uploads).
 #[test]
 fn fragment_tee_is_valid_jsonl_covering_every_batch() {
-    use std::sync::{Arc, Mutex};
-
-    /// A `Write` that appends into a shared buffer.
-    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
-    impl Write for SharedBuf {
-        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
-            self.0.lock().unwrap().extend_from_slice(data);
-            Ok(data.len())
-        }
-        fn flush(&mut self) -> std::io::Result<()> {
-            Ok(())
-        }
-    }
-
     let cfg = quick_cfg(false);
-    let buf = Arc::new(Mutex::new(Vec::new()));
-    let drive = DriveConfig {
-        procs: 2,
-        batch_programs: BATCH_PROGRAMS,
-        retries: 2,
-    };
+    let (sink, buf) = SharedBuf::pair();
     let report = run_driver(
         &cfg,
-        &drive,
-        || Ok(spawn_mem_worker(&cfg)),
-        Some(Box::new(SharedBuf(buf.clone()))),
+        &quick_drive(2),
+        |_slot| Ok(spawn_mem_worker(&cfg)),
+        Some(Box::new(sink)),
+        None,
     )
     .unwrap();
 
@@ -307,4 +170,34 @@ fn fragment_tee_is_valid_jsonl_covering_every_batch() {
     let batches = cfg.programs_per_instance.div_ceil(BATCH_PROGRAMS) * cfg.instances;
     assert_eq!(lines, batches);
     assert_eq!(teed_cases, report.stats.cases);
+}
+
+/// A clean run's event log: every slot connects and drains, nothing is
+/// orphaned or quarantined, and each line is valid JSON.
+#[test]
+fn a_clean_run_logs_only_connects_and_drains() {
+    let cfg = quick_cfg(false);
+    let (sink, buf) = SharedBuf::pair();
+    run_driver(
+        &cfg,
+        &quick_drive(2),
+        |_slot| Ok(spawn_mem_worker(&cfg)),
+        None,
+        Some(Box::new(sink)),
+    )
+    .unwrap();
+    let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+    let mut connects = 0;
+    let mut drains = 0;
+    for line in text.lines() {
+        amulet::util::parse_json(line).expect("event lines are valid JSON");
+        assert!(
+            !line.contains("\"event\":\"orphan\"") && !line.contains("\"event\":\"quarantine\""),
+            "clean run must not degrade: {line}"
+        );
+        connects += line.contains("\"event\":\"connect\"") as usize;
+        drains += line.contains("\"event\":\"drained\"") as usize;
+    }
+    assert_eq!(connects, 2);
+    assert_eq!(drains, 2);
 }

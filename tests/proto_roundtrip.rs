@@ -75,6 +75,9 @@ fn all_message_shapes() -> Vec<Msg> {
             batch: 1_000_000,
             programs: 4,
         }),
+        Msg::Ping { token: 0 },
+        Msg::Ping { token: u64::MAX },
+        Msg::Pong { token: 0xdead_beef },
         Msg::Cancel { earliest: 0 },
         Msg::Cancel {
             earliest: usize::MAX >> 1,
