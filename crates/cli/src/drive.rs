@@ -153,30 +153,37 @@ struct Fleet {
 
 /// The driver's structured JSONL event log (connects, link failures,
 /// backoff, orphaned batches, quarantines) — the flight recorder CI
-/// uploads as an artifact. Timestamps are seconds since driver start.
+/// uploads as an artifact. Timestamps are seconds since driver start;
+/// every row carries a dense monotonic `seq` so consumers can detect
+/// truncation and order rows even when `t_s` values collide.
 struct FleetEvents {
-    out: Option<Mutex<Box<dyn Write + Send>>>,
+    // The counter lives under the same lock as the writer so seq order
+    // and file order can never disagree across racing slot threads.
+    out: Option<Mutex<(u64, Box<dyn Write + Send>)>>,
     start: Instant,
 }
 
 impl FleetEvents {
     fn new(out: Option<Box<dyn Write + Send>>) -> Self {
         FleetEvents {
-            out: out.map(Mutex::new),
+            out: out.map(|w| Mutex::new((0, w))),
             start: Instant::now(),
         }
     }
 
     fn emit(&self, slot: usize, event: &str, detail: impl FnOnce(JsonObj) -> JsonObj) {
         let Some(out) = &self.out else { return };
+        let mut guard = out.lock().unwrap();
+        let (seq, w) = &mut *guard;
         let line = detail(
             JsonObj::new()
                 .str("event", event)
+                .int("seq", *seq)
                 .int("slot", slot as u64)
                 .num("t_s", self.start.elapsed().as_secs_f64()),
         )
         .finish();
-        let mut w = out.lock().unwrap();
+        *seq += 1;
         let _ = writeln!(w, "{line}");
         let _ = w.flush();
     }

@@ -22,6 +22,12 @@
 //! - `amulet worker` — the serving end of `drive`: stdin/stdout when
 //!   spawned, `--listen ADDR` for TCP (also usable by external drivers
 //!   speaking the protocol); see [`worker`].
+//! - `amulet serve` — the long-lived campaign service: accepts `submit`
+//!   requests over TCP, fair-shares one worker fleet (in-process threads
+//!   plus `--connect` TCP workers) across concurrent campaigns, answers
+//!   repeated submits from a fingerprint-keyed result cache, and persists
+//!   validated violations to a corpus; with the `amulet submit` client and
+//!   the `amulet corpus` query tool. See [`serve`].
 //!
 //! The library half exists so the parsing, report formatting and the
 //! fabric's driver/worker loops are unit testable; `src/main.rs` only
@@ -41,6 +47,7 @@
 pub mod drive;
 pub mod fault;
 pub mod net;
+pub mod serve;
 pub mod worker;
 
 use amulet_contracts::ContractKind;
@@ -52,6 +59,7 @@ pub use amulet_util::{json_string, JsonObj};
 pub use drive::{run_driver, DriveConfig, ProcLink, WorkerLink};
 pub use fault::{FaultCounters, FaultPlan, FaultyLink};
 pub use net::{parse_connect_list, serve_listener, ListenConfig, TcpLink};
+pub use serve::{serve_client, ClientStats, ServiceHost};
 pub use worker::{serve_session, serve_worker, SessionStats};
 
 /// Usage text printed by `amulet help` (and on usage errors).
@@ -67,6 +75,9 @@ SUBCOMMANDS:
     bench       Compare instance-parallel vs sharded quick-campaign throughput
     drive       Run one campaign across worker *processes* (multi-process fabric)
     worker      Serve batches over stdin/stdout (spawned by `drive`)
+    serve       Long-lived campaign service (submit/cache/corpus over TCP)
+    submit      Submit one campaign to a running `amulet serve` daemon
+    corpus      Query a persisted violation corpus file
     list        List available defenses and contracts
     help        Show this message
 
@@ -116,6 +127,26 @@ WORKER OPTIONS (shape options as for campaign):
     --idle-timeout-s S    With --listen: end a session after S idle seconds
     without --listen: speaks the wire protocol on stdin/stdout
     (see docs/DISTRIBUTED.md)
+
+SERVE OPTIONS:
+    --listen ADDR         Accept campaign clients on ADDR (required; :0 picks
+                          a port, announced on stderr)
+    --workers N           In-process worker threads (default: 1)
+    --connect A,B,...     Also lease batches to remote `amulet worker --listen`
+                          processes at these addresses
+    --corpus PATH         Append validated violations to this corpus JSONL file
+    --sessions N          Exit after N client sessions (0 = forever)
+
+SUBMIT OPTIONS (shape options as for campaign):
+    --connect ADDR        The serve daemon's address (required)
+    --batch N             Programs per batch (part of the campaign identity)
+    --timeout-s S         Give up after S seconds (default: 600)
+    --json PATH           Append the result line to PATH (`-` = stdout)
+
+CORPUS OPTIONS:
+    --file PATH           Corpus JSONL file to query (required)
+    --class ID            Only violations of this class (e.g. V1, UV2)
+    --defense NAME        Only violations found under this defense
 ";
 
 /// A hand-rolled argument scanner: flags and `--key value` / `--key=value`
@@ -600,6 +631,9 @@ pub fn run(argv: &[String]) -> i32 {
         "bench" => cmd_bench(args),
         "drive" => drive::cmd_drive(args),
         "worker" => worker::cmd_worker(args),
+        "serve" => serve::cmd_serve(args),
+        "submit" => serve::cmd_submit(args),
+        "corpus" => serve::cmd_corpus(args),
         "list" => cmd_list(args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

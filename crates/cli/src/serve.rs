@@ -1,0 +1,614 @@
+//! `amulet serve` — the long-lived campaign service, plus the `amulet
+//! submit` client and the `amulet corpus` query tool.
+//!
+//! The daemon glues three loops to one shared [`Service`]:
+//!
+//! - **client handlers** ([`serve_client`]): one per accepted connection,
+//!   speaking the protocol-v3 service messages (`submit`/`accepted`/
+//!   `progress`/`result`/`cancel_campaign`) as JSONL over the socket;
+//! - **local workers** ([`ServiceHost`]): in-process threads executing
+//!   leased batches with per-campaign persistent runtimes;
+//! - **TCP slots**: one thread per `--connect` address, forwarding leases
+//!   to remote `amulet worker --listen` processes over the PR 6 link
+//!   layer, with the same strike/backoff/quarantine ladder as `drive`.
+//!
+//! Scheduling fairness, the result cache and corpus persistence live in
+//! `amulet_core::service`; this module is transport and process glue —
+//! which is why the service determinism suite (`tests/serve_session.rs`)
+//! can drive [`serve_client`] over in-memory pipes and prove the same
+//! properties the real-socket tests prove end-to-end.
+
+use crate::net::{parse_connect_list, TcpLink};
+use crate::{Args, JsonSink, ShapeOptions, WorkerLink};
+use amulet_core::proto::{CampaignSpec, Msg, ResultMsg};
+use amulet_core::{
+    run_batch, BatchSpec, Corpus, Fragment, LeaseWait, Service, ServiceEvent, ShardConfig,
+    SubmitOutcome, UnitRuntime,
+};
+use amulet_util::JsonObj;
+use std::collections::{HashMap, HashSet};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a worker loop waits for a lease before housekeeping (runtime
+/// garbage collection, shutdown checks).
+const LEASE_POLL: Duration = Duration::from_millis(250);
+/// Handshake/heartbeat deadline for TCP slots (as `drive`'s default).
+const LIVENESS: Duration = Duration::from_secs(10);
+/// Per-batch fragment deadline for TCP slots (as `drive`'s default).
+const BATCH_TIMEOUT: Duration = Duration::from_secs(120);
+/// First reconnect delay for a failing TCP slot; doubles per strike.
+const BACKOFF_BASE: Duration = Duration::from_millis(50);
+/// Upper bound on the reconnect delay.
+const BACKOFF_MAX: Duration = Duration::from_secs(2);
+/// Consecutive failures before a TCP slot retires (quarantine).
+const QUARANTINE_AFTER: usize = 3;
+
+/// The service plus its worker threads. [`ServiceHost::shutdown`] drains
+/// and joins them; dropping without shutdown leaves daemon threads running
+/// (they exit at the next poll once the service is shut down elsewhere).
+pub struct ServiceHost {
+    service: Arc<Service>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServiceHost {
+    /// Starts `local_workers` in-process workers and one TCP slot per
+    /// `connect` address, all leasing from `service`.
+    pub fn start(service: Arc<Service>, local_workers: usize, connect: &[String]) -> Self {
+        let mut host = ServiceHost {
+            service,
+            threads: Vec::new(),
+        };
+        host.add_local_workers(local_workers);
+        for addr in connect {
+            let service = host.service.clone();
+            let addr = addr.clone();
+            host.threads
+                .push(std::thread::spawn(move || tcp_slot(&service, &addr)));
+        }
+        host
+    }
+
+    /// Adds more local workers to a running host (tests use this to pin
+    /// down scheduling orders: submit first, attach workers second).
+    pub fn add_local_workers(&mut self, n: usize) {
+        for _ in 0..n {
+            let service = self.service.clone();
+            self.threads
+                .push(std::thread::spawn(move || local_worker(&service)));
+        }
+    }
+
+    /// The shared service.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Shuts the service down and joins every worker thread.
+    pub fn shutdown(self) {
+        self.service.shutdown();
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// An in-process worker loop: lease, execute, complete. Runtimes are
+/// per-campaign (a [`UnitRuntime`] must never serve two configs) and are
+/// garbage-collected when their campaign leaves the active set.
+fn local_worker(service: &Service) {
+    let mut runtimes: HashMap<u64, UnitRuntime> = HashMap::new();
+    loop {
+        match service.wait_lease(LEASE_POLL) {
+            LeaseWait::Shutdown => return,
+            LeaseWait::Idle => runtimes.retain(|id, _| service.is_active(*id)),
+            LeaseWait::Lease(lease) => {
+                let rt = runtimes.entry(lease.campaign).or_default();
+                let fragment = run_batch(&lease.cfg, &lease.spec, lease.anchor, rt);
+                service.complete(*lease, fragment);
+            }
+        }
+    }
+}
+
+/// Why a TCP connection attempt could not serve a lease.
+enum SlotError {
+    /// The worker answered the handshake but for a different campaign
+    /// (config mismatch) — it will never serve this campaign.
+    Incompatible(String),
+    /// Transport trouble — retry with backoff, quarantine eventually.
+    Transient(String),
+}
+
+/// Connects to `addr` and completes the hello handshake against the
+/// leased campaign's config.
+fn connect_for(addr: &str, cfg: &amulet_core::CampaignConfig) -> Result<TcpLink, SlotError> {
+    let mut link = TcpLink::connect(addr, LIVENESS).map_err(SlotError::Transient)?;
+    match link.recv_timeout(LIVENESS) {
+        Ok(Some(Msg::Hello(hello))) => hello.check(cfg).map_err(SlotError::Incompatible)?,
+        Ok(Some(other)) => {
+            return Err(SlotError::Transient(format!(
+                "expected hello, got {:?}",
+                other.tag()
+            )))
+        }
+        Ok(None) => {
+            return Err(SlotError::Transient(format!(
+                "handshake timed out after {LIVENESS:?}"
+            )))
+        }
+        Err(e) => return Err(SlotError::Transient(e)),
+    }
+    Ok(link)
+}
+
+/// One batch over a live worker session: heartbeat, assign, await the
+/// fragment. A skipped fragment is an error — the service never sends
+/// cancel floors to TCP workers, so a skip means a confused peer.
+fn tcp_call(link: &mut TcpLink, spec: &BatchSpec, token: u64) -> Result<Fragment, String> {
+    link.send(&Msg::Ping { token })?;
+    match link.recv_timeout(LIVENESS)? {
+        Some(Msg::Pong { token: t }) if t == token => {}
+        Some(other) => return Err(format!("expected pong, got {:?}", other.tag())),
+        None => return Err(format!("heartbeat timed out after {LIVENESS:?}")),
+    }
+    link.send(&Msg::Batch(*spec))?;
+    match link.recv_timeout(BATCH_TIMEOUT)? {
+        Some(Msg::Fragment(reply)) if reply.index == spec.index && !reply.skipped => {
+            Ok(reply.into_fragment())
+        }
+        Some(Msg::Fragment(reply)) => Err(format!(
+            "unusable fragment for batch {} (index {}, skipped {})",
+            spec.index, reply.index, reply.skipped
+        )),
+        Some(other) => Err(format!("expected fragment, got {:?}", other.tag())),
+        None => Err(format!(
+            "batch {} timed out after {BATCH_TIMEOUT:?}",
+            spec.index
+        )),
+    }
+}
+
+/// A TCP worker slot: forwards leases to one remote `amulet worker
+/// --listen` process. Sessions are per-campaign (a remote worker's
+/// persistent runtime must not mix campaigns); campaigns whose config the
+/// worker rejects are remembered and skipped; transport failures release
+/// the lease for other workers and climb a strike ladder to quarantine.
+fn tcp_slot(service: &Service, addr: &str) {
+    let mut incompatible: HashSet<u64> = HashSet::new();
+    let mut session: Option<(u64, TcpLink)> = None;
+    let mut strikes = 0usize;
+    let mut token = 0u64;
+    let teardown = |session: &mut Option<(u64, TcpLink)>| {
+        if let Some((_, mut link)) = session.take() {
+            let _ = link.send(&Msg::Shutdown);
+        }
+    };
+    loop {
+        let lease = match service.wait_lease_where(LEASE_POLL, |id| !incompatible.contains(&id)) {
+            LeaseWait::Shutdown => {
+                teardown(&mut session);
+                return;
+            }
+            LeaseWait::Idle => {
+                incompatible.retain(|id| service.is_active(*id));
+                if session
+                    .as_ref()
+                    .is_some_and(|(id, _)| !service.is_active(*id))
+                {
+                    teardown(&mut session);
+                }
+                continue;
+            }
+            LeaseWait::Lease(lease) => lease,
+        };
+        if session
+            .as_ref()
+            .is_some_and(|(id, _)| *id != lease.campaign)
+        {
+            teardown(&mut session);
+        }
+        if session.is_none() {
+            match connect_for(addr, &lease.cfg) {
+                Ok(link) => session = Some((lease.campaign, link)),
+                Err(SlotError::Incompatible(e)) => {
+                    eprintln!(
+                        "tcp worker {addr}: campaign {} incompatible: {e}",
+                        lease.campaign
+                    );
+                    incompatible.insert(lease.campaign);
+                    service.release(*lease);
+                    continue;
+                }
+                Err(SlotError::Transient(e)) => {
+                    service.release(*lease);
+                    strikes += 1;
+                    if strikes >= QUARANTINE_AFTER {
+                        eprintln!("tcp worker {addr}: quarantined after {strikes} failures ({e})");
+                        return;
+                    }
+                    std::thread::sleep(backoff(strikes));
+                    continue;
+                }
+            }
+        }
+        let (_, link) = session.as_mut().expect("session established above");
+        token = token.wrapping_add(1);
+        match tcp_call(link, &lease.spec, token) {
+            Ok(fragment) => {
+                strikes = 0;
+                service.complete(*lease, fragment);
+            }
+            Err(e) => {
+                // The batch was not completed — tear the session down (it
+                // may hold a half-finished exchange) and give the batch
+                // back for any worker to adopt.
+                session = None;
+                service.release(*lease);
+                strikes += 1;
+                if strikes >= QUARANTINE_AFTER {
+                    eprintln!("tcp worker {addr}: quarantined after {strikes} failures ({e})");
+                    return;
+                }
+                std::thread::sleep(backoff(strikes));
+            }
+        }
+    }
+}
+
+fn backoff(strikes: usize) -> Duration {
+    BACKOFF_BASE
+        .saturating_mul(1u32 << (strikes.min(16) as u32).saturating_sub(1))
+        .min(BACKOFF_MAX)
+}
+
+/// Counters from one client conversation.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ClientStats {
+    /// `submit` messages accepted (cache hits included).
+    pub submitted: usize,
+    /// Submits answered straight from the result cache.
+    pub cache_hits: usize,
+    /// Terminal `result` messages delivered.
+    pub results: usize,
+    /// `cancel_campaign` messages processed.
+    pub cancelled: usize,
+    /// Lines that were not valid protocol messages.
+    pub malformed: usize,
+}
+
+/// Serves one client conversation: reads protocol-v3 JSONL from `input`,
+/// writes `accepted`/`progress`/`result` lines to `out`, and returns when
+/// the client disconnects and every campaign it owned has resolved.
+///
+/// Campaigns still active when the client goes away are cancelled — a
+/// result nobody will read is not worth worker time. Submit errors are
+/// answered with an error `result` under campaign id `u64::MAX` (no id
+/// was ever assigned).
+pub fn serve_client<R, W>(
+    service: &Arc<Service>,
+    input: R,
+    mut out: W,
+) -> Result<ClientStats, String>
+where
+    R: BufRead + Send + 'static,
+    W: Write,
+{
+    // Subscribe before the first submit can possibly resolve, so no event
+    // for an owned campaign is ever missed.
+    let events = service.subscribe();
+    let (tx, lines) = channel();
+    std::thread::spawn(move || {
+        for line in input.lines() {
+            if tx.send(line).is_err() {
+                return;
+            }
+        }
+    });
+
+    let mut stats = ClientStats::default();
+    let mut owned: HashSet<u64> = HashSet::new();
+    let mut open = true;
+    let result = (|| -> Result<(), String> {
+        let send = |out: &mut W, msg: &Msg| -> Result<(), String> {
+            writeln!(out, "{}", msg.to_line())
+                .and_then(|()| out.flush())
+                .map_err(|e| format!("client write failed: {e}"))
+        };
+        while open || !owned.is_empty() {
+            match lines.recv_timeout(Duration::from_millis(20)) {
+                Ok(Ok(line)) if line.trim().is_empty() => {}
+                Ok(Ok(line)) => match Msg::parse_line(&line) {
+                    Ok(Msg::Submit(spec)) => match service.submit(&spec) {
+                        Ok(SubmitOutcome::Accepted { campaign, .. }) => {
+                            stats.submitted += 1;
+                            owned.insert(campaign);
+                            send(
+                                &mut out,
+                                &Msg::Accepted {
+                                    campaign,
+                                    cached: false,
+                                },
+                            )?;
+                        }
+                        Ok(SubmitOutcome::Cached { campaign, result }) => {
+                            stats.submitted += 1;
+                            stats.cache_hits += 1;
+                            stats.results += 1;
+                            send(
+                                &mut out,
+                                &Msg::Accepted {
+                                    campaign,
+                                    cached: true,
+                                },
+                            )?;
+                            send(&mut out, &Msg::CampaignResult(*result))?;
+                        }
+                        Err(e) => {
+                            send(
+                                &mut out,
+                                &Msg::CampaignResult(ResultMsg {
+                                    campaign: u64::MAX,
+                                    cached: false,
+                                    cancelled: false,
+                                    executed_batches: 0,
+                                    report: None,
+                                    error: Some(e),
+                                }),
+                            )?;
+                        }
+                    },
+                    Ok(Msg::CancelCampaign { campaign }) => {
+                        stats.cancelled += 1;
+                        service.cancel(campaign);
+                    }
+                    Ok(other) => {
+                        stats.malformed += 1;
+                        eprintln!("client sent unexpected {:?}", other.tag());
+                    }
+                    Err(e) => {
+                        stats.malformed += 1;
+                        eprintln!("client sent malformed line: {e}");
+                    }
+                },
+                Ok(Err(e)) => {
+                    return Err(format!("client read failed: {e}"));
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => open = false,
+            }
+            loop {
+                match events.try_recv() {
+                    Ok(ServiceEvent::Progress {
+                        campaign,
+                        done,
+                        total,
+                        cases,
+                    }) if owned.contains(&campaign) => send(
+                        &mut out,
+                        &Msg::Progress {
+                            campaign,
+                            done,
+                            total,
+                            cases,
+                        },
+                    )?,
+                    Ok(ServiceEvent::Finished { campaign }) if owned.contains(&campaign) => {
+                        if let Some(result) = service.take_result(campaign) {
+                            stats.results += 1;
+                            owned.remove(&campaign);
+                            send(&mut out, &Msg::CampaignResult(result))?;
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(_) => break,
+                }
+            }
+        }
+        Ok(())
+    })();
+    // Whatever ended the conversation, never leave orphaned campaigns
+    // burning worker time for a client that will not read the result.
+    for id in owned.drain() {
+        service.cancel(id);
+        let _ = service.take_result(id);
+    }
+    result.map(|()| stats)
+}
+
+/// `amulet serve`.
+pub(crate) fn cmd_serve(mut args: Args) -> Result<(), String> {
+    let listen_addr = args
+        .value("--listen")?
+        .ok_or("serve: --listen ADDR is required")?;
+    let workers = args.parsed::<usize>("--workers")?.unwrap_or(1);
+    let connect = match args.value("--connect")? {
+        Some(list) => parse_connect_list(&list)?,
+        None => Vec::new(),
+    };
+    let corpus = args.value("--corpus")?.map(Corpus::open);
+    let sessions = args.parsed::<usize>("--sessions")?.unwrap_or(0);
+    args.finish()?;
+    if workers == 0 && connect.is_empty() {
+        return Err("serve: need at least one worker (--workers N or --connect LIST)".into());
+    }
+
+    let listener =
+        TcpListener::bind(&listen_addr).map_err(|e| format!("cannot bind {listen_addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("cannot read bound address: {e}"))?;
+    eprintln!(
+        "{}",
+        JsonObj::new()
+            .str("event", "serving")
+            .str("addr", &local.to_string())
+            .int("pid", u64::from(std::process::id()))
+            .int("workers", workers as u64)
+            .int("tcp_slots", connect.len() as u64)
+            .finish()
+    );
+
+    let service = Arc::new(Service::with_corpus(corpus));
+    let host = ServiceHost::start(service.clone(), workers, &connect);
+    let session_seq = AtomicU64::new(0);
+    let mut handlers = Vec::new();
+    let mut served = 0usize;
+    loop {
+        let (stream, peer) = listener
+            .accept()
+            .map_err(|e| format!("accept failed: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        let session = session_seq.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "{}",
+            JsonObj::new()
+                .str("event", "session_start")
+                .int("session", session)
+                .str("peer", &peer.to_string())
+                .finish()
+        );
+        let service = service.clone();
+        handlers.push(std::thread::spawn(move || {
+            let reader = match stream.try_clone() {
+                Ok(s) => BufReader::new(s),
+                Err(e) => {
+                    eprintln!("cannot clone client stream: {e}");
+                    return;
+                }
+            };
+            match serve_client(&service, reader, &stream) {
+                Ok(stats) => eprintln!(
+                    "{}",
+                    JsonObj::new()
+                        .str("event", "session_end")
+                        .int("session", session)
+                        .int("submitted", stats.submitted as u64)
+                        .int("cache_hits", stats.cache_hits as u64)
+                        .int("results", stats.results as u64)
+                        .int("cancelled", stats.cancelled as u64)
+                        .int("malformed", stats.malformed as u64)
+                        .finish()
+                ),
+                Err(e) => eprintln!(
+                    "{}",
+                    JsonObj::new()
+                        .str("event", "session_error")
+                        .int("session", session)
+                        .str("error", &e)
+                        .finish()
+                ),
+            }
+        }));
+        served += 1;
+        if sessions != 0 && served >= sessions {
+            break;
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+    host.shutdown();
+    Ok(())
+}
+
+/// `amulet submit`.
+pub(crate) fn cmd_submit(mut args: Args) -> Result<(), String> {
+    let addr = args
+        .value("--connect")?
+        .ok_or("submit: --connect ADDR is required")?;
+    let shape = ShapeOptions::parse(&mut args)?;
+    let batch = args
+        .parsed::<usize>("--batch")?
+        .unwrap_or(ShardConfig::default().batch_programs)
+        .max(1);
+    let timeout = Duration::from_secs_f64(args.parsed::<f64>("--timeout-s")?.unwrap_or(600.0));
+    let mut sink = JsonSink::open(args.value("--json")?)?;
+    args.finish()?;
+
+    let cfg = shape.config();
+    let spec = CampaignSpec {
+        defense: shape.defense.name().to_string(),
+        contract: shape.contract.name().to_string(),
+        seed: cfg.seed,
+        scale: shape.scale,
+        find_first: shape.find_first,
+        batch_programs: batch,
+        cycle_skip: !shape.no_cycle_skip,
+    };
+    let mut link = TcpLink::connect(&addr, Duration::from_secs(10))?;
+    link.send(&Msg::Submit(spec))?;
+    let deadline = Instant::now() + timeout;
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(format!("submit: no result within {timeout:?}"));
+        }
+        match link.recv_timeout(remaining)? {
+            None => return Err(format!("submit: no result within {timeout:?}")),
+            Some(Msg::Accepted { campaign, cached }) => {
+                eprintln!("campaign {campaign} accepted (cached: {cached})");
+            }
+            Some(Msg::Progress {
+                campaign,
+                done,
+                total,
+                cases,
+            }) => {
+                eprintln!("campaign {campaign}: {done}/{total} batches, {cases} cases");
+            }
+            Some(Msg::CampaignResult(r)) => {
+                if let Some(e) = r.error {
+                    return Err(format!("campaign failed: {e}"));
+                }
+                if r.cancelled {
+                    return Err(format!("campaign {} was cancelled", r.campaign));
+                }
+                let rep = r.report.ok_or("result carried no report")?;
+                let line = JsonObj::new()
+                    .int("campaign", r.campaign)
+                    .bool("cached", r.cached)
+                    .int("executed_batches", r.executed_batches)
+                    .str("defense", &rep.defense)
+                    .str("contract", &rep.contract)
+                    .str("seed", &rep.seed.to_string())
+                    .int("cases", rep.stats.cases as u64)
+                    .int("confirmed", rep.stats.confirmed as u64)
+                    .bool("violation", !rep.digests.is_empty())
+                    .str("fingerprint", &format!("{:#018x}", rep.fingerprint()))
+                    .finish();
+                println!("{line}");
+                // `--json -` already printed above; only duplicate into a
+                // real file sink.
+                if !matches!(sink, JsonSink::Stdout) {
+                    sink.line(&line)?;
+                }
+                return Ok(());
+            }
+            Some(other) => return Err(format!("unexpected {:?} from service", other.tag())),
+        }
+    }
+}
+
+/// `amulet corpus`.
+pub(crate) fn cmd_corpus(mut args: Args) -> Result<(), String> {
+    let path = args
+        .value("--file")?
+        .ok_or("corpus: --file PATH is required")?;
+    let class = args.value("--class")?;
+    let defense = args.value("--defense")?;
+    args.finish()?;
+
+    let records = Corpus::open(&path).query(class.as_deref(), defense.as_deref())?;
+    for rec in &records {
+        println!("{}", rec.to_line());
+    }
+    eprintln!("{} record(s)", records.len());
+    Ok(())
+}

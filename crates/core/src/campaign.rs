@@ -314,37 +314,70 @@ impl CampaignReport {
     /// [`CampaignReport::digests`], which survives the wire protocol
     /// bit-exactly.
     pub fn fingerprint(&self) -> u64 {
-        let mut fp = Fnv1a::new();
-        fp.str(self.config.defense.name());
-        fp.str(self.config.contract.name());
-        fp.str(self.config.mode.name());
-        fp.str(self.config.format.name());
-        fp.u64(self.config.include_l1i as u64);
-        fp.u64(self.config.seed);
-        fp.u64(self.config.instances as u64);
-        fp.u64(self.config.programs_per_instance as u64);
-        fp.u64(self.config.inputs.total() as u64);
-        fp.u64(self.stats.cases as u64);
-        fp.u64(self.stats.classes as u64);
-        fp.u64(self.stats.candidates as u64);
-        fp.u64(self.stats.validation_runs as u64);
-        fp.u64(self.stats.confirmed as u64);
-        fp.u64(self.detection_times.count());
-        fp.u64(self.digests.len() as u64);
-        for d in &self.digests {
-            fp.str(d.class.paper_id());
-            fp.u64(d.ctrace_digest);
-            // Length-prefix each diff section so a leak moving between
-            // structures (e.g. L1D → D-TLB) can never hash identically.
-            for diff in [&d.l1d_diff, &d.dtlb_diff, &d.l1i_diff] {
-                fp.u64(diff.len() as u64);
-                for &x in diff.iter() {
-                    fp.u64(x);
-                }
+        fingerprint_parts(
+            [
+                self.config.defense.name(),
+                self.config.contract.name(),
+                self.config.mode.name(),
+                self.config.format.name(),
+            ],
+            self.config.include_l1i,
+            self.config.seed,
+            [
+                self.config.instances as u64,
+                self.config.programs_per_instance as u64,
+                self.config.inputs.total() as u64,
+            ],
+            &self.stats,
+            self.detection_times.count(),
+            &self.digests,
+        )
+    }
+}
+
+/// The hash behind [`CampaignReport::fingerprint`], decoupled from the
+/// report struct so a report reconstituted from the wire (`proto::ReportWire`)
+/// can fingerprint itself bit-identically without rebuilding a full
+/// [`CampaignConfig`]. `identity` is `[defense, contract, mode, format]`
+/// names; `shape` is `[instances, programs_per_instance, inputs_total]`.
+pub(crate) fn fingerprint_parts(
+    identity: [&str; 4],
+    include_l1i: bool,
+    seed: u64,
+    shape: [u64; 3],
+    stats: &ScanStats,
+    detections: u64,
+    digests: &[ViolationDigest],
+) -> u64 {
+    let mut fp = Fnv1a::new();
+    for name in identity {
+        fp.str(name);
+    }
+    fp.u64(include_l1i as u64);
+    fp.u64(seed);
+    for n in shape {
+        fp.u64(n);
+    }
+    fp.u64(stats.cases as u64);
+    fp.u64(stats.classes as u64);
+    fp.u64(stats.candidates as u64);
+    fp.u64(stats.validation_runs as u64);
+    fp.u64(stats.confirmed as u64);
+    fp.u64(detections);
+    fp.u64(digests.len() as u64);
+    for d in digests {
+        fp.str(d.class.paper_id());
+        fp.u64(d.ctrace_digest);
+        // Length-prefix each diff section so a leak moving between
+        // structures (e.g. L1D → D-TLB) can never hash identically.
+        for diff in [&d.l1d_diff, &d.dtlb_diff, &d.l1i_diff] {
+            fp.u64(diff.len() as u64);
+            for &x in diff.iter() {
+                fp.u64(x);
             }
         }
-        fp.finish()
     }
+    fp.finish()
 }
 
 /// Defense/contract column widths: wide enough for every registered name
@@ -368,15 +401,16 @@ fn summary_name_widths() -> (usize, usize) {
 
 /// FNV-1a, length-prefixed for strings — the workspace-internal stable
 /// hasher behind [`CampaignReport::fingerprint`] (`DefaultHasher` is not
-/// guaranteed stable across Rust releases).
-struct Fnv1a(u64);
+/// guaranteed stable across Rust releases). Crate-visible so the corpus
+/// can digest memory images with the same stable hash.
+pub(crate) struct Fnv1a(u64);
 
 impl Fnv1a {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv1a(0xcbf2_9ce4_8422_2325)
     }
 
-    fn byte(&mut self, b: u8) {
+    pub(crate) fn byte(&mut self, b: u8) {
         self.0 ^= b as u64;
         self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
     }
@@ -394,7 +428,7 @@ impl Fnv1a {
         }
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }

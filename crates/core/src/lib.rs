@@ -28,6 +28,10 @@
 //!    the same batches and fragments across *process* boundaries — the
 //!    wire protocol behind `amulet drive` / `amulet worker` — with
 //!    fingerprints equal to the in-process run at any process count.
+//! 7. [`service`] turns the fabric into a long-lived daemon (`amulet
+//!    serve`): many concurrent campaigns fair-share one worker fleet,
+//!    repeated submits hit a fingerprint-keyed result cache, and every
+//!    validated violation lands in the persisted [`corpus`].
 //!
 //! # Examples
 //!
@@ -48,6 +52,7 @@
 
 pub mod analyze;
 pub mod campaign;
+pub mod corpus;
 pub mod cost;
 pub mod detect;
 pub mod executor;
@@ -55,18 +60,21 @@ pub mod generator;
 pub mod inputs;
 pub mod minimize;
 pub mod proto;
+pub mod service;
 pub mod shard;
 pub mod trace;
 
 pub use analyze::{classify, ViolationClass, ViolationFilter};
 pub use campaign::{Campaign, CampaignConfig, CampaignReport, UnitRuntime, ViolationDigest};
+pub use corpus::{records_from_report, Corpus, CorpusInput, CorpusRecord};
 pub use cost::{CostModel, TimeBreakdown};
 pub use detect::{Detector, ScanStats, Violation};
 pub use executor::{CaseDigest, CaseRun, ExecMode, Executor, ExecutorConfig};
 pub use generator::{Generator, GeneratorConfig};
 pub use inputs::{boosted_inputs, boosted_inputs_into, InputGenConfig};
 pub use minimize::{minimize, Minimized};
-pub use proto::{FragmentReport, Hello, Msg, PROTO_VERSION};
+pub use proto::{CampaignSpec, FragmentReport, Hello, Msg, ReportWire, ResultMsg, PROTO_VERSION};
+pub use service::{Lease, LeaseWait, Service, ServiceEvent, SubmitOutcome};
 pub use shard::{
     plan_batches, reduce_fragments, run_batch, verify_fragment_coverage, BatchSink, BatchSource,
     BatchSpec, CollectSink, CursorSource, Fragment, ShardConfig, ShardedCampaign,

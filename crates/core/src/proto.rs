@@ -20,6 +20,17 @@
 //! driver → worker   {"type":"shutdown"}          end of plan; worker exits
 //! ```
 //!
+//! Protocol v3 adds the *service* half — the client ↔ `amulet serve`
+//! conversation (see [`crate::service`] and `docs/DISTRIBUTED.md`):
+//!
+//! ```text
+//! client → service  {"type":"submit", ...}           one campaign request
+//! service → client  {"type":"accepted", ...}         campaign id (+ cache verdict)
+//! service → client  {"type":"progress", ...}         streamed batch progress
+//! service → client  {"type":"result", ...}           the final report (or error)
+//! client → service  {"type":"cancel_campaign", ...}  abandon a submitted campaign
+//! ```
+//!
 //! # Determinism contract
 //!
 //! Everything the campaign fingerprint hashes crosses the wire bit-exactly:
@@ -47,9 +58,11 @@
 //! ```
 
 use crate::analyze::ViolationClass;
-use crate::campaign::{CampaignConfig, ViolationDigest};
+use crate::campaign::{self, CampaignConfig, CampaignReport, ViolationDigest};
 use crate::detect::ScanStats;
 use crate::shard::{BatchSpec, Fragment};
+use amulet_contracts::ContractKind;
+use amulet_defenses::DefenseKind;
 use amulet_util::json::{parse_json, JsonObj, JsonValue};
 use std::time::Duration;
 
@@ -59,7 +72,11 @@ use std::time::Duration;
 /// Version 2 added the `ping`/`pong` heartbeat pair — the liveness layer a
 /// cross-host transport needs (a pipe to a child process fails fast on
 /// crash; a TCP peer can wedge silently).
-pub const PROTO_VERSION: u64 = 2;
+///
+/// Version 3 added the service messages (`submit`/`accepted`/`progress`/
+/// `result`/`cancel_campaign`) spoken between clients and `amulet serve`.
+/// The worker-facing half of the protocol is unchanged.
+pub const PROTO_VERSION: u64 = 3;
 
 /// The worker's startup announcement: protocol version plus an echo of the
 /// campaign identity it resolved from its command line, so a driver/worker
@@ -192,6 +209,167 @@ impl FragmentReport {
     }
 }
 
+/// A client's campaign request in wire form — everything needed to rebuild
+/// the [`CampaignConfig`] the service will run, and nothing more. Two
+/// submits with equal fields are by definition the same deterministic
+/// campaign, so [`CampaignSpec::cache_key`] is the service's result-cache
+/// key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Defense display name (e.g. `"Baseline"`) — resolved against the
+    /// registry, exact match.
+    pub defense: String,
+    /// Contract paper name (e.g. `"CT-SEQ"`).
+    pub contract: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// `None` = the quick shape; `Some(s)` = [`CampaignConfig::paper_scaled`]
+    /// at scale `s` (must be finite and positive).
+    pub scale: Option<f64>,
+    /// Stop at the first confirmed violation.
+    pub find_first: bool,
+    /// Programs per wire batch (the shard-plan granularity — part of the
+    /// campaign identity because it shapes the batch plan).
+    pub batch_programs: usize,
+    /// Simulator cycle-skip (on by default; off for warp-regression runs).
+    pub cycle_skip: bool,
+}
+
+impl CampaignSpec {
+    /// Resolves the spec into a runnable [`CampaignConfig`], rejecting
+    /// unknown names and degenerate shapes with a client-facing message.
+    pub fn resolve(&self) -> Result<CampaignConfig, String> {
+        let defense = DefenseKind::ALL
+            .iter()
+            .copied()
+            .find(|d| d.name() == self.defense)
+            .ok_or_else(|| format!("unknown defense {:?}", self.defense))?;
+        let contract = ContractKind::ALL
+            .iter()
+            .copied()
+            .find(|c| c.name() == self.contract)
+            .ok_or_else(|| format!("unknown contract {:?}", self.contract))?;
+        let mut cfg = match self.scale {
+            Some(s) if s.is_finite() && s > 0.0 => {
+                CampaignConfig::paper_scaled(defense, contract, s)
+            }
+            Some(s) => return Err(format!("scale must be finite and positive, got {s}")),
+            None => CampaignConfig::quick(defense, contract),
+        };
+        if self.batch_programs == 0 {
+            return Err("batch must be at least 1".into());
+        }
+        cfg.seed = self.seed;
+        cfg.stop_on_first = self.find_first;
+        cfg.sim.cycle_skip = self.cycle_skip;
+        Ok(cfg)
+    }
+
+    /// The service's result-cache key: every field that shapes the
+    /// deterministic outcome, and nothing wall-clock. `scale` enters via
+    /// its bit pattern so `0.1 + 0.2`-style float surprises cannot alias
+    /// distinct campaigns.
+    pub fn cache_key(&self) -> String {
+        format!(
+            "{}|{}|{}|{:?}|{}|{}|{}",
+            self.defense,
+            self.contract,
+            self.seed,
+            self.scale.map(f64::to_bits),
+            self.find_first,
+            self.batch_programs,
+            self.cycle_skip
+        )
+    }
+}
+
+/// A completed campaign report in wire form: the fingerprint inputs —
+/// config identity, aggregate counters, violation digests — but no
+/// wall-clock fields, so a cached replay is byte-identical to the first
+/// serve by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportWire {
+    /// Defense display name.
+    pub defense: String,
+    /// Contract paper name.
+    pub contract: String,
+    /// Execution mode name (`"Naive"`/`"Opt"`).
+    pub mode: String,
+    /// Trace format name.
+    pub format: String,
+    /// Whether the baseline trace included the L1I.
+    pub include_l1i: bool,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Campaign instances.
+    pub instances: u64,
+    /// Programs per instance.
+    pub programs: u64,
+    /// Inputs per program.
+    pub inputs: u64,
+    /// Aggregate detector counters.
+    pub stats: ScanStats,
+    /// Number of recorded first-detection samples.
+    pub detections: u64,
+    /// Deduplicated violation digests, in confirmation order.
+    pub digests: Vec<ViolationDigest>,
+}
+
+impl ReportWire {
+    /// The wire form of a completed [`CampaignReport`].
+    pub fn from_report(report: &CampaignReport) -> Self {
+        ReportWire {
+            defense: report.config.defense.name().to_string(),
+            contract: report.config.contract.name().to_string(),
+            mode: report.config.mode.name().to_string(),
+            format: report.config.format.name().to_string(),
+            include_l1i: report.config.include_l1i,
+            seed: report.config.seed,
+            instances: report.config.instances as u64,
+            programs: report.config.programs_per_instance as u64,
+            inputs: report.config.inputs.total() as u64,
+            stats: report.stats,
+            detections: report.detection_times.count(),
+            digests: report.digests.clone(),
+        }
+    }
+
+    /// Exactly [`CampaignReport::fingerprint`] computed from the wire
+    /// fields — the two agree bit-for-bit for a report and its wire form
+    /// (asserted by this module's tests).
+    pub fn fingerprint(&self) -> u64 {
+        campaign::fingerprint_parts(
+            [&self.defense, &self.contract, &self.mode, &self.format],
+            self.include_l1i,
+            self.seed,
+            [self.instances, self.programs, self.inputs],
+            &self.stats,
+            self.detections,
+            &self.digests,
+        )
+    }
+}
+
+/// The terminal message of one submitted campaign: a report, a clean
+/// cancellation, or an error — exactly one of which is populated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultMsg {
+    /// The campaign id from the matching [`Msg::Accepted`].
+    pub campaign: u64,
+    /// True when this result was served from the fingerprint-keyed cache
+    /// (in which case `executed_batches` is 0).
+    pub cached: bool,
+    /// True when the campaign ended via [`Msg::CancelCampaign`]; `report`
+    /// is absent.
+    pub cancelled: bool,
+    /// Batches the service actually executed for this campaign.
+    pub executed_batches: u64,
+    /// The completed report (absent on cancellation or error).
+    pub report: Option<ReportWire>,
+    /// A client-facing failure description (absent on success).
+    pub error: Option<String>,
+}
+
 /// A wire message — one JSON object per line, discriminated by its
 /// `"type"` tag.
 #[derive(Debug, Clone, PartialEq)]
@@ -224,14 +402,55 @@ pub enum Msg {
     Shutdown,
     /// Worker → driver: one batch's results.
     Fragment(FragmentReport),
+    /// Client → service: run this campaign.
+    Submit(CampaignSpec),
+    /// Service → client: the submit was accepted under this campaign id.
+    /// `cached: true` means the result is already known — the matching
+    /// [`Msg::CampaignResult`] follows immediately and no batch will run.
+    Accepted {
+        /// Service-assigned campaign id (scopes progress/result/cancel).
+        campaign: u64,
+        /// Whether the result is served from the cache.
+        cached: bool,
+    },
+    /// Service → client: streamed progress for one campaign.
+    Progress {
+        /// The campaign this progress belongs to.
+        campaign: u64,
+        /// Batches completed so far.
+        done: u64,
+        /// Batches in the campaign's plan.
+        total: u64,
+        /// Test cases executed so far (cumulative).
+        cases: u64,
+    },
+    /// Service → client: the campaign's terminal message (tag `"result"`).
+    CampaignResult(ResultMsg),
+    /// Client → service: abandon a submitted campaign. Batches already
+    /// leased may still complete; no result report is produced.
+    CancelCampaign {
+        /// The campaign id from [`Msg::Accepted`].
+        campaign: u64,
+    },
 }
 
 impl Msg {
     /// Every `"type"` tag the protocol emits, in flow order. The operator's
     /// handbook (`docs/DISTRIBUTED.md`) documents exactly this set — a test
     /// asserts the two never drift apart.
-    pub const TAGS: [&'static str; 7] = [
-        "hello", "ping", "pong", "batch", "cancel", "shutdown", "fragment",
+    pub const TAGS: [&'static str; 12] = [
+        "hello",
+        "ping",
+        "pong",
+        "batch",
+        "cancel",
+        "shutdown",
+        "fragment",
+        "submit",
+        "accepted",
+        "progress",
+        "result",
+        "cancel_campaign",
     ];
 
     /// This message's `"type"` tag.
@@ -244,6 +463,11 @@ impl Msg {
             Msg::Cancel { .. } => "cancel",
             Msg::Shutdown => "shutdown",
             Msg::Fragment(_) => "fragment",
+            Msg::Submit(_) => "submit",
+            Msg::Accepted { .. } => "accepted",
+            Msg::Progress { .. } => "progress",
+            Msg::CampaignResult(_) => "result",
+            Msg::CancelCampaign { .. } => "cancel_campaign",
         }
     }
 
@@ -288,6 +512,54 @@ impl Msg {
                 out.raw("violations", &format!("[{}]", violations.join(",")))
                     .finish()
             }
+            Msg::Submit(s) => {
+                let mut out = obj
+                    .str("defense", &s.defense)
+                    .str("contract", &s.contract)
+                    .str("seed", &s.seed.to_string());
+                if let Some(scale) = s.scale {
+                    out = out.num("scale", scale);
+                }
+                out.bool("find_first", s.find_first)
+                    .int("batch", s.batch_programs as u64)
+                    .bool("cycle_skip", s.cycle_skip)
+                    .finish()
+            }
+            Msg::Accepted { campaign, cached } => obj
+                .int("campaign", *campaign)
+                .bool("cached", *cached)
+                .finish(),
+            Msg::Progress {
+                campaign,
+                done,
+                total,
+                cases,
+            } => obj
+                .int("campaign", *campaign)
+                .int("done", *done)
+                .int("total", *total)
+                .int("cases", *cases)
+                .finish(),
+            Msg::CampaignResult(r) => {
+                let mut out = obj
+                    .int("campaign", r.campaign)
+                    .bool("cached", r.cached)
+                    .bool("cancelled", r.cancelled)
+                    .int("executed_batches", r.executed_batches);
+                if let Some(rep) = &r.report {
+                    // The fingerprint rides along redundantly so scripts
+                    // can diff results without recomputing the hash; the
+                    // parser verifies it against the report fields.
+                    out = out
+                        .raw("report", &report_to_json(rep))
+                        .str("fingerprint", &format!("{:#018x}", rep.fingerprint()));
+                }
+                if let Some(e) = &r.error {
+                    out = out.str("error", e);
+                }
+                out.finish()
+            }
+            Msg::CancelCampaign { campaign } => obj.int("campaign", *campaign).finish(),
         }
     }
 
@@ -373,14 +645,145 @@ impl Msg {
                     violations,
                 }))
             }
+            "submit" => {
+                // `scale` may arrive as an integer (`"scale":1`) from
+                // hand-written clients; `as_f64` covers both JSON number
+                // shapes. Absent means the quick shape.
+                let scale = match v.get("scale") {
+                    None | Some(JsonValue::Null) => None,
+                    Some(x) => Some(x.as_f64().ok_or("submit: bad scale")?),
+                };
+                Ok(Msg::Submit(CampaignSpec {
+                    defense: str_field(&v, "defense")?.to_string(),
+                    contract: str_field(&v, "contract")?.to_string(),
+                    seed: str_field(&v, "seed")?
+                        .parse()
+                        .map_err(|_| "submit: bad seed".to_string())?,
+                    scale,
+                    find_first: bool_field(&v, "find_first")?,
+                    batch_programs: usize_field(&v, "batch")?,
+                    cycle_skip: bool_field(&v, "cycle_skip")?,
+                }))
+            }
+            "accepted" => Ok(Msg::Accepted {
+                campaign: u64_field(&v, "campaign")?,
+                cached: bool_field(&v, "cached")?,
+            }),
+            "progress" => Ok(Msg::Progress {
+                campaign: u64_field(&v, "campaign")?,
+                done: u64_field(&v, "done")?,
+                total: u64_field(&v, "total")?,
+                cases: u64_field(&v, "cases")?,
+            }),
+            "result" => {
+                let report = match v.get("report") {
+                    None | Some(JsonValue::Null) => None,
+                    Some(obj) => Some(report_from_json(obj)?),
+                };
+                if let Some(rep) = &report {
+                    // The redundant fingerprint must agree with the report
+                    // it annotates — a mismatch means wire corruption or a
+                    // buggy peer, either way a protocol error.
+                    let claimed = hex_u64(str_field(&v, "fingerprint")?)?;
+                    if claimed != rep.fingerprint() {
+                        return Err(format!(
+                            "result: fingerprint {claimed:#018x} does not match report ({:#018x})",
+                            rep.fingerprint()
+                        ));
+                    }
+                }
+                let error = match v.get("error") {
+                    None | Some(JsonValue::Null) => None,
+                    Some(e) => Some(
+                        e.as_str()
+                            .ok_or("result: error must be a string")?
+                            .to_string(),
+                    ),
+                };
+                Ok(Msg::CampaignResult(ResultMsg {
+                    campaign: u64_field(&v, "campaign")?,
+                    cached: bool_field(&v, "cached")?,
+                    cancelled: bool_field(&v, "cancelled")?,
+                    executed_batches: u64_field(&v, "executed_batches")?,
+                    report,
+                    error,
+                }))
+            }
+            "cancel_campaign" => Ok(Msg::CancelCampaign {
+                campaign: u64_field(&v, "campaign")?,
+            }),
             other => Err(format!("unknown message type {other:?}")),
         }
     }
 }
 
+/// Serialises a [`ReportWire`] as a JSON object (the `"report"` value of a
+/// `result` line). Counters are exact integers, the seed a string, and
+/// violation digests ride the same hex encoding as fragment lines — the
+/// cache-replay byte-identity contract depends on this function being
+/// deterministic.
+fn report_to_json(r: &ReportWire) -> String {
+    let violations: Vec<String> = r.digests.iter().map(violation_to_json).collect();
+    JsonObj::new()
+        .str("defense", &r.defense)
+        .str("contract", &r.contract)
+        .str("mode", &r.mode)
+        .str("format", &r.format)
+        .bool("include_l1i", r.include_l1i)
+        .str("seed", &r.seed.to_string())
+        .int("instances", r.instances)
+        .int("programs", r.programs)
+        .int("inputs", r.inputs)
+        .int("cases", r.stats.cases as u64)
+        .int("classes", r.stats.classes as u64)
+        .int("candidates", r.stats.candidates as u64)
+        .int("validation_runs", r.stats.validation_runs as u64)
+        .int("confirmed", r.stats.confirmed as u64)
+        .int("sim_cycles", r.stats.sim_cycles)
+        .int("warped_cycles", r.stats.warped_cycles)
+        .int("detections", r.detections)
+        .raw("violations", &format!("[{}]", violations.join(",")))
+        .finish()
+}
+
+fn report_from_json(v: &JsonValue) -> Result<ReportWire, String> {
+    let digests = v
+        .get("violations")
+        .and_then(JsonValue::as_arr)
+        .ok_or("report: missing violations array")?
+        .iter()
+        .map(violation_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(ReportWire {
+        defense: str_field(v, "defense")?.to_string(),
+        contract: str_field(v, "contract")?.to_string(),
+        mode: str_field(v, "mode")?.to_string(),
+        format: str_field(v, "format")?.to_string(),
+        include_l1i: bool_field(v, "include_l1i")?,
+        seed: str_field(v, "seed")?
+            .parse()
+            .map_err(|_| "report: bad seed".to_string())?,
+        instances: u64_field(v, "instances")?,
+        programs: u64_field(v, "programs")?,
+        inputs: u64_field(v, "inputs")?,
+        stats: ScanStats {
+            cases: usize_field(v, "cases")?,
+            classes: usize_field(v, "classes")?,
+            candidates: usize_field(v, "candidates")?,
+            validation_runs: usize_field(v, "validation_runs")?,
+            confirmed: usize_field(v, "confirmed")?,
+            sim_cycles: u64_field(v, "sim_cycles")?,
+            warped_cycles: u64_field(v, "warped_cycles")?,
+        },
+        detections: u64_field(v, "detections")?,
+        digests,
+    })
+}
+
 /// Serialises one violation digest as a JSON object. Digests and diff
-/// entries are hex strings — bit-exact for any JSON reader.
-fn violation_to_json(d: &ViolationDigest) -> String {
+/// entries are hex strings — bit-exact for any JSON reader. Shared with
+/// the corpus (`crate::corpus`), whose lines embed the same digest shape.
+pub(crate) fn violation_to_json(d: &ViolationDigest) -> String {
     let hex_arr = |xs: &[u64]| {
         let items: Vec<String> = xs.iter().map(|x| format!("\"{x:#x}\"")).collect();
         format!("[{}]", items.join(","))
@@ -394,7 +797,7 @@ fn violation_to_json(d: &ViolationDigest) -> String {
         .finish()
 }
 
-fn violation_from_json(v: &JsonValue) -> Result<ViolationDigest, String> {
+pub(crate) fn violation_from_json(v: &JsonValue) -> Result<ViolationDigest, String> {
     let class_id = str_field(v, "class")?;
     let class = ViolationClass::from_paper_id(class_id)
         .ok_or_else(|| format!("unknown violation class {class_id:?}"))?;
@@ -407,13 +810,13 @@ fn violation_from_json(v: &JsonValue) -> Result<ViolationDigest, String> {
     })
 }
 
-fn str_field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+pub(crate) fn str_field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, String> {
     v.get(key)
         .and_then(JsonValue::as_str)
         .ok_or_else(|| format!("missing string field {key:?}"))
 }
 
-fn u64_field(v: &JsonValue, key: &str) -> Result<u64, String> {
+pub(crate) fn u64_field(v: &JsonValue, key: &str) -> Result<u64, String> {
     v.get(key)
         .and_then(JsonValue::as_u64)
         .ok_or_else(|| format!("missing integer field {key:?}"))
@@ -423,14 +826,20 @@ fn usize_field(v: &JsonValue, key: &str) -> Result<usize, String> {
     u64_field(v, key).map(|n| n as usize)
 }
 
-fn hex_u64(s: &str) -> Result<u64, String> {
+fn bool_field(v: &JsonValue, key: &str) -> Result<bool, String> {
+    v.get(key)
+        .and_then(JsonValue::as_bool)
+        .ok_or_else(|| format!("missing boolean field {key:?}"))
+}
+
+pub(crate) fn hex_u64(s: &str) -> Result<u64, String> {
     let digits = s
         .strip_prefix("0x")
         .ok_or_else(|| format!("expected 0x-prefixed hex, got {s:?}"))?;
     u64::from_str_radix(digits, 16).map_err(|_| format!("bad hex value {s:?}"))
 }
 
-fn hex_arr_field(v: &JsonValue, key: &str) -> Result<Vec<u64>, String> {
+pub(crate) fn hex_arr_field(v: &JsonValue, key: &str) -> Result<Vec<u64>, String> {
     v.get(key)
         .and_then(JsonValue::as_arr)
         .ok_or_else(|| format!("missing array field {key:?}"))?
@@ -454,6 +863,43 @@ mod tests {
             l1d_diff: vec![0x4740, 0x4100],
             dtlb_diff: vec![4],
             l1i_diff: vec![],
+        }
+    }
+
+    fn sample_spec() -> CampaignSpec {
+        CampaignSpec {
+            defense: "Baseline".into(),
+            contract: "CT-SEQ".into(),
+            seed: 2025,
+            scale: None,
+            find_first: false,
+            batch_programs: 3,
+            cycle_skip: true,
+        }
+    }
+
+    fn sample_report() -> ReportWire {
+        ReportWire {
+            defense: "Baseline".into(),
+            contract: "CT-SEQ".into(),
+            mode: "Opt".into(),
+            format: "L1D+DTLB".into(),
+            include_l1i: false,
+            seed: u64::MAX,
+            instances: 2,
+            programs: 12,
+            inputs: 28,
+            stats: ScanStats {
+                cases: 672,
+                classes: 96,
+                candidates: 5,
+                validation_runs: 10,
+                confirmed: 3,
+                sim_cycles: 1 << 40,
+                warped_cycles: 1 << 39,
+            },
+            detections: 1,
+            digests: vec![sample_digest()],
         }
     }
 
@@ -495,6 +941,47 @@ mod tests {
                 violations: vec![sample_digest()],
             }),
             Msg::Fragment(FragmentReport::skipped(42)),
+            Msg::Submit(sample_spec()),
+            Msg::Submit(CampaignSpec {
+                scale: Some(0.25),
+                find_first: true,
+                ..sample_spec()
+            }),
+            Msg::Accepted {
+                campaign: 7,
+                cached: true,
+            },
+            Msg::Progress {
+                campaign: 7,
+                done: 3,
+                total: 8,
+                cases: 252,
+            },
+            Msg::CampaignResult(ResultMsg {
+                campaign: 7,
+                cached: false,
+                cancelled: false,
+                executed_batches: 8,
+                report: Some(sample_report()),
+                error: None,
+            }),
+            Msg::CampaignResult(ResultMsg {
+                campaign: 8,
+                cached: false,
+                cancelled: true,
+                executed_batches: 2,
+                report: None,
+                error: None,
+            }),
+            Msg::CampaignResult(ResultMsg {
+                campaign: 9,
+                cached: false,
+                cancelled: false,
+                executed_batches: 0,
+                report: None,
+                error: Some("unknown defense \"Nope\"".into()),
+            }),
+            Msg::CancelCampaign { campaign: 7 },
         ];
         for msg in msgs {
             let line = msg.to_line();
@@ -521,9 +1008,155 @@ mod tests {
             Msg::Cancel { earliest: 0 },
             Msg::Shutdown,
             Msg::Fragment(FragmentReport::skipped(0)),
+            Msg::Submit(sample_spec()),
+            Msg::Accepted {
+                campaign: 0,
+                cached: false,
+            },
+            Msg::Progress {
+                campaign: 0,
+                done: 0,
+                total: 1,
+                cases: 0,
+            },
+            Msg::CampaignResult(ResultMsg {
+                campaign: 0,
+                cached: false,
+                cancelled: true,
+                executed_batches: 0,
+                report: None,
+                error: None,
+            }),
+            Msg::CancelCampaign { campaign: 0 },
         ];
         let tags: Vec<&str> = msgs.iter().map(Msg::tag).collect();
         assert_eq!(tags, Msg::TAGS);
+    }
+
+    /// The wire report's fingerprint is exactly the in-process report's —
+    /// the identity every service determinism test rests on.
+    #[test]
+    fn report_wire_fingerprint_matches_the_report() {
+        let cfg = CampaignConfig::quick(
+            amulet_defenses::DefenseKind::Baseline,
+            amulet_contracts::ContractKind::CtSeq,
+        );
+        let report = crate::ShardedCampaign::new(cfg, crate::ShardConfig::default()).run();
+        let wire = ReportWire::from_report(&report);
+        assert_eq!(wire.fingerprint(), report.fingerprint());
+        // And it survives the wire bit-exactly.
+        let line = Msg::CampaignResult(ResultMsg {
+            campaign: 1,
+            cached: false,
+            cancelled: false,
+            executed_batches: 8,
+            report: Some(wire.clone()),
+            error: None,
+        })
+        .to_line();
+        let Msg::CampaignResult(parsed) = Msg::parse_line(&line).unwrap() else {
+            panic!("wrong tag");
+        };
+        assert_eq!(parsed.report.unwrap().fingerprint(), report.fingerprint());
+    }
+
+    /// A result whose redundant fingerprint disagrees with its report is a
+    /// protocol error, not silently trusted.
+    #[test]
+    fn result_with_a_lying_fingerprint_is_rejected() {
+        let line = Msg::CampaignResult(ResultMsg {
+            campaign: 1,
+            cached: false,
+            cancelled: false,
+            executed_batches: 8,
+            report: Some(sample_report()),
+            error: None,
+        })
+        .to_line();
+        let honest = &format!("{:#018x}", sample_report().fingerprint());
+        let lying = line.replace(honest, "0x0000000000000bad");
+        assert_ne!(line, lying, "the fingerprint must appear in the line");
+        let err = Msg::parse_line(&lying).unwrap_err();
+        assert!(err.contains("fingerprint"), "unexpected error: {err}");
+    }
+
+    /// A spec resolves to the campaign config its fields describe, and
+    /// bad names, scales and shapes are client-facing errors.
+    #[test]
+    fn campaign_spec_resolves_and_validates() {
+        let spec = sample_spec();
+        let cfg = spec.resolve().unwrap();
+        let quick = CampaignConfig::quick(
+            amulet_defenses::DefenseKind::Baseline,
+            amulet_contracts::ContractKind::CtSeq,
+        );
+        assert_eq!(cfg.seed, 2025);
+        assert_eq!(cfg.instances, quick.instances);
+        assert_eq!(cfg.programs_per_instance, quick.programs_per_instance);
+        assert!(!cfg.stop_on_first);
+
+        let scaled = CampaignSpec {
+            scale: Some(1.0),
+            ..sample_spec()
+        }
+        .resolve()
+        .unwrap();
+        assert_eq!(scaled.instances, 100);
+
+        for bad in [
+            CampaignSpec {
+                defense: "Nope".into(),
+                ..sample_spec()
+            },
+            CampaignSpec {
+                contract: "CT-NOPE".into(),
+                ..sample_spec()
+            },
+            CampaignSpec {
+                scale: Some(0.0),
+                ..sample_spec()
+            },
+            CampaignSpec {
+                scale: Some(f64::INFINITY),
+                ..sample_spec()
+            },
+            CampaignSpec {
+                batch_programs: 0,
+                ..sample_spec()
+            },
+        ] {
+            assert!(bad.resolve().is_err(), "accepted {bad:?}");
+        }
+
+        // Distinct campaigns get distinct cache keys; equal specs agree.
+        assert_eq!(sample_spec().cache_key(), sample_spec().cache_key());
+        let mut keys: Vec<String> = vec![sample_spec().cache_key()];
+        for other in [
+            CampaignSpec {
+                seed: 2026,
+                ..sample_spec()
+            },
+            CampaignSpec {
+                scale: Some(0.25),
+                ..sample_spec()
+            },
+            CampaignSpec {
+                find_first: true,
+                ..sample_spec()
+            },
+            CampaignSpec {
+                batch_programs: 4,
+                ..sample_spec()
+            },
+            CampaignSpec {
+                cycle_skip: false,
+                ..sample_spec()
+            },
+        ] {
+            keys.push(other.cache_key());
+        }
+        let unique: std::collections::HashSet<&String> = keys.iter().collect();
+        assert_eq!(unique.len(), keys.len(), "cache keys collided: {keys:?}");
     }
 
     #[test]
@@ -583,6 +1216,15 @@ mod tests {
             r#"{"type":"fragment","index":0,"skipped":false,"cases":0,"classes":0,"candidates":0,"validation_runs":0,"confirmed":0,"sim_cycles":0,"warped_cycles":0,"first_detection_s":-0.5,"violations":[]}"#,
             r#"{"type":"fragment","index":0,"skipped":false,"cases":0,"classes":0,"candidates":0,"validation_runs":0,"confirmed":0,"sim_cycles":0,"warped_cycles":0,"first_detection_s":1e30,"violations":[]}"#,
             r#"{"type":"fragment","index":0,"skipped":false,"cases":0,"classes":0,"candidates":0,"validation_runs":0,"confirmed":0,"sim_cycles":0,"warped_cycles":0,"first_detection_s":1e999,"violations":[]}"#,
+            // Service messages with missing or mistyped fields.
+            r#"{"type":"submit","defense":"Baseline"}"#,
+            r#"{"type":"submit","defense":"Baseline","contract":"CT-SEQ","seed":"x","find_first":false,"batch":3,"cycle_skip":true}"#,
+            r#"{"type":"submit","defense":"Baseline","contract":"CT-SEQ","seed":"1","scale":"big","find_first":false,"batch":3,"cycle_skip":true}"#,
+            r#"{"type":"accepted","campaign":1}"#,
+            r#"{"type":"progress","campaign":1,"done":0,"total":8}"#,
+            r#"{"type":"result","campaign":1,"cached":false,"cancelled":false}"#,
+            r#"{"type":"result","campaign":1,"cached":false,"cancelled":false,"executed_batches":0,"error":7}"#,
+            r#"{"type":"cancel_campaign"}"#,
         ] {
             assert!(Msg::parse_line(bad).is_err(), "accepted {bad:?}");
         }

@@ -1,0 +1,613 @@
+//! The campaign service state machine behind `amulet serve` — many
+//! concurrent campaigns multiplexed over one shared worker fleet, with a
+//! fair-share batch scheduler, a fingerprint-keyed result cache, and the
+//! persisted violation [`corpus`](crate::corpus).
+//!
+//! # Fair-share determinism contract
+//!
+//! The scheduler round-robins batch *leases* across active campaigns, so a
+//! submit never starves behind a big earlier campaign. This cannot move
+//! any result: a batch's outcome is a pure function of `(campaign config,
+//! batch seed)` — see [`run_batch`](crate::shard::run_batch) — so the
+//! interleaving chooses only *when* each fragment arrives, never *what* it
+//! contains, and the reduction ([`reduce_fragments`]) is order-insensitive
+//! by construction. `tests/serve_session.rs` asserts the consequence:
+//! interleaved fingerprints byte-equal their solo in-process runs.
+//!
+//! # Cache semantics
+//!
+//! A campaign is identified by [`CampaignSpec::cache_key`] — config
+//! identity, seed, scale, shape knobs. The service is deterministic, so a
+//! repeated submit *is* the earlier campaign; it is answered from the
+//! cache with the byte-identical report and `executed_batches: 0`.
+//! Cancelled and failed campaigns are never cached.
+//!
+//! The service is transport-agnostic: `amulet serve` (the CLI) wires
+//! client sockets to [`Service::submit`]/[`Service::subscribe`] and worker
+//! loops to [`Service::wait_lease`]/[`Service::complete`]; the in-memory
+//! test suite drives the same methods directly.
+
+use crate::campaign::CampaignConfig;
+use crate::corpus::{records_from_report, Corpus};
+use crate::proto::{CampaignSpec, ReportWire, ResultMsg};
+use crate::shard::{plan_batches, reduce_fragments, verify_fragment_coverage, BatchSpec, Fragment};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A progress notification broadcast to every [`Service::subscribe`]r.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceEvent {
+    /// One more batch of `campaign` completed.
+    Progress {
+        /// The campaign id.
+        campaign: u64,
+        /// Batches completed so far.
+        done: u64,
+        /// Batches in the plan.
+        total: u64,
+        /// Cumulative test cases executed.
+        cases: u64,
+    },
+    /// `campaign` reached its terminal state; its [`ResultMsg`] is ready
+    /// via [`Service::take_result`].
+    Finished {
+        /// The campaign id.
+        campaign: u64,
+    },
+}
+
+/// What [`Service::submit`] decided.
+#[derive(Debug)]
+pub enum SubmitOutcome {
+    /// A new campaign was scheduled; progress events will stream and the
+    /// result arrives via [`ServiceEvent::Finished`].
+    Accepted {
+        /// The assigned campaign id.
+        campaign: u64,
+        /// Batches in the plan.
+        total_batches: u64,
+    },
+    /// The cache already holds this campaign's report — here it is, with a
+    /// fresh id and `executed_batches: 0`. No batch will run. Boxed: a
+    /// full report dwarfs the `Accepted` variant.
+    Cached {
+        /// The assigned (fresh) campaign id.
+        campaign: u64,
+        /// The replayed result.
+        result: Box<ResultMsg>,
+    },
+}
+
+/// One leased batch: everything a worker needs to execute it and hand the
+/// fragment back to the right campaign.
+#[derive(Debug)]
+pub struct Lease {
+    /// The campaign this batch belongs to.
+    pub campaign: u64,
+    /// The batch assignment.
+    pub spec: BatchSpec,
+    /// The campaign's config (cloned per lease; workers keyed by campaign
+    /// id keep their own persistent [`UnitRuntime`](crate::UnitRuntime)s).
+    pub cfg: CampaignConfig,
+    /// The campaign's detection-time anchor.
+    pub anchor: Instant,
+}
+
+/// The outcome of one [`Service::wait_lease`] call.
+#[derive(Debug)]
+pub enum LeaseWait {
+    /// A batch to execute. Boxed: a [`Lease`] carries a full
+    /// [`CampaignConfig`] and dwarfs the other variants.
+    Lease(Box<Lease>),
+    /// The deadline passed with no runnable batch — poll again.
+    Idle,
+    /// The service is shutting down — the worker loop should exit.
+    Shutdown,
+}
+
+/// One in-flight campaign.
+#[derive(Debug)]
+struct ActiveCampaign {
+    id: u64,
+    key: String,
+    cfg: CampaignConfig,
+    batches: Vec<BatchSpec>,
+    /// Next unleased index into `batches`.
+    cursor: usize,
+    /// Batches returned unexecuted by a failing worker — re-leased before
+    /// the cursor advances, lowest index first.
+    orphans: Vec<BatchSpec>,
+    /// Earliest batch index with a confirmed violation (find-first).
+    earliest_hit: Option<usize>,
+    /// Leases handed out and not yet completed or released.
+    outstanding: usize,
+    executed: u64,
+    fragments: Vec<Fragment>,
+    cases_done: u64,
+    done_batches: u64,
+    cancelled: bool,
+    start: Instant,
+}
+
+impl ActiveCampaign {
+    /// Whether `index` lies past the find-first cancellation floor.
+    fn past_hit(&self, index: usize) -> bool {
+        self.cfg.stop_on_first && self.earliest_hit.is_some_and(|hit| index > hit)
+    }
+
+    /// The next batch to lease, if any: orphans first (lowest index — they
+    /// block the coverage check), then the cursor, skipping past-hit work.
+    fn next_runnable(&mut self) -> Option<BatchSpec> {
+        loop {
+            let spec =
+                if let Some(pos) = (0..self.orphans.len()).min_by_key(|&i| self.orphans[i].index) {
+                    self.orphans.swap_remove(pos)
+                } else if self.cursor < self.batches.len() {
+                    self.cursor += 1;
+                    self.batches[self.cursor - 1]
+                } else {
+                    return None;
+                };
+            if !self.past_hit(spec.index) {
+                return Some(spec);
+            }
+            // Past-hit batches are dropped, not executed: the reducer
+            // keeps only the prefix up to the hit anyway.
+        }
+    }
+
+    fn has_runnable(&self) -> bool {
+        self.orphans.iter().any(|s| !self.past_hit(s.index))
+            || self.batches[self.cursor..]
+                .iter()
+                .any(|s| !self.past_hit(s.index))
+    }
+
+    /// Whether every lease is settled and nothing is left to lease.
+    fn drained(&self) -> bool {
+        self.outstanding == 0 && !self.has_runnable()
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    next_id: u64,
+    /// Round-robin pointer into `active` — the fair-share state.
+    rr: usize,
+    active: Vec<ActiveCampaign>,
+    /// Terminal results awaiting [`Service::take_result`].
+    finished: HashMap<u64, ResultMsg>,
+    /// Completed reports keyed by [`CampaignSpec::cache_key`].
+    cache: HashMap<String, ResultMsg>,
+    subscribers: Vec<Sender<ServiceEvent>>,
+    shutdown: bool,
+}
+
+/// The long-lived campaign service: shared scheduler state plus the
+/// optional on-disk corpus. Wrap it in an `Arc` and hand clones to worker
+/// loops and client handlers.
+pub struct Service {
+    inner: Mutex<Inner>,
+    wake: Condvar,
+    corpus: Option<Corpus>,
+    executed_total: AtomicU64,
+}
+
+impl Service {
+    /// A service with no corpus persistence.
+    pub fn new() -> Self {
+        Self::with_corpus(None)
+    }
+
+    /// A service appending validated violations to `corpus`.
+    pub fn with_corpus(corpus: Option<Corpus>) -> Self {
+        Service {
+            inner: Mutex::new(Inner::default()),
+            wake: Condvar::new(),
+            corpus,
+            executed_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Total batches executed across every campaign since startup — the
+    /// counter the cache-hit tests pin at "unchanged".
+    pub fn executed_batches_total(&self) -> u64 {
+        self.executed_total.load(Ordering::SeqCst)
+    }
+
+    /// Submits a campaign: a cache hit replays the stored result under a
+    /// fresh id; a miss plans the batches and joins the fair-share rotation.
+    pub fn submit(&self, spec: &CampaignSpec) -> Result<SubmitOutcome, String> {
+        let cfg = spec.resolve()?;
+        let key = spec.cache_key();
+        let batches = plan_batches(&cfg, spec.batch_programs);
+        let mut inner = self.inner.lock().unwrap();
+        if inner.shutdown {
+            return Err("service is shutting down".into());
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        if let Some(hit) = inner.cache.get(&key) {
+            let result = ResultMsg {
+                campaign: id,
+                cached: true,
+                executed_batches: 0,
+                ..hit.clone()
+            };
+            return Ok(SubmitOutcome::Cached {
+                campaign: id,
+                result: Box::new(result),
+            });
+        }
+        let total_batches = batches.len() as u64;
+        inner.active.push(ActiveCampaign {
+            id,
+            key,
+            cfg,
+            batches,
+            cursor: 0,
+            orphans: Vec::new(),
+            earliest_hit: None,
+            outstanding: 0,
+            executed: 0,
+            fragments: Vec::new(),
+            cases_done: 0,
+            done_batches: 0,
+            cancelled: false,
+            start: Instant::now(),
+        });
+        drop(inner);
+        self.wake.notify_all();
+        Ok(SubmitOutcome::Accepted {
+            campaign: id,
+            total_batches,
+        })
+    }
+
+    /// Cancels a campaign. Already-leased batches may still complete (their
+    /// fragments are discarded); the terminal [`ResultMsg`] has
+    /// `cancelled: true` and no report, and the cache is not populated.
+    /// Unknown or already-finished ids are a no-op.
+    pub fn cancel(&self, campaign: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let Some(pos) = inner.active.iter().position(|c| c.id == campaign) else {
+            return;
+        };
+        inner.active[pos].cancelled = true;
+        if inner.active[pos].outstanding == 0 {
+            let camp = inner.active.swap_remove(pos);
+            Self::finish_cancelled(&mut inner, camp);
+        }
+        drop(inner);
+        self.wake.notify_all();
+    }
+
+    /// Waits up to `timeout` for a batch lease from any active campaign.
+    pub fn wait_lease(&self, timeout: Duration) -> LeaseWait {
+        self.wait_lease_where(timeout, |_| true)
+    }
+
+    /// Waits up to `timeout` for a lease from a campaign `eligible`
+    /// accepts — the hook TCP slots use to skip campaigns their remote
+    /// worker's config cannot serve.
+    pub fn wait_lease_where(&self, timeout: Duration, eligible: impl Fn(u64) -> bool) -> LeaseWait {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if inner.shutdown {
+                return LeaseWait::Shutdown;
+            }
+            if let Some(lease) = Self::try_lease(&mut inner, &eligible) {
+                return LeaseWait::Lease(Box::new(lease));
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return LeaseWait::Idle;
+            }
+            let (guard, _) = self.wake.wait_timeout(inner, remaining).unwrap();
+            inner = guard;
+        }
+    }
+
+    /// Round-robin lease: resume one past the campaign that got the
+    /// previous lease, so concurrent campaigns alternate A, B, A, B...
+    fn try_lease(inner: &mut Inner, eligible: &impl Fn(u64) -> bool) -> Option<Lease> {
+        let n = inner.active.len();
+        for step in 0..n {
+            let pos = (inner.rr + step) % n;
+            let camp = &mut inner.active[pos];
+            if camp.cancelled || !eligible(camp.id) {
+                continue;
+            }
+            if let Some(spec) = camp.next_runnable() {
+                camp.outstanding += 1;
+                let lease = Lease {
+                    campaign: camp.id,
+                    spec,
+                    cfg: camp.cfg.clone(),
+                    anchor: camp.start,
+                };
+                inner.rr = (pos + 1) % n;
+                return Some(lease);
+            }
+        }
+        None
+    }
+
+    /// Returns a lease unexecuted (worker failure): the batch goes back
+    /// into the campaign's orphan pool for the next taker.
+    pub fn release(&self, lease: Lease) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(pos) = inner.active.iter().position(|c| c.id == lease.campaign) {
+            let camp = &mut inner.active[pos];
+            camp.outstanding -= 1;
+            camp.orphans.push(lease.spec);
+            if camp.cancelled && camp.outstanding == 0 {
+                let camp = inner.active.swap_remove(pos);
+                Self::finish_cancelled(&mut inner, camp);
+            }
+        }
+        drop(inner);
+        self.wake.notify_all();
+    }
+
+    /// Completes a lease with its executed fragment. Drives the campaign's
+    /// progress stream and, on the final fragment, the reduction, the cache
+    /// fill and the corpus append.
+    pub fn complete(&self, lease: Lease, fragment: Fragment) {
+        self.executed_total.fetch_add(1, Ordering::SeqCst);
+        let mut inner = self.inner.lock().unwrap();
+        let Some(pos) = inner.active.iter().position(|c| c.id == lease.campaign) else {
+            // Campaign already torn down (cancelled and drained while this
+            // batch ran) — the fragment is surplus, drop it.
+            return;
+        };
+        let camp = &mut inner.active[pos];
+        camp.outstanding -= 1;
+        camp.executed += 1;
+        if camp.cancelled {
+            if camp.outstanding == 0 {
+                let camp = inner.active.swap_remove(pos);
+                Self::finish_cancelled(&mut inner, camp);
+            }
+            drop(inner);
+            self.wake.notify_all();
+            return;
+        }
+        if camp.cfg.stop_on_first && !fragment.digests.is_empty() {
+            camp.earliest_hit = Some(
+                camp.earliest_hit
+                    .map_or(fragment.index, |hit| hit.min(fragment.index)),
+            );
+        }
+        camp.done_batches += 1;
+        camp.cases_done += fragment.stats.cases as u64;
+        let event = ServiceEvent::Progress {
+            campaign: camp.id,
+            done: camp.done_batches,
+            total: camp.batches.len() as u64,
+            cases: camp.cases_done,
+        };
+        camp.fragments.push(fragment);
+        let finished = camp.drained().then(|| inner.active.swap_remove(pos));
+        Self::broadcast(&mut inner, event);
+        drop(inner);
+        self.wake.notify_all();
+        if let Some(camp) = finished {
+            self.finalize(camp);
+        }
+    }
+
+    /// Reduces a drained campaign to its terminal result, fills the cache,
+    /// appends to the corpus, and announces [`ServiceEvent::Finished`].
+    fn finalize(&self, camp: ActiveCampaign) {
+        let hit = camp
+            .cfg
+            .stop_on_first
+            .then_some(camp.earliest_hit)
+            .flatten();
+        let total = camp.batches.len();
+        let result = match verify_fragment_coverage(&camp.cfg, &camp.fragments, hit, total) {
+            Ok(()) => {
+                let report = reduce_fragments(camp.cfg, camp.fragments, hit, camp.start.elapsed());
+                if let Some(corpus) = &self.corpus {
+                    // Best-effort: a full disk must not fail the campaign,
+                    // but the operator should hear about it.
+                    if let Err(e) = corpus.append(&records_from_report(&report)) {
+                        eprintln!("corpus append failed: {e}");
+                    }
+                }
+                ResultMsg {
+                    campaign: camp.id,
+                    cached: false,
+                    cancelled: false,
+                    executed_batches: camp.executed,
+                    report: Some(ReportWire::from_report(&report)),
+                    error: None,
+                }
+            }
+            Err(e) => ResultMsg {
+                campaign: camp.id,
+                cached: false,
+                cancelled: false,
+                executed_batches: camp.executed,
+                report: None,
+                error: Some(format!("campaign incomplete: {e}")),
+            },
+        };
+        let mut inner = self.inner.lock().unwrap();
+        if result.report.is_some() {
+            inner.cache.insert(camp.key, result.clone());
+        }
+        inner.finished.insert(camp.id, result);
+        Self::broadcast(&mut inner, ServiceEvent::Finished { campaign: camp.id });
+        drop(inner);
+        self.wake.notify_all();
+    }
+
+    fn finish_cancelled(inner: &mut Inner, camp: ActiveCampaign) {
+        inner.finished.insert(
+            camp.id,
+            ResultMsg {
+                campaign: camp.id,
+                cached: false,
+                cancelled: true,
+                executed_batches: camp.executed,
+                report: None,
+                error: None,
+            },
+        );
+        Self::broadcast(inner, ServiceEvent::Finished { campaign: camp.id });
+    }
+
+    fn broadcast(inner: &mut Inner, event: ServiceEvent) {
+        inner
+            .subscribers
+            .retain(|tx| tx.send(event.clone()).is_ok());
+    }
+
+    /// Subscribes to every future [`ServiceEvent`]. A dropped receiver is
+    /// pruned on the next broadcast.
+    pub fn subscribe(&self) -> Receiver<ServiceEvent> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.inner.lock().unwrap().subscribers.push(tx);
+        rx
+    }
+
+    /// Removes and returns a finished campaign's terminal result.
+    pub fn take_result(&self, campaign: u64) -> Option<ResultMsg> {
+        self.inner.lock().unwrap().finished.remove(&campaign)
+    }
+
+    /// Whether `campaign` is still active (scheduled or running) — worker
+    /// loops use this to garbage-collect per-campaign runtimes.
+    pub fn is_active(&self, campaign: u64) -> bool {
+        self.inner
+            .lock()
+            .unwrap()
+            .active
+            .iter()
+            .any(|c| c.id == campaign)
+    }
+
+    /// Begins shutdown: no new submits; every [`Service::wait_lease`]
+    /// returns [`LeaseWait::Shutdown`] so worker loops drain.
+    pub fn shutdown(&self) {
+        self.inner.lock().unwrap().shutdown = true;
+        self.wake.notify_all();
+    }
+}
+
+impl Default for Service {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn quick_spec(seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            defense: "Baseline".into(),
+            contract: "CT-SEQ".into(),
+            seed,
+            scale: None,
+            find_first: false,
+            batch_programs: 3,
+            cycle_skip: true,
+        }
+    }
+
+    /// With no workers attached, leases are observable one at a time — the
+    /// round-robin must alternate strictly between two active campaigns.
+    #[test]
+    fn fair_share_alternates_between_active_campaigns() {
+        let service = Service::new();
+        let SubmitOutcome::Accepted { campaign: a, .. } = service.submit(&quick_spec(1)).unwrap()
+        else {
+            panic!("fresh submit must not hit the cache")
+        };
+        let SubmitOutcome::Accepted { campaign: b, .. } = service.submit(&quick_spec(2)).unwrap()
+        else {
+            panic!("fresh submit must not hit the cache")
+        };
+        let mut owners = Vec::new();
+        for _ in 0..6 {
+            match service.wait_lease(Duration::from_millis(10)) {
+                LeaseWait::Lease(lease) => owners.push(lease.campaign),
+                other => panic!("expected a lease, got {other:?}"),
+            }
+        }
+        assert_eq!(owners, vec![a, b, a, b, a, b], "round-robin broke");
+    }
+
+    /// Cancelling a campaign that never got a worker resolves immediately
+    /// with a cancelled result, and a resubmit is accepted (not cached).
+    #[test]
+    fn cancel_without_workers_resolves_and_does_not_cache() {
+        let service = Service::new();
+        let SubmitOutcome::Accepted { campaign, .. } = service.submit(&quick_spec(7)).unwrap()
+        else {
+            panic!("fresh submit must not hit the cache")
+        };
+        service.cancel(campaign);
+        let result = service.take_result(campaign).expect("cancel is terminal");
+        assert!(result.cancelled);
+        assert_eq!(result.executed_batches, 0);
+        assert!(result.report.is_none());
+        assert!(matches!(
+            service.submit(&quick_spec(7)).unwrap(),
+            SubmitOutcome::Accepted { .. }
+        ));
+    }
+
+    /// Bad specs are client errors; shutdown refuses new work and turns
+    /// lease waits into [`LeaseWait::Shutdown`].
+    #[test]
+    fn bad_specs_error_and_shutdown_drains_waiters() {
+        let service = Service::new();
+        let err = service
+            .submit(&CampaignSpec {
+                defense: "Nope".into(),
+                ..quick_spec(1)
+            })
+            .unwrap_err();
+        assert!(err.contains("unknown defense"), "{err}");
+        service.shutdown();
+        assert!(service.submit(&quick_spec(1)).is_err());
+        assert!(matches!(
+            service.wait_lease(Duration::from_secs(5)),
+            LeaseWait::Shutdown
+        ));
+    }
+
+    /// A released lease goes back to the same campaign and is re-leased
+    /// before the cursor advances past it.
+    #[test]
+    fn released_leases_are_reissued_first() {
+        let service = Service::new();
+        let SubmitOutcome::Accepted { campaign, .. } = service.submit(&quick_spec(3)).unwrap()
+        else {
+            panic!("fresh submit must not hit the cache")
+        };
+        let LeaseWait::Lease(first) = service.wait_lease(Duration::from_millis(10)) else {
+            panic!("expected a lease")
+        };
+        let first_index = first.spec.index;
+        service.release(*first);
+        let LeaseWait::Lease(again) = service.wait_lease(Duration::from_millis(10)) else {
+            panic!("expected a lease")
+        };
+        assert_eq!(again.campaign, campaign);
+        assert_eq!(
+            again.spec.index, first_index,
+            "orphan must be re-leased first"
+        );
+    }
+}

@@ -159,6 +159,58 @@ pub fn spawn_mem_worker(cfg: &CampaignConfig) -> MemLink {
     }
 }
 
+/// A campaign client's end of an in-memory `amulet serve` conversation:
+/// protocol lines out, protocol lines in.
+pub struct MemClient {
+    pub tx: Sender<String>,
+    pub rx: Receiver<String>,
+}
+
+impl MemClient {
+    pub fn send(&self, msg: &Msg) {
+        self.tx.send(msg.to_line()).expect("service hung up");
+    }
+
+    /// The next raw line from the service (panics on timeout — service
+    /// tests always know a message is due).
+    pub fn recv_line(&self, timeout: Duration) -> String {
+        self.rx.recv_timeout(timeout).expect("service went silent")
+    }
+
+    pub fn recv(&self, timeout: Duration) -> Msg {
+        let line = self.recv_line(timeout);
+        Msg::parse_line(&line).expect("service sent a malformed line")
+    }
+}
+
+/// Boots the real `serve_client` handler on its own thread against
+/// `service` and hands back the client's end of the conversation —
+/// the in-memory analogue of connecting to `amulet serve` over TCP.
+/// Dropping the [`MemClient`] is the disconnect.
+pub fn spawn_serve_client(service: &std::sync::Arc<amulet::fuzz::Service>) -> MemClient {
+    let (to_service, service_rx) = channel::<String>();
+    let (service_tx, from_service) = channel::<String>();
+    let service = service.clone();
+    std::thread::spawn(move || {
+        let reader = BufReader::new(ChanReader {
+            rx: service_rx,
+            pending: Vec::new(),
+            pos: 0,
+        });
+        let writer = ChanWriter {
+            tx: service_tx,
+            buf: Vec::new(),
+        };
+        // A dropped MemClient ends the conversation; errors are the
+        // tests' business to assert on, not ours to unwrap.
+        let _ = amulet_cli::serve_client(&service, reader, writer);
+    });
+    MemClient {
+        tx: to_service,
+        rx: from_service,
+    }
+}
+
 /// A `Write` that appends into a shared buffer — the capture sink for
 /// fragment tees and fleet event logs.
 pub struct SharedBuf(pub std::sync::Arc<std::sync::Mutex<Vec<u8>>>);

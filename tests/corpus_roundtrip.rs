@@ -1,0 +1,119 @@
+//! Corpus persistence round-trip: records built from two real campaigns
+//! survive append → reopen → query with the exact minimized programs,
+//! input digests and violation digests they were written with — the
+//! "daemon restart loses nothing" half of the `amulet serve` contract.
+
+use amulet::contracts::ContractKind;
+use amulet::defenses::DefenseKind;
+use amulet::fuzz::{records_from_report, CampaignConfig, Corpus, ShardConfig, ShardedCampaign};
+use amulet::isa::parse_program;
+use std::path::PathBuf;
+
+fn quick_records(seed: u64) -> Vec<amulet::fuzz::CorpusRecord> {
+    let mut cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+    cfg.seed = seed;
+    let report = ShardedCampaign::new(
+        cfg,
+        ShardConfig {
+            workers: 2,
+            batch_programs: 3,
+        },
+    )
+    .run();
+    assert!(
+        report.violation_found(),
+        "the unprotected CPU leaks under CT-SEQ — seed {seed} found nothing"
+    );
+    records_from_report(&report)
+}
+
+fn temp_corpus(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "amulet_corpus_it_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn two_campaigns_of_findings_survive_reopen_and_query() {
+    let first = quick_records(2025);
+    let second = quick_records(7);
+    let path = temp_corpus("roundtrip");
+
+    // Each campaign appends through its own handle — the daemon-restart
+    // scenario: no state is shared but the file.
+    assert_eq!(Corpus::open(&path).append(&first).unwrap(), first.len());
+    assert_eq!(Corpus::open(&path).append(&second).unwrap(), second.len());
+
+    let mut expected = first.clone();
+    expected.extend(second.clone());
+    let reopened = Corpus::open(&path);
+    assert_eq!(reopened.load().unwrap(), expected);
+
+    // Query by the class of a known finding returns exactly the matching
+    // records — same minimized programs, same digests, in append order.
+    let class = first[0].digest.class.paper_id();
+    let by_class = reopened.query(Some(class), None).unwrap();
+    let want: Vec<_> = expected
+        .iter()
+        .filter(|r| r.digest.class.paper_id() == class)
+        .cloned()
+        .collect();
+    assert!(!want.is_empty());
+    assert_eq!(by_class, want);
+
+    // Everything here came from Baseline campaigns; a defense filter for
+    // anything else is empty, and the Baseline filter is the full set.
+    assert_eq!(reopened.query(None, Some("Baseline")).unwrap(), expected);
+    assert_eq!(reopened.query(None, Some("STT")).unwrap(), Vec::new());
+
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn in_process_findings_carry_parseable_minimized_programs_and_inputs() {
+    let records = quick_records(2025);
+    for rec in &records {
+        // In-process reports carry full artefacts: every record has a
+        // minimized program the assembler round-trips, plus both inputs.
+        let program = parse_program(&rec.program)
+            .unwrap_or_else(|e| panic!("unparseable minimized program ({e:?}):\n{}", rec.program));
+        assert!(!program.is_empty());
+        program
+            .validate()
+            .expect("minimized program is well-formed");
+        assert!(rec.input_a.is_some() && rec.input_b.is_some());
+    }
+}
+
+#[test]
+fn corpus_lines_keep_counters_exact_and_digests_hex() {
+    let records = quick_records(2025);
+    let path = temp_corpus("encoding");
+    Corpus::open(&path).append(&records).unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(text.lines().count(), records.len());
+    for line in text.lines() {
+        // Seeds are strings (a u64 above 2^53 must not be rounded by
+        // double-based JSON readers), digests 0x-prefixed hex, and no
+        // line masquerades as a wire-protocol message.
+        assert!(
+            line.contains("\"seed\":\"2025\""),
+            "seed not a string: {line}"
+        );
+        assert!(line.contains("\"ctrace\":\"0x"), "digest not hex: {line}");
+        assert!(
+            line.contains("\"mem_digest\":\"0x"),
+            "input not hex: {line}"
+        );
+        assert!(
+            !line.contains("\"type\""),
+            "corpus line has a type tag: {line}"
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}

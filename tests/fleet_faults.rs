@@ -191,6 +191,25 @@ fn worker_churn_quarantines_the_dead_and_preserves_the_fingerprint() {
     for line in events.lines() {
         amulet::util::parse_json(line).expect("event lines are valid JSON");
     }
+    // Every event row carries a dense monotonic sequence number in file
+    // order, so consumers can order rows (t_s collides at millisecond
+    // scale) and detect truncated logs.
+    let seqs: Vec<u64> = events
+        .lines()
+        .map(|line| {
+            amulet::util::parse_json(line)
+                .unwrap()
+                .get("seq")
+                .unwrap_or_else(|| panic!("event row lacks a seq: {line}"))
+                .as_u64()
+                .expect("seq is an exact integer")
+        })
+        .collect();
+    let expected: Vec<u64> = (0..seqs.len() as u64).collect();
+    assert_eq!(
+        seqs, expected,
+        "seq must be dense and monotonic in file order"
+    );
 }
 
 /// Graceful degradation has a floor: when *every* worker is gone and

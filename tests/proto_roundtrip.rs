@@ -4,7 +4,9 @@
 //! campaign fingerprint — and the operator's handbook must document
 //! exactly the tag set the protocol emits.
 
-use amulet::fuzz::proto::{FragmentReport, Hello, Msg, PROTO_VERSION};
+use amulet::fuzz::proto::{
+    CampaignSpec, FragmentReport, Hello, Msg, ReportWire, ResultMsg, PROTO_VERSION,
+};
 use amulet::fuzz::{BatchSpec, CampaignConfig, ScanStats, ViolationClass, ViolationDigest};
 use amulet::{contracts::ContractKind, defenses::DefenseKind};
 use std::collections::BTreeSet;
@@ -85,7 +87,101 @@ fn all_message_shapes() -> Vec<Msg> {
         Msg::Shutdown,
         Msg::Fragment(FragmentReport::skipped(3)),
         Msg::Fragment(loaded_fragment()),
+        // Protocol v3: the service flow.
+        Msg::Submit(CampaignSpec {
+            defense: "Baseline".into(),
+            contract: "CT-SEQ".into(),
+            seed: u64::MAX,
+            scale: None,
+            find_first: false,
+            batch_programs: 3,
+            cycle_skip: true,
+        }),
+        Msg::Submit(CampaignSpec {
+            defense: "STT".into(),
+            contract: "ARCH-SEQ".into(),
+            seed: 7,
+            scale: Some(0.25),
+            find_first: true,
+            batch_programs: 8,
+            cycle_skip: false,
+        }),
+        Msg::Accepted {
+            campaign: 1,
+            cached: false,
+        },
+        Msg::Accepted {
+            campaign: u64::MAX,
+            cached: true,
+        },
+        Msg::Progress {
+            campaign: 3,
+            done: 5,
+            total: 8,
+            cases: 420,
+        },
+        Msg::CampaignResult(ResultMsg {
+            campaign: 3,
+            cached: false,
+            cancelled: false,
+            executed_batches: 8,
+            report: Some(loaded_report_wire()),
+            error: None,
+        }),
+        Msg::CampaignResult(ResultMsg {
+            campaign: 4,
+            cached: true,
+            cancelled: false,
+            executed_batches: 0,
+            report: Some(loaded_report_wire()),
+            error: None,
+        }),
+        Msg::CampaignResult(ResultMsg {
+            campaign: 5,
+            cached: false,
+            cancelled: true,
+            executed_batches: 2,
+            report: None,
+            error: None,
+        }),
+        Msg::CampaignResult(ResultMsg {
+            campaign: u64::MAX,
+            cached: false,
+            cancelled: false,
+            executed_batches: 0,
+            report: None,
+            error: Some("unknown defense \"Nope\"".into()),
+        }),
+        Msg::CancelCampaign { campaign: 3 },
+        Msg::CancelCampaign { campaign: u64::MAX },
     ]
+}
+
+/// A wire report with full-width counters and loaded digests — the
+/// richest `result` payload the service can emit.
+fn loaded_report_wire() -> ReportWire {
+    ReportWire {
+        defense: "Baseline".into(),
+        contract: "CT-SEQ".into(),
+        mode: "Opt".into(),
+        format: "CacheLines".into(),
+        include_l1i: false,
+        seed: u64::MAX,
+        instances: 2,
+        programs: 12,
+        inputs: 28,
+        stats: ScanStats {
+            cases: 672,
+            classes: 96,
+            candidates: 5,
+            validation_runs: 20,
+            confirmed: 2,
+            sim_cycles: 0xffff_ffff_ffff_fff1,
+            warped_cycles: 1 << 62,
+        },
+        detections: 2,
+        digests: loaded_fragment().violations,
+    }
 }
 
 #[test]
