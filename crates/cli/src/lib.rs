@@ -135,12 +135,17 @@ SERVE OPTIONS:
     --connect A,B,...     Also lease batches to remote `amulet worker --listen`
                           processes at these addresses
     --corpus PATH         Append validated violations to this corpus JSONL file
+    --state-dir DIR       Crash-safe persistence: write-ahead journal every
+                          campaign and persist the result cache under DIR;
+                          on startup, recover and resume interrupted work
     --sessions N          Exit after N client sessions (0 = forever)
 
 SUBMIT OPTIONS (shape options as for campaign):
     --connect ADDR        The serve daemon's address (required)
     --batch N             Programs per batch (part of the campaign identity)
     --timeout-s S         Give up after S seconds (default: 600)
+    --retries N           Reconnect-and-resubmit attempts after connection
+                          loss, seeded-jitter backoff (default: 0)
     --json PATH           Append the result line to PATH (`-` = stdout)
 
 CORPUS OPTIONS:

@@ -4,13 +4,20 @@
 //! The daemon glues three loops to one shared [`Service`]:
 //!
 //! - **client handlers** ([`serve_client`]): one per accepted connection,
-//!   speaking the protocol-v3 service messages (`submit`/`accepted`/
-//!   `progress`/`result`/`cancel_campaign`) as JSONL over the socket;
+//!   speaking the protocol-v4 service messages (`submit`/`accepted`/
+//!   `recovering`/`progress`/`result`/`cancel_campaign`) as JSONL over the
+//!   socket;
 //! - **local workers** ([`ServiceHost`]): in-process threads executing
 //!   leased batches with per-campaign persistent runtimes;
 //! - **TCP slots**: one thread per `--connect` address, forwarding leases
 //!   to remote `amulet worker --listen` processes over the PR 6 link
 //!   layer, with the same strike/backoff/quarantine ladder as `drive`.
+//!
+//! With `--state-dir DIR`, the daemon is crash-safe: a startup recovery
+//! pass (`StateDir::recover`) reloads the persisted result cache and
+//! clears stale journals, and every campaign is write-ahead journaled so
+//! a killed daemon resumes interrupted work batch-granularly on restart —
+//! the client sees a `recovering` note and a fingerprint-identical result.
 //!
 //! Scheduling fairness, the result cache and corpus persistence live in
 //! `amulet_core::service`; this module is transport and process glue —
@@ -23,9 +30,9 @@ use crate::{Args, JsonSink, ShapeOptions, WorkerLink};
 use amulet_core::proto::{CampaignSpec, Msg, ResultMsg};
 use amulet_core::{
     run_batch, BatchSpec, Corpus, Fragment, LeaseWait, Service, ServiceEvent, ShardConfig,
-    SubmitOutcome, UnitRuntime,
+    StateDir, SubmitOutcome, UnitRuntime,
 };
-use amulet_util::JsonObj;
+use amulet_util::{JsonObj, Xoshiro256};
 use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
@@ -326,7 +333,11 @@ where
                 Ok(Ok(line)) if line.trim().is_empty() => {}
                 Ok(Ok(line)) => match Msg::parse_line(&line) {
                     Ok(Msg::Submit(spec)) => match service.submit(&spec) {
-                        Ok(SubmitOutcome::Accepted { campaign, .. }) => {
+                        Ok(SubmitOutcome::Accepted {
+                            campaign,
+                            total_batches,
+                            recovered,
+                        }) => {
                             stats.submitted += 1;
                             owned.insert(campaign);
                             send(
@@ -336,6 +347,16 @@ where
                                     cached: false,
                                 },
                             )?;
+                            if recovered > 0 {
+                                send(
+                                    &mut out,
+                                    &Msg::Recovering {
+                                        campaign,
+                                        recovered,
+                                        total: total_batches,
+                                    },
+                                )?;
+                            }
                         }
                         Ok(SubmitOutcome::Cached { campaign, result }) => {
                             stats.submitted += 1;
@@ -433,6 +454,7 @@ pub(crate) fn cmd_serve(mut args: Args) -> Result<(), String> {
         None => Vec::new(),
     };
     let corpus = args.value("--corpus")?.map(Corpus::open);
+    let state = args.value("--state-dir")?.map(StateDir::open).transpose()?;
     let sessions = args.parsed::<usize>("--sessions")?.unwrap_or(0);
     args.finish()?;
     if workers == 0 && connect.is_empty() {
@@ -455,7 +477,27 @@ pub(crate) fn cmd_serve(mut args: Args) -> Result<(), String> {
             .finish()
     );
 
-    let service = Arc::new(Service::with_corpus(corpus));
+    let service = Arc::new(match state {
+        Some(state) => {
+            // The startup recovery pass: reload the persisted result cache,
+            // clear journals whose campaign already completed, and announce
+            // what a resubmit could resume.
+            let recovery = state.recover()?;
+            eprintln!(
+                "{}",
+                JsonObj::new()
+                    .str("event", "recovery")
+                    .str("state_dir", &state.path().display().to_string())
+                    .int("cached", recovery.cache.len() as u64)
+                    .int("resumable", recovery.resumable as u64)
+                    .int("cleared", recovery.cleared as u64)
+                    .int("corrupt", recovery.corrupt as u64)
+                    .finish()
+            );
+            Service::with_persistence(corpus, state, recovery)
+        }
+        None => Service::with_corpus(corpus),
+    });
     let host = ServiceHost::start(service.clone(), workers, &connect);
     let session_seq = AtomicU64::new(0);
     let mut handlers = Vec::new();
@@ -518,42 +560,50 @@ pub(crate) fn cmd_serve(mut args: Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `amulet submit`.
-pub(crate) fn cmd_submit(mut args: Args) -> Result<(), String> {
-    let addr = args
-        .value("--connect")?
-        .ok_or("submit: --connect ADDR is required")?;
-    let shape = ShapeOptions::parse(&mut args)?;
-    let batch = args
-        .parsed::<usize>("--batch")?
-        .unwrap_or(ShardConfig::default().batch_programs)
-        .max(1);
-    let timeout = Duration::from_secs_f64(args.parsed::<f64>("--timeout-s")?.unwrap_or(600.0));
-    let mut sink = JsonSink::open(args.value("--json")?)?;
-    args.finish()?;
+/// Why one `amulet submit` attempt failed.
+enum SubmitFailure {
+    /// The service answered: the campaign itself failed or was cancelled.
+    /// Retrying cannot change the outcome.
+    Fatal(String),
+    /// Transport trouble (connect refused, connection lost mid-campaign) —
+    /// a resubmit converges on the same fingerprint, because the service
+    /// answers a repeat submit from its cache or resumes its journal.
+    Transient(String),
+}
 
-    let cfg = shape.config();
-    let spec = CampaignSpec {
-        defense: shape.defense.name().to_string(),
-        contract: shape.contract.name().to_string(),
-        seed: cfg.seed,
-        scale: shape.scale,
-        find_first: shape.find_first,
-        batch_programs: batch,
-        cycle_skip: !shape.no_cycle_skip,
-    };
-    let mut link = TcpLink::connect(&addr, Duration::from_secs(10))?;
-    link.send(&Msg::Submit(spec))?;
-    let deadline = Instant::now() + timeout;
+/// One connect → submit → await-result conversation.
+fn submit_attempt(
+    addr: &str,
+    spec: &CampaignSpec,
+    deadline: Instant,
+    sink: &mut JsonSink,
+) -> Result<(), SubmitFailure> {
+    let mut link =
+        TcpLink::connect(addr, Duration::from_secs(10)).map_err(SubmitFailure::Transient)?;
+    link.send(&Msg::Submit(spec.clone()))
+        .map_err(SubmitFailure::Transient)?;
     loop {
         let remaining = deadline.saturating_duration_since(Instant::now());
         if remaining.is_zero() {
-            return Err(format!("submit: no result within {timeout:?}"));
+            return Err(SubmitFailure::Fatal("submit: deadline exhausted".into()));
         }
-        match link.recv_timeout(remaining)? {
-            None => return Err(format!("submit: no result within {timeout:?}")),
+        match link
+            .recv_timeout(remaining)
+            .map_err(SubmitFailure::Transient)?
+        {
+            None => return Err(SubmitFailure::Fatal("submit: deadline exhausted".into())),
             Some(Msg::Accepted { campaign, cached }) => {
                 eprintln!("campaign {campaign} accepted (cached: {cached})");
+            }
+            Some(Msg::Recovering {
+                campaign,
+                recovered,
+                total,
+            }) => {
+                eprintln!(
+                    "campaign {campaign}: resuming from journal, \
+                     {recovered}/{total} batches already on disk"
+                );
             }
             Some(Msg::Progress {
                 campaign,
@@ -565,12 +615,17 @@ pub(crate) fn cmd_submit(mut args: Args) -> Result<(), String> {
             }
             Some(Msg::CampaignResult(r)) => {
                 if let Some(e) = r.error {
-                    return Err(format!("campaign failed: {e}"));
+                    return Err(SubmitFailure::Fatal(format!("campaign failed: {e}")));
                 }
                 if r.cancelled {
-                    return Err(format!("campaign {} was cancelled", r.campaign));
+                    return Err(SubmitFailure::Fatal(format!(
+                        "campaign {} was cancelled",
+                        r.campaign
+                    )));
                 }
-                let rep = r.report.ok_or("result carried no report")?;
+                let rep = r
+                    .report
+                    .ok_or_else(|| SubmitFailure::Fatal("result carried no report".into()))?;
                 let line = JsonObj::new()
                     .int("campaign", r.campaign)
                     .bool("cached", r.cached)
@@ -587,11 +642,87 @@ pub(crate) fn cmd_submit(mut args: Args) -> Result<(), String> {
                 // `--json -` already printed above; only duplicate into a
                 // real file sink.
                 if !matches!(sink, JsonSink::Stdout) {
-                    sink.line(&line)?;
+                    sink.line(&line).map_err(SubmitFailure::Fatal)?;
                 }
                 return Ok(());
             }
-            Some(other) => return Err(format!("unexpected {:?} from service", other.tag())),
+            Some(other) => {
+                return Err(SubmitFailure::Fatal(format!(
+                    "unexpected {:?} from service",
+                    other.tag()
+                )))
+            }
+        }
+    }
+}
+
+/// Seeded-jitter exponential backoff between submit attempts — the same
+/// shape as `drive`'s worker-restart delay: cap doubles per attempt up to
+/// [`BACKOFF_MAX`], the delay lands uniformly in `[cap/2, cap]`.
+fn submit_retry_delay(rng: &mut Xoshiro256, attempt: u64) -> Duration {
+    let base = BACKOFF_BASE.as_nanos() as u64;
+    let max = BACKOFF_MAX.as_nanos() as u64;
+    let cap = base
+        .saturating_mul(1u64 << attempt.min(20))
+        .min(max.max(base))
+        .max(2);
+    Duration::from_nanos(cap / 2 + rng.range(0, cap / 2 + 1))
+}
+
+/// `amulet submit`.
+pub(crate) fn cmd_submit(mut args: Args) -> Result<(), String> {
+    let addr = args
+        .value("--connect")?
+        .ok_or("submit: --connect ADDR is required")?;
+    let shape = ShapeOptions::parse(&mut args)?;
+    let batch = args
+        .parsed::<usize>("--batch")?
+        .unwrap_or(ShardConfig::default().batch_programs)
+        .max(1);
+    let timeout = Duration::from_secs_f64(args.parsed::<f64>("--timeout-s")?.unwrap_or(600.0));
+    let retries = args.parsed::<u64>("--retries")?.unwrap_or(0);
+    let mut sink = JsonSink::open(args.value("--json")?)?;
+    args.finish()?;
+
+    let cfg = shape.config();
+    let spec = CampaignSpec {
+        defense: shape.defense.name().to_string(),
+        contract: shape.contract.name().to_string(),
+        seed: cfg.seed,
+        scale: shape.scale,
+        find_first: shape.find_first,
+        batch_programs: batch,
+        cycle_skip: !shape.no_cycle_skip,
+    };
+    // Deterministic jitter, decorrelated across campaigns by the seed.
+    let mut rng = Xoshiro256::seed_from_u64(spec.seed ^ 0x5355_424d_4954_5232);
+    let deadline = Instant::now() + timeout;
+    let mut attempt = 0u64;
+    loop {
+        match submit_attempt(&addr, &spec, deadline, &mut sink) {
+            Ok(()) => return Ok(()),
+            Err(SubmitFailure::Fatal(e)) => return Err(e),
+            Err(SubmitFailure::Transient(e)) => {
+                if attempt >= retries {
+                    return Err(if retries == 0 {
+                        e
+                    } else {
+                        format!("submit: gave up after {retries} retries: {e}")
+                    });
+                }
+                let delay = submit_retry_delay(&mut rng, attempt);
+                attempt += 1;
+                eprintln!(
+                    "{}",
+                    JsonObj::new()
+                        .str("event", "submit_retry")
+                        .int("attempt", attempt)
+                        .int("delay_ms", delay.as_millis() as u64)
+                        .str("error", &e)
+                        .finish()
+                );
+                std::thread::sleep(delay);
+            }
         }
     }
 }

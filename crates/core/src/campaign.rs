@@ -415,6 +415,14 @@ impl Fnv1a {
         self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
     }
 
+    /// Folds a raw byte slice — the [`journal`](crate::journal) uses this
+    /// to derive a path-safe file name from a campaign cache key.
+    pub(crate) fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.byte(b);
+        }
+    }
+
     fn u64(&mut self, v: u64) {
         for b in v.to_le_bytes() {
             self.byte(b);

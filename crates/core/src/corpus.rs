@@ -207,20 +207,38 @@ impl Corpus {
     }
 
     /// Loads every record. A missing file is an empty corpus; a malformed
-    /// line is an error naming its line number.
+    /// line is an error naming its line number — except a torn *trailing*
+    /// line (no final newline: the signature of a crash mid-append), which
+    /// is skipped with a structured stderr note so a daemon restart never
+    /// fails over the one record a crash interrupted.
     pub fn load(&self) -> Result<Vec<CorpusRecord>, String> {
         let text = match std::fs::read_to_string(&self.path) {
             Ok(t) => t,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
             Err(e) => return Err(format!("cannot read corpus {}: {e}", self.path.display())),
         };
-        text.lines()
-            .enumerate()
-            .filter(|(_, l)| !l.trim().is_empty())
-            .map(|(n, l)| {
-                CorpusRecord::parse_line(l).map_err(|e| format!("corpus line {}: {e}", n + 1))
-            })
-            .collect()
+        let total_lines = text.lines().count();
+        let torn_tail = !text.is_empty() && !text.ends_with('\n');
+        let mut out = Vec::new();
+        for (n, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match CorpusRecord::parse_line(line) {
+                Ok(rec) => out.push(rec),
+                Err(_) if torn_tail && n + 1 == total_lines => {
+                    crate::journal::warn_note(
+                        "corpus_torn_tail",
+                        &[
+                            ("path", &self.path.display().to_string()),
+                            ("line", &(n + 1).to_string()),
+                        ],
+                    );
+                }
+                Err(e) => return Err(format!("corpus line {}: {e}", n + 1)),
+            }
+        }
+        Ok(out)
     }
 
     /// Loads records matching the given filters (`None` = no constraint).
@@ -386,6 +404,35 @@ mod tests {
         .unwrap();
         let err = Corpus::open(&path).load().unwrap_err();
         assert!(err.contains("line 2"), "unexpected error: {err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A byte-truncated trailing line — the on-disk signature of a crash
+    /// mid-append — is skipped with a warning instead of failing the load,
+    /// at every truncation point inside the final record. Interior
+    /// malformed lines (newline-terminated) stay hard errors.
+    #[test]
+    fn torn_trailing_line_is_skipped_not_fatal() {
+        let path = std::env::temp_dir().join(format!(
+            "amulet_corpus_torn_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let corpus = Corpus::open(&path);
+        let keep = sample_record(1, ViolationClass::SpectreV1);
+        let torn = sample_record(2, ViolationClass::SpectreV4);
+        corpus.append(&[keep.clone(), torn.clone()]).unwrap();
+        let whole = std::fs::read(&path).unwrap();
+        let torn_len = torn.to_line().len() + 1;
+
+        // Cut anywhere inside the final record (always leaving at least one
+        // byte of it, so the tail is malformed, not merely absent).
+        for cut in 2..torn_len {
+            std::fs::write(&path, &whole[..whole.len() - cut]).unwrap();
+            let loaded = corpus.load().unwrap();
+            assert_eq!(loaded, vec![keep.clone()], "cut {cut}");
+        }
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -31,7 +31,11 @@
 //! 7. [`service`] turns the fabric into a long-lived daemon (`amulet
 //!    serve`): many concurrent campaigns fair-share one worker fleet,
 //!    repeated submits hit a fingerprint-keyed result cache, and every
-//!    validated violation lands in the persisted [`corpus`].
+//!    validated violation lands in the persisted [`corpus`]. [`journal`]
+//!    makes the daemon crash-safe: a per-campaign write-ahead log plus a
+//!    persisted result cache let a restarted service replay completed
+//!    campaigns byte-identically and resume interrupted ones from the
+//!    journaled batch prefix, fingerprints unchanged.
 //!
 //! # Examples
 //!
@@ -58,6 +62,7 @@ pub mod detect;
 pub mod executor;
 pub mod generator;
 pub mod inputs;
+pub mod journal;
 pub mod minimize;
 pub mod proto;
 pub mod service;
@@ -72,6 +77,9 @@ pub use detect::{Detector, ScanStats, Violation};
 pub use executor::{CaseDigest, CaseRun, ExecMode, Executor, ExecutorConfig};
 pub use generator::{Generator, GeneratorConfig};
 pub use inputs::{boosted_inputs, boosted_inputs_into, InputGenConfig};
+pub use journal::{
+    load_journal, CampaignJournal, CrashPlan, JournalHeader, JournalReplay, Recovery, StateDir,
+};
 pub use minimize::{minimize, Minimized};
 pub use proto::{CampaignSpec, FragmentReport, Hello, Msg, ReportWire, ResultMsg, PROTO_VERSION};
 pub use service::{Lease, LeaseWait, Service, ServiceEvent, SubmitOutcome};

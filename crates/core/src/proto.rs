@@ -76,7 +76,13 @@ use std::time::Duration;
 /// Version 3 added the service messages (`submit`/`accepted`/`progress`/
 /// `result`/`cancel_campaign`) spoken between clients and `amulet serve`.
 /// The worker-facing half of the protocol is unchanged.
-pub const PROTO_VERSION: u64 = 3;
+///
+/// Version 4 added `recovering`, the crash-recovery progress note a
+/// state-dir-backed service sends after `accepted` when it resumed the
+/// campaign from a write-ahead journal instead of starting from batch
+/// zero. Purely informational — the `result` is fingerprint-identical
+/// either way.
+pub const PROTO_VERSION: u64 = 4;
 
 /// The worker's startup announcement: protocol version plus an echo of the
 /// campaign identity it resolved from its command line, so a driver/worker
@@ -413,6 +419,19 @@ pub enum Msg {
         /// Whether the result is served from the cache.
         cached: bool,
     },
+    /// Service → client (protocol v4): sent right after [`Msg::Accepted`]
+    /// when the service resumed this campaign from an on-disk write-ahead
+    /// journal — `recovered` of the `total` planned batches replayed from
+    /// the journal and will not be re-executed. Informational: the final
+    /// `result` is fingerprint-identical to an uninterrupted run.
+    Recovering {
+        /// The campaign being resumed.
+        campaign: u64,
+        /// Batches replayed from the journal.
+        recovered: u64,
+        /// Batches in the campaign's plan.
+        total: u64,
+    },
     /// Service → client: streamed progress for one campaign.
     Progress {
         /// The campaign this progress belongs to.
@@ -438,7 +457,7 @@ impl Msg {
     /// Every `"type"` tag the protocol emits, in flow order. The operator's
     /// handbook (`docs/DISTRIBUTED.md`) documents exactly this set — a test
     /// asserts the two never drift apart.
-    pub const TAGS: [&'static str; 12] = [
+    pub const TAGS: [&'static str; 13] = [
         "hello",
         "ping",
         "pong",
@@ -448,6 +467,7 @@ impl Msg {
         "fragment",
         "submit",
         "accepted",
+        "recovering",
         "progress",
         "result",
         "cancel_campaign",
@@ -465,6 +485,7 @@ impl Msg {
             Msg::Fragment(_) => "fragment",
             Msg::Submit(_) => "submit",
             Msg::Accepted { .. } => "accepted",
+            Msg::Recovering { .. } => "recovering",
             Msg::Progress { .. } => "progress",
             Msg::CampaignResult(_) => "result",
             Msg::CancelCampaign { .. } => "cancel_campaign",
@@ -528,6 +549,15 @@ impl Msg {
             Msg::Accepted { campaign, cached } => obj
                 .int("campaign", *campaign)
                 .bool("cached", *cached)
+                .finish(),
+            Msg::Recovering {
+                campaign,
+                recovered,
+                total,
+            } => obj
+                .int("campaign", *campaign)
+                .int("recovered", *recovered)
+                .int("total", *total)
                 .finish(),
             Msg::Progress {
                 campaign,
@@ -668,6 +698,11 @@ impl Msg {
             "accepted" => Ok(Msg::Accepted {
                 campaign: u64_field(&v, "campaign")?,
                 cached: bool_field(&v, "cached")?,
+            }),
+            "recovering" => Ok(Msg::Recovering {
+                campaign: u64_field(&v, "campaign")?,
+                recovered: u64_field(&v, "recovered")?,
+                total: u64_field(&v, "total")?,
             }),
             "progress" => Ok(Msg::Progress {
                 campaign: u64_field(&v, "campaign")?,
@@ -951,6 +986,11 @@ mod tests {
                 campaign: 7,
                 cached: true,
             },
+            Msg::Recovering {
+                campaign: 7,
+                recovered: 5,
+                total: 8,
+            },
             Msg::Progress {
                 campaign: 7,
                 done: 3,
@@ -1012,6 +1052,11 @@ mod tests {
             Msg::Accepted {
                 campaign: 0,
                 cached: false,
+            },
+            Msg::Recovering {
+                campaign: 0,
+                recovered: 0,
+                total: 1,
             },
             Msg::Progress {
                 campaign: 0,
@@ -1221,6 +1266,8 @@ mod tests {
             r#"{"type":"submit","defense":"Baseline","contract":"CT-SEQ","seed":"x","find_first":false,"batch":3,"cycle_skip":true}"#,
             r#"{"type":"submit","defense":"Baseline","contract":"CT-SEQ","seed":"1","scale":"big","find_first":false,"batch":3,"cycle_skip":true}"#,
             r#"{"type":"accepted","campaign":1}"#,
+            r#"{"type":"recovering","campaign":1}"#,
+            r#"{"type":"recovering","campaign":1,"recovered":"five","total":8}"#,
             r#"{"type":"progress","campaign":1,"done":0,"total":8}"#,
             r#"{"type":"result","campaign":1,"cached":false,"cancelled":false}"#,
             r#"{"type":"result","campaign":1,"cached":false,"cancelled":false,"executed_batches":0,"error":7}"#,

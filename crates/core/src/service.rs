@@ -22,6 +22,20 @@
 //! cache with the byte-identical report and `executed_batches: 0`.
 //! Cancelled and failed campaigns are never cached.
 //!
+//! # Crash safety
+//!
+//! With a [`StateDir`] attached ([`Service::with_persistence`]), the
+//! service is a write-ahead machine: every completed fragment is appended
+//! to the campaign's [`journal`](crate::journal) *before* the in-memory
+//! state advances, and every completed report is written through to the
+//! persisted cache before its journal is deleted. A submit that finds a
+//! journal on disk resumes it — recovered fragments replay into the
+//! campaign and only the missing batch indices are leased — and because
+//! batches are pure functions of their seeds, the resumed report is
+//! fingerprint-identical to an uninterrupted run. Persistence failures
+//! (full disk, torn files) degrade to warnings, never to wrong results:
+//! an unusable journal means recomputing, not corrupting.
+//!
 //! The service is transport-agnostic: `amulet serve` (the CLI) wires
 //! client sockets to [`Service::submit`]/[`Service::subscribe`] and worker
 //! loops to [`Service::wait_lease`]/[`Service::complete`]; the in-memory
@@ -29,9 +43,12 @@
 
 use crate::campaign::CampaignConfig;
 use crate::corpus::{records_from_report, Corpus};
-use crate::proto::{CampaignSpec, ReportWire, ResultMsg};
+use crate::journal::{
+    load_journal, warn_note, CampaignJournal, CrashPlan, JournalHeader, Recovery, StateDir,
+};
+use crate::proto::{CampaignSpec, FragmentReport, ReportWire, ResultMsg};
 use crate::shard::{plan_batches, reduce_fragments, verify_fragment_coverage, BatchSpec, Fragment};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Condvar, Mutex};
@@ -69,6 +86,9 @@ pub enum SubmitOutcome {
         campaign: u64,
         /// Batches in the plan.
         total_batches: u64,
+        /// Batches replayed from an on-disk journal instead of executed —
+        /// non-zero only when a crashed run's prefix was resumed.
+        recovered: u64,
     },
     /// The cache already holds this campaign's report — here it is, with a
     /// fresh id and `executed_batches: 0`. No batch will run. Boxed: a
@@ -114,7 +134,13 @@ struct ActiveCampaign {
     id: u64,
     key: String,
     cfg: CampaignConfig,
+    /// Batches still to execute. After a journal resume this holds only
+    /// the *missing* indices — `total_batches` keeps the plan size.
     batches: Vec<BatchSpec>,
+    /// Batches in the full plan (progress totals, coverage check).
+    total_batches: usize,
+    /// Whether this campaign owns an entry in `Inner::journaled_keys`.
+    journaled: bool,
     /// Next unleased index into `batches`.
     cursor: usize,
     /// Batches returned unexecuted by a failing worker — re-leased before
@@ -182,6 +208,14 @@ struct Inner {
     finished: HashMap<u64, ResultMsg>,
     /// Completed reports keyed by [`CampaignSpec::cache_key`].
     cache: HashMap<String, ResultMsg>,
+    /// Open write-ahead journals keyed by campaign id.
+    journals: HashMap<u64, CampaignJournal>,
+    /// Cache keys with an open journal — a second concurrent submit of the
+    /// same identity runs unjournaled rather than sharing the file.
+    journaled_keys: HashSet<String>,
+    /// A deterministic crash point armed for the next journal opened
+    /// (tests only; consumed by [`Service::submit`]).
+    armed_crash: Option<CrashPlan>,
     subscribers: Vec<Sender<ServiceEvent>>,
     shutdown: bool,
 }
@@ -193,6 +227,7 @@ pub struct Service {
     inner: Mutex<Inner>,
     wake: Condvar,
     corpus: Option<Corpus>,
+    state: Option<StateDir>,
     executed_total: AtomicU64,
 }
 
@@ -204,12 +239,40 @@ impl Service {
 
     /// A service appending validated violations to `corpus`.
     pub fn with_corpus(corpus: Option<Corpus>) -> Self {
+        Self::build(corpus, None, Vec::new())
+    }
+
+    /// A crash-safe service over `state`: the persisted cache entries a
+    /// [`StateDir::recover`] pass loaded are seeded into the in-memory
+    /// cache (later entries supersede earlier ones), and every future
+    /// campaign is journaled through `state`.
+    pub fn with_persistence(corpus: Option<Corpus>, state: StateDir, recovery: Recovery) -> Self {
+        Self::build(corpus, Some(state), recovery.cache)
+    }
+
+    fn build(
+        corpus: Option<Corpus>,
+        state: Option<StateDir>,
+        cache: Vec<(String, ResultMsg)>,
+    ) -> Self {
+        let mut inner = Inner::default();
+        for (key, result) in cache {
+            inner.cache.insert(key, result);
+        }
         Service {
-            inner: Mutex::new(Inner::default()),
+            inner: Mutex::new(inner),
             wake: Condvar::new(),
             corpus,
+            state,
             executed_total: AtomicU64::new(0),
         }
+    }
+
+    /// Arms a deterministic storage crash for the next journal
+    /// [`Service::submit`] opens — the test hook behind the crash-point
+    /// matrix. One-shot: consumed by that submit.
+    pub fn arm_crash_plan(&self, plan: CrashPlan) {
+        self.inner.lock().unwrap().armed_crash = Some(plan);
     }
 
     /// Total batches executed across every campaign since startup — the
@@ -242,28 +305,123 @@ impl Service {
                 result: Box::new(result),
             });
         }
-        let total_batches = batches.len() as u64;
-        inner.active.push(ActiveCampaign {
+        let total = batches.len();
+        let total_batches = total as u64;
+
+        // Crash recovery: if a state dir holds this identity's journal,
+        // replay its fragment prefix and lease only the missing indices. An
+        // unusable journal (wrong plan, corruption) means recomputing from
+        // scratch over a fresh file — never trusting bad data.
+        let mut recovered_frags: Vec<Fragment> = Vec::new();
+        let mut journal: Option<CampaignJournal> = None;
+        if let Some(state) = &self.state {
+            if !inner.journaled_keys.contains(&key) {
+                let path = state.journal_path(&key);
+                let header = JournalHeader::for_spec(spec, total_batches);
+                let replay = match load_journal(&path, &key) {
+                    Ok(Some(r)) if r.header.total_batches == total_batches => Some(r),
+                    Ok(Some(r)) => {
+                        warn_note(
+                            "journal_plan_mismatch",
+                            &[
+                                ("key", key.as_str()),
+                                ("journaled", &r.header.total_batches.to_string()),
+                                ("planned", &total_batches.to_string()),
+                            ],
+                        );
+                        None
+                    }
+                    Ok(None) => None,
+                    Err(e) => {
+                        warn_note(
+                            "journal_unusable",
+                            &[("key", key.as_str()), ("error", e.as_str())],
+                        );
+                        None
+                    }
+                };
+                let opened = match &replay {
+                    Some(r) => CampaignJournal::resume(&path, r.valid_len),
+                    None => CampaignJournal::create(&path, &header),
+                };
+                match opened {
+                    Ok(j) => journal = Some(j),
+                    // Keep the replayed fragments even if the reopen failed:
+                    // recovered work is valid work, it just won't extend.
+                    Err(e) => warn_note(
+                        "journal_open_failed",
+                        &[("key", key.as_str()), ("error", e.as_str())],
+                    ),
+                }
+                if let Some(r) = replay {
+                    recovered_frags = r
+                        .fragments
+                        .into_iter()
+                        .map(FragmentReport::into_fragment)
+                        .collect();
+                }
+            }
+        }
+        if let Some(j) = &mut journal {
+            if let Some(plan) = inner.armed_crash.take() {
+                j.arm(Some(plan));
+            }
+        }
+
+        let recovered = recovered_frags.len() as u64;
+        let have: HashSet<usize> = recovered_frags.iter().map(|f| f.index).collect();
+        let missing: Vec<BatchSpec> = batches
+            .into_iter()
+            .filter(|b| !have.contains(&b.index))
+            .collect();
+        let earliest_hit = cfg
+            .stop_on_first
+            .then(|| {
+                recovered_frags
+                    .iter()
+                    .filter(|f| !f.digests.is_empty())
+                    .map(|f| f.index)
+                    .min()
+            })
+            .flatten();
+        let cases_done = recovered_frags.iter().map(|f| f.stats.cases as u64).sum();
+        let journaled = journal.is_some();
+        let camp = ActiveCampaign {
             id,
-            key,
+            key: key.clone(),
             cfg,
-            batches,
+            batches: missing,
+            total_batches: total,
+            journaled,
             cursor: 0,
             orphans: Vec::new(),
-            earliest_hit: None,
+            earliest_hit,
             outstanding: 0,
             executed: 0,
-            fragments: Vec::new(),
-            cases_done: 0,
-            done_batches: 0,
+            fragments: recovered_frags,
+            cases_done,
+            done_batches: recovered,
             cancelled: false,
             start: Instant::now(),
-        });
-        drop(inner);
+        };
+        if let Some(j) = journal {
+            inner.journals.insert(id, j);
+            inner.journaled_keys.insert(key);
+        }
+        if camp.drained() {
+            // The journal already covers the whole plan (modulo past-hit
+            // batches): no lease will ever issue, so finalize right here.
+            drop(inner);
+            self.finalize(camp);
+        } else {
+            inner.active.push(camp);
+            drop(inner);
+        }
         self.wake.notify_all();
         Ok(SubmitOutcome::Accepted {
             campaign: id,
             total_batches,
+            recovered,
         })
     }
 
@@ -365,6 +523,23 @@ impl Service {
             // batch ran) — the fragment is surplus, drop it.
             return;
         };
+        // Write-ahead: the fragment reaches disk before the in-memory state
+        // learns about it, so a crash after this point loses nothing. An
+        // append failure (full disk, injected crash) downgrades the campaign
+        // to unjournaled — the run continues, resume just won't see this
+        // suffix.
+        if let Some(journal) = inner.journals.get_mut(&lease.campaign) {
+            if let Err(e) = journal.append(&FragmentReport::from_fragment(&fragment)) {
+                warn_note(
+                    "journal_append_failed",
+                    &[
+                        ("campaign", &lease.campaign.to_string()),
+                        ("error", e.as_str()),
+                    ],
+                );
+                inner.journals.remove(&lease.campaign);
+            }
+        }
         let camp = &mut inner.active[pos];
         camp.outstanding -= 1;
         camp.executed += 1;
@@ -388,7 +563,7 @@ impl Service {
         let event = ServiceEvent::Progress {
             campaign: camp.id,
             done: camp.done_batches,
-            total: camp.batches.len() as u64,
+            total: camp.total_batches as u64,
             cases: camp.cases_done,
         };
         camp.fragments.push(fragment);
@@ -401,7 +576,8 @@ impl Service {
         }
     }
 
-    /// Reduces a drained campaign to its terminal result, fills the cache,
+    /// Reduces a drained campaign to its terminal result, fills the cache
+    /// (writing through to the state dir, then retiring the journal),
     /// appends to the corpus, and announces [`ServiceEvent::Finished`].
     fn finalize(&self, camp: ActiveCampaign) {
         let hit = camp
@@ -409,7 +585,7 @@ impl Service {
             .stop_on_first
             .then_some(camp.earliest_hit)
             .flatten();
-        let total = camp.batches.len();
+        let total = camp.total_batches;
         let result = match verify_fragment_coverage(&camp.cfg, &camp.fragments, hit, total) {
             Ok(()) => {
                 let report = reduce_fragments(camp.cfg, camp.fragments, hit, camp.start.elapsed());
@@ -439,8 +615,29 @@ impl Service {
             },
         };
         let mut inner = self.inner.lock().unwrap();
+        // Close the journal handle before any unlink.
+        drop(inner.journals.remove(&camp.id));
+        if camp.journaled {
+            inner.journaled_keys.remove(&camp.key);
+        }
         if result.report.is_some() {
-            inner.cache.insert(camp.key, result.clone());
+            if let Some(state) = &self.state {
+                // Write-through THEN delete: a crash between the two leaves
+                // both files, and the startup pass clears the stale journal
+                // against the cache. A failed write-through keeps the
+                // journal, so a restart resumes with zero re-execution.
+                match state.append_cache(&camp.key, &result) {
+                    Ok(()) if camp.journaled => {
+                        let _ = std::fs::remove_file(state.journal_path(&camp.key));
+                    }
+                    Ok(()) => {}
+                    Err(e) => warn_note(
+                        "cache_write_failed",
+                        &[("key", camp.key.as_str()), ("error", e.as_str())],
+                    ),
+                }
+            }
+            inner.cache.insert(camp.key.clone(), result.clone());
         }
         inner.finished.insert(camp.id, result);
         Self::broadcast(&mut inner, ServiceEvent::Finished { campaign: camp.id });
@@ -449,6 +646,12 @@ impl Service {
     }
 
     fn finish_cancelled(inner: &mut Inner, camp: ActiveCampaign) {
+        // The journal handle closes here, but the FILE stays: a cancelled
+        // campaign's executed prefix is valid work a resubmit can resume.
+        drop(inner.journals.remove(&camp.id));
+        if camp.journaled {
+            inner.journaled_keys.remove(&camp.key);
+        }
         inner.finished.insert(
             camp.id,
             ResultMsg {

@@ -114,6 +114,17 @@ fn all_message_shapes() -> Vec<Msg> {
             campaign: u64::MAX,
             cached: true,
         },
+        // Protocol v4: the crash-recovery announcement.
+        Msg::Recovering {
+            campaign: 1,
+            recovered: 0,
+            total: 8,
+        },
+        Msg::Recovering {
+            campaign: u64::MAX,
+            recovered: u64::MAX - 1,
+            total: u64::MAX,
+        },
         Msg::Progress {
             campaign: 3,
             done: 5,
