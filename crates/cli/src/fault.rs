@@ -15,11 +15,101 @@
 //! — the driver-observable outcomes are the same.
 
 use crate::drive::WorkerLink;
-use amulet_core::proto::Msg;
+use amulet_core::proto::{CampaignSpec, Msg};
 use amulet_util::Xoshiro256;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// A seeded hostile-*client* script for the session-hardening harness:
+/// deterministically generates the traffic an adversarial client throws
+/// at `amulet serve` — malformed frames, protocol-legal-but-unexpected
+/// messages, byte-at-a-time slow-writer chunkings, and mid-frame
+/// disconnect prefixes — so every attack mix in `tests/serve_overload.rs`
+/// replays bit-for-bit from its seed. The typed sibling of [`FaultyLink`]
+/// (which perturbs the *worker* fabric); this one speaks raw bytes,
+/// because the session layer's defenses live below the message layer.
+#[derive(Debug)]
+pub struct AdversarialPlan {
+    rng: Xoshiro256,
+}
+
+impl AdversarialPlan {
+    /// A plan replayable from `seed`.
+    pub fn new(seed: u64) -> Self {
+        AdversarialPlan {
+            rng: Xoshiro256::seed_from_u64(seed),
+        }
+    }
+
+    /// One line guaranteed to fail `Msg::parse_line` — random printable
+    /// junk, an unknown tag, a truncated real submit, or a type-confused
+    /// field. Never empty (empty lines are legitimately skipped).
+    pub fn malformed_line(&mut self) -> String {
+        match self.rng.range(0, 4) {
+            0 => {
+                let len = self.rng.range(1, 40) as usize;
+                (0..len)
+                    .map(|_| char::from(b'#' + self.rng.range(0, 60) as u8))
+                    .collect()
+            }
+            1 => "{\"type\":\"no_such_message\"}".into(),
+            2 => {
+                let full = Msg::Submit(self.spec()).to_line();
+                let cut = 1 + self.rng.range(0, full.len() as u64 - 1) as usize;
+                full[..cut].into()
+            }
+            _ => "{\"type\":\"submit\",\"seed\":\"not-a-number\"}".into(),
+        }
+    }
+
+    /// A syntactically valid message no client may send to the service —
+    /// exercises the "unexpected message" strike, not the parser.
+    pub fn unexpected_line(&mut self) -> String {
+        let token = self.rng.range(0, 1 << 20);
+        match self.rng.range(0, 2) {
+            0 => Msg::Ping { token }.to_line(),
+            _ => Msg::Pong { token }.to_line(),
+        }
+    }
+
+    /// Splits `frame` into the 1–3-byte chunks of a slow writer — the
+    /// slowloris shape: each chunk is a separate write, arbitrarily far
+    /// apart in time.
+    pub fn slow_chunks(&mut self, frame: &[u8]) -> Vec<Vec<u8>> {
+        let mut chunks = Vec::new();
+        let mut at = 0;
+        while at < frame.len() {
+            let end = (at + self.rng.range(1, 4) as usize).min(frame.len());
+            chunks.push(frame[at..end].to_vec());
+            at = end;
+        }
+        chunks
+    }
+
+    /// A strict prefix of `frame` — what a peer that dies mid-frame
+    /// leaves on the wire. Never the whole frame (that would be a clean
+    /// message, not a disconnect artifact).
+    pub fn partial_prefix(&mut self, frame: &[u8]) -> Vec<u8> {
+        let max = frame.len().saturating_sub(1).max(1);
+        let cut = (1 + self.rng.range(0, max as u64) as usize).min(max);
+        frame[..cut.min(frame.len())].to_vec()
+    }
+
+    /// A well-formed spec for the truncation variant — the prefix of a
+    /// *real* submit is the most camouflaged malformed line there is.
+    fn spec(&mut self) -> CampaignSpec {
+        CampaignSpec {
+            defense: "Baseline".into(),
+            contract: "CT-SEQ".into(),
+            seed: self.rng.range(0, 1 << 30),
+            scale: None,
+            find_first: false,
+            batch_programs: 3,
+            cycle_skip: true,
+        }
+    }
+}
 
 /// Per-operation fault probabilities in permille (0–1000), plus the seed
 /// the decision stream derives from.
@@ -303,6 +393,42 @@ mod tests {
             1,
             "sever tallied once"
         );
+    }
+
+    /// Every adversarial line must actually be adversarial — a
+    /// "malformed" line that parses would make the harness prove nothing
+    /// — and the whole script must replay from its seed.
+    #[test]
+    fn adversarial_plans_are_seeded_and_genuinely_malformed() {
+        for seed in 0..32 {
+            let mut plan = AdversarialPlan::new(seed);
+            for _ in 0..24 {
+                let line = plan.malformed_line();
+                assert!(
+                    Msg::parse_line(&line).is_err(),
+                    "seed {seed}: {line:?} unexpectedly parsed"
+                );
+                assert!(
+                    Msg::parse_line(&plan.unexpected_line()).is_ok(),
+                    "unexpected lines must be protocol-valid"
+                );
+            }
+        }
+        let script = |seed: u64| {
+            let mut plan = AdversarialPlan::new(seed);
+            let lines: Vec<String> = (0..16).map(|_| plan.malformed_line()).collect();
+            let chunks = plan.slow_chunks(b"{\"type\":\"ping\",\"token\":1}\n");
+            let prefix = plan.partial_prefix(b"{\"type\":\"ping\",\"token\":1}\n");
+            (lines, chunks, prefix)
+        };
+        assert_eq!(script(9), script(9), "same seed must replay");
+        assert_ne!(script(9).0, script(10).0, "different seeds must differ");
+        let (_, chunks, prefix) = script(9);
+        let frame = b"{\"type\":\"ping\",\"token\":1}\n";
+        assert_eq!(chunks.concat(), frame, "chunks must reassemble the frame");
+        assert!(chunks.iter().all(|c| !c.is_empty() && c.len() <= 3));
+        assert!(prefix.len() < frame.len(), "a partial frame is a prefix");
+        assert_eq!(&frame[..prefix.len()], &prefix[..]);
     }
 
     #[test]

@@ -57,9 +57,9 @@ use std::time::Instant;
 
 pub use amulet_util::{json_string, JsonObj};
 pub use drive::{run_driver, DriveConfig, ProcLink, WorkerLink};
-pub use fault::{FaultCounters, FaultPlan, FaultyLink};
+pub use fault::{AdversarialPlan, FaultCounters, FaultPlan, FaultyLink};
 pub use net::{parse_connect_list, serve_listener, ListenConfig, TcpLink};
-pub use serve::{serve_client, ClientStats, ServiceHost};
+pub use serve::{serve_client, serve_client_with, ClientStats, ServiceHost, SessionLimits};
 pub use worker::{serve_session, serve_worker, SessionStats};
 
 /// Usage text printed by `amulet help` (and on usage errors).
@@ -139,13 +139,24 @@ SERVE OPTIONS:
                           campaign and persist the result cache under DIR;
                           on startup, recover and resume interrupted work
     --sessions N          Exit after N client sessions (0 = forever)
+    --max-campaigns N     Admission: campaigns executing concurrently
+                          (default: 0 = unlimited)
+    --admit-queue N       Admitted-but-waiting campaigns beyond the cap,
+                          FIFO (default: 16); overflow is shed with a
+                          rejected{retry_after_ms} answer
+    --client-quota N      In-flight campaigns per client connection
+                          (default: 0 = unlimited)
+    SIGTERM drains gracefully: stop admitting, announce `draining`,
+    checkpoint (--state-dir) or finish active campaigns, exit 0.
 
 SUBMIT OPTIONS (shape options as for campaign):
     --connect ADDR        The serve daemon's address (required)
     --batch N             Programs per batch (part of the campaign identity)
     --timeout-s S         Give up after S seconds (default: 600)
     --retries N           Reconnect-and-resubmit attempts after connection
-                          loss, seeded-jitter backoff (default: 0)
+                          loss or an admission shed (which waits out the
+                          server's retry_after_ms hint), seeded-jitter
+                          backoff (default: 0)
     --json PATH           Append the result line to PATH (`-` = stdout)
 
 CORPUS OPTIONS:

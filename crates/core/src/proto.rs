@@ -82,7 +82,14 @@ use std::time::Duration;
 /// campaign from a write-ahead journal instead of starting from batch
 /// zero. Purely informational — the `result` is fingerprint-identical
 /// either way.
-pub const PROTO_VERSION: u64 = 4;
+///
+/// Version 5 added the overload/drain pair: `rejected` (a submit shed by
+/// admission control, carrying the reason and an actionable
+/// `retry_after_ms` hint) and `draining` (the service is shutting down
+/// gracefully: no new campaigns are admitted, in-flight work is finished
+/// or journal-checkpointed). Neither carries campaign state, so neither
+/// can perturb a fingerprint.
+pub const PROTO_VERSION: u64 = 5;
 
 /// The worker's startup announcement: protocol version plus an echo of the
 /// campaign identity it resolved from its command line, so a driver/worker
@@ -419,6 +426,17 @@ pub enum Msg {
         /// Whether the result is served from the cache.
         cached: bool,
     },
+    /// Service → client (protocol v5): the submit was *shed* by admission
+    /// control — no campaign id was assigned and no batch will run. The
+    /// client should wait roughly `retry_after_ms` and resubmit; the
+    /// identical spec converges on the identical fingerprint whenever it
+    /// is finally admitted.
+    Rejected {
+        /// Why the submit was shed (queue full, quota, draining).
+        reason: String,
+        /// The service's actionable backoff hint, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// Service → client (protocol v4): sent right after [`Msg::Accepted`]
     /// when the service resumed this campaign from an on-disk write-ahead
     /// journal — `recovered` of the `total` planned batches replayed from
@@ -445,6 +463,15 @@ pub enum Msg {
     },
     /// Service → client: the campaign's terminal message (tag `"result"`).
     CampaignResult(ResultMsg),
+    /// Service → client (protocol v5): the service received a drain
+    /// request (SIGTERM). No new campaigns are admitted; `active` ones
+    /// are finished (no state dir) or journal-checkpointed (state dir —
+    /// resubmit after the restart to resume batch-granularly). The
+    /// session ends shortly after this message.
+    Draining {
+        /// Campaigns still in flight at drain time.
+        active: u64,
+    },
     /// Client → service: abandon a submitted campaign. Batches already
     /// leased may still complete; no result report is produced.
     CancelCampaign {
@@ -457,7 +484,7 @@ impl Msg {
     /// Every `"type"` tag the protocol emits, in flow order. The operator's
     /// handbook (`docs/DISTRIBUTED.md`) documents exactly this set — a test
     /// asserts the two never drift apart.
-    pub const TAGS: [&'static str; 13] = [
+    pub const TAGS: [&'static str; 15] = [
         "hello",
         "ping",
         "pong",
@@ -467,9 +494,11 @@ impl Msg {
         "fragment",
         "submit",
         "accepted",
+        "rejected",
         "recovering",
         "progress",
         "result",
+        "draining",
         "cancel_campaign",
     ];
 
@@ -485,9 +514,11 @@ impl Msg {
             Msg::Fragment(_) => "fragment",
             Msg::Submit(_) => "submit",
             Msg::Accepted { .. } => "accepted",
+            Msg::Rejected { .. } => "rejected",
             Msg::Recovering { .. } => "recovering",
             Msg::Progress { .. } => "progress",
             Msg::CampaignResult(_) => "result",
+            Msg::Draining { .. } => "draining",
             Msg::CancelCampaign { .. } => "cancel_campaign",
         }
     }
@@ -550,6 +581,14 @@ impl Msg {
                 .int("campaign", *campaign)
                 .bool("cached", *cached)
                 .finish(),
+            Msg::Rejected {
+                reason,
+                retry_after_ms,
+            } => obj
+                .str("reason", reason)
+                .int("retry_after_ms", *retry_after_ms)
+                .finish(),
+            Msg::Draining { active } => obj.int("active", *active).finish(),
             Msg::Recovering {
                 campaign,
                 recovered,
@@ -698,6 +737,13 @@ impl Msg {
             "accepted" => Ok(Msg::Accepted {
                 campaign: u64_field(&v, "campaign")?,
                 cached: bool_field(&v, "cached")?,
+            }),
+            "rejected" => Ok(Msg::Rejected {
+                reason: str_field(&v, "reason")?.to_string(),
+                retry_after_ms: u64_field(&v, "retry_after_ms")?,
+            }),
+            "draining" => Ok(Msg::Draining {
+                active: u64_field(&v, "active")?,
             }),
             "recovering" => Ok(Msg::Recovering {
                 campaign: u64_field(&v, "campaign")?,
@@ -986,6 +1032,10 @@ mod tests {
                 campaign: 7,
                 cached: true,
             },
+            Msg::Rejected {
+                reason: "admit queue full (4 active, 16 queued)".into(),
+                retry_after_ms: 1700,
+            },
             Msg::Recovering {
                 campaign: 7,
                 recovered: 5,
@@ -1021,6 +1071,8 @@ mod tests {
                 report: None,
                 error: Some("unknown defense \"Nope\"".into()),
             }),
+            Msg::Draining { active: 3 },
+            Msg::Draining { active: u64::MAX },
             Msg::CancelCampaign { campaign: 7 },
         ];
         for msg in msgs {
@@ -1053,6 +1105,10 @@ mod tests {
                 campaign: 0,
                 cached: false,
             },
+            Msg::Rejected {
+                reason: "draining".into(),
+                retry_after_ms: 0,
+            },
             Msg::Recovering {
                 campaign: 0,
                 recovered: 0,
@@ -1072,6 +1128,7 @@ mod tests {
                 report: None,
                 error: None,
             }),
+            Msg::Draining { active: 0 },
             Msg::CancelCampaign { campaign: 0 },
         ];
         let tags: Vec<&str> = msgs.iter().map(Msg::tag).collect();
@@ -1266,6 +1323,10 @@ mod tests {
             r#"{"type":"submit","defense":"Baseline","contract":"CT-SEQ","seed":"x","find_first":false,"batch":3,"cycle_skip":true}"#,
             r#"{"type":"submit","defense":"Baseline","contract":"CT-SEQ","seed":"1","scale":"big","find_first":false,"batch":3,"cycle_skip":true}"#,
             r#"{"type":"accepted","campaign":1}"#,
+            r#"{"type":"rejected","retry_after_ms":100}"#,
+            r#"{"type":"rejected","reason":"queue full","retry_after_ms":"soon"}"#,
+            r#"{"type":"draining"}"#,
+            r#"{"type":"draining","active":"many"}"#,
             r#"{"type":"recovering","campaign":1}"#,
             r#"{"type":"recovering","campaign":1,"recovered":"five","total":8}"#,
             r#"{"type":"progress","campaign":1,"done":0,"total":8}"#,

@@ -48,7 +48,7 @@ use crate::journal::{
 };
 use crate::proto::{CampaignSpec, FragmentReport, ReportWire, ResultMsg};
 use crate::shard::{plan_batches, reduce_fragments, verify_fragment_coverage, BatchSpec, Fragment};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Condvar, Mutex};
@@ -74,6 +74,37 @@ pub enum ServiceEvent {
         /// The campaign id.
         campaign: u64,
     },
+    /// [`Service::drain`] was called: no new campaigns will be admitted.
+    /// Session handlers forward this to their clients and wind down.
+    Draining {
+        /// Campaigns (active + queued) still in flight at drain time.
+        active: u64,
+    },
+}
+
+/// Admission-control limits for [`Service::set_admission`]. `max_active`
+/// and `per_client` are "0 = unlimited" (the default is the fully open
+/// service); `max_queue` is "0 = nothing queues" — overflow sheds
+/// immediately once `max_active` is reached.
+///
+/// The shed policy, in check order per submit: a client over its
+/// [`per_client`](Admission::per_client) quota is rejected; otherwise the
+/// campaign activates if the concurrent-campaign cap
+/// ([`max_active`](Admission::max_active)) has room, queues FIFO if the
+/// bounded admit queue ([`max_queue`](Admission::max_queue)) has room, and
+/// is rejected once both are full. Rejections are structured
+/// ([`SubmitOutcome::Rejected`]) and carry an actionable
+/// `retry_after_ms` hint; cache hits are always answered (they cost no
+/// worker time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Admission {
+    /// Campaigns executing concurrently (0 = unlimited).
+    pub max_active: usize,
+    /// Admitted-but-waiting campaigns in the FIFO queue (0 = none queue:
+    /// with a `max_active` cap set, overflow is shed immediately).
+    pub max_queue: usize,
+    /// In-flight (active + queued) campaigns per client (0 = unlimited).
+    pub per_client: usize,
 }
 
 /// What [`Service::submit`] decided.
@@ -98,6 +129,16 @@ pub enum SubmitOutcome {
         campaign: u64,
         /// The replayed result.
         result: Box<ResultMsg>,
+    },
+    /// Admission control shed the submit — no id was assigned, no batch
+    /// will run, and nothing about this campaign is remembered. The same
+    /// spec resubmitted after roughly `retry_after_ms` converges on the
+    /// identical deterministic result whenever it is finally admitted.
+    Rejected {
+        /// Why the submit was shed (quota, queue full, draining).
+        reason: String,
+        /// Actionable backoff hint, in milliseconds.
+        retry_after_ms: u64,
     },
 }
 
@@ -132,6 +173,9 @@ pub enum LeaseWait {
 #[derive(Debug)]
 struct ActiveCampaign {
     id: u64,
+    /// The submitting client's identity (`u64::MAX` = anonymous) — what
+    /// the per-client in-flight quota counts.
+    owner: u64,
     key: String,
     cfg: CampaignConfig,
     /// Batches still to execute. After a journal resume this holds only
@@ -204,6 +248,14 @@ struct Inner {
     /// Round-robin pointer into `active` — the fair-share state.
     rr: usize,
     active: Vec<ActiveCampaign>,
+    /// Admitted campaigns waiting for an active slot, FIFO. Bounded by
+    /// [`Admission::max_queue`]; promoted whenever a campaign leaves
+    /// `active`.
+    queued: VecDeque<ActiveCampaign>,
+    /// The configured admission limits.
+    admission: Admission,
+    /// Set by [`Service::drain`]: stop admitting, wind down.
+    draining: bool,
     /// Terminal results awaiting [`Service::take_result`].
     finished: HashMap<u64, ResultMsg>,
     /// Completed reports keyed by [`CampaignSpec::cache_key`].
@@ -281,9 +333,31 @@ impl Service {
         self.executed_total.load(Ordering::SeqCst)
     }
 
-    /// Submits a campaign: a cache hit replays the stored result under a
-    /// fresh id; a miss plans the batches and joins the fair-share rotation.
+    /// Configures admission control. Raising limits promotes queued
+    /// campaigns immediately; lowering them never evicts admitted work —
+    /// the new limits apply to future submits.
+    pub fn set_admission(&self, admission: Admission) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.admission = admission;
+        Self::promote(&mut inner);
+        drop(inner);
+        self.wake.notify_all();
+    }
+
+    /// Submits a campaign anonymously — [`Service::submit_for`] with the
+    /// anonymous client identity (`u64::MAX`).
     pub fn submit(&self, spec: &CampaignSpec) -> Result<SubmitOutcome, String> {
+        self.submit_for(u64::MAX, spec)
+    }
+
+    /// Submits a campaign on behalf of `client`: a cache hit replays the
+    /// stored result under a fresh id; a miss passes admission control
+    /// (per-client quota, active cap, bounded FIFO admit queue — see
+    /// [`Admission`]) and then plans the batches and joins the fair-share
+    /// rotation (or the admit queue). `Err` is reserved for malformed
+    /// specs and hard shutdown; overload is the structured
+    /// [`SubmitOutcome::Rejected`].
+    pub fn submit_for(&self, client: u64, spec: &CampaignSpec) -> Result<SubmitOutcome, String> {
         let cfg = spec.resolve()?;
         let key = spec.cache_key();
         let batches = plan_batches(&cfg, spec.batch_programs);
@@ -303,6 +377,43 @@ impl Service {
             return Ok(SubmitOutcome::Cached {
                 campaign: id,
                 result: Box::new(result),
+            });
+        }
+        // Admission control. Cache hits are always answered (zero worker
+        // cost); everything below here would execute batches, so it is
+        // subject to the drain state and the configured limits. The
+        // retry hint scales with the load actually ahead of the client.
+        let load = inner.active.len() + inner.queued.len();
+        let retry_after_ms = (100 * (1 + load as u64)).min(5_000);
+        if inner.draining {
+            return Ok(SubmitOutcome::Rejected {
+                reason: "draining: not admitting new campaigns".into(),
+                retry_after_ms: 1_000,
+            });
+        }
+        let adm = inner.admission;
+        if adm.per_client > 0 {
+            let in_flight = inner.active.iter().filter(|c| c.owner == client).count()
+                + inner.queued.iter().filter(|c| c.owner == client).count();
+            if in_flight >= adm.per_client {
+                return Ok(SubmitOutcome::Rejected {
+                    reason: format!(
+                        "client quota: {in_flight} campaign(s) already in flight (limit {})",
+                        adm.per_client
+                    ),
+                    retry_after_ms,
+                });
+            }
+        }
+        let active_full = adm.max_active > 0 && inner.active.len() >= adm.max_active;
+        if active_full && inner.queued.len() >= adm.max_queue {
+            return Ok(SubmitOutcome::Rejected {
+                reason: format!(
+                    "admit queue full ({} active, {} queued)",
+                    inner.active.len(),
+                    inner.queued.len()
+                ),
+                retry_after_ms,
             });
         }
         let total = batches.len();
@@ -388,6 +499,7 @@ impl Service {
         let journaled = journal.is_some();
         let camp = ActiveCampaign {
             id,
+            owner: client,
             key: key.clone(),
             cfg,
             batches: missing,
@@ -411,8 +523,14 @@ impl Service {
         if camp.drained() {
             // The journal already covers the whole plan (modulo past-hit
             // batches): no lease will ever issue, so finalize right here.
+            // It consumed no admission slot, so no capacity check applies.
             drop(inner);
             self.finalize(camp);
+        } else if active_full {
+            // Checked above: the queue has room. Journal resume already
+            // happened, so a queued campaign loses nothing by waiting.
+            inner.queued.push_back(camp);
+            drop(inner);
         } else {
             inner.active.push(camp);
             drop(inner);
@@ -425,12 +543,34 @@ impl Service {
         })
     }
 
+    /// Moves queued campaigns into freed active slots, FIFO, until the
+    /// cap is reached again. Queued campaigns are never `cancelled` in
+    /// place (cancel removes them from the queue directly) and never
+    /// `drained()` (a fully-journaled submit finalizes without queueing),
+    /// so every promotion yields leasable work.
+    fn promote(inner: &mut Inner) {
+        while inner.admission.max_active == 0 || inner.active.len() < inner.admission.max_active {
+            match inner.queued.pop_front() {
+                Some(camp) => inner.active.push(camp),
+                None => break,
+            }
+        }
+    }
+
     /// Cancels a campaign. Already-leased batches may still complete (their
     /// fragments are discarded); the terminal [`ResultMsg`] has
     /// `cancelled: true` and no report, and the cache is not populated.
-    /// Unknown or already-finished ids are a no-op.
+    /// Unknown or already-finished ids are a no-op. A queued campaign
+    /// resolves immediately — it holds no leases by construction.
     pub fn cancel(&self, campaign: u64) {
         let mut inner = self.inner.lock().unwrap();
+        if let Some(pos) = inner.queued.iter().position(|c| c.id == campaign) {
+            let camp = inner.queued.remove(pos).expect("position came from iter");
+            Self::finish_cancelled(&mut inner, camp);
+            drop(inner);
+            self.wake.notify_all();
+            return;
+        }
         let Some(pos) = inner.active.iter().position(|c| c.id == campaign) else {
             return;
         };
@@ -438,9 +578,48 @@ impl Service {
         if inner.active[pos].outstanding == 0 {
             let camp = inner.active.swap_remove(pos);
             Self::finish_cancelled(&mut inner, camp);
+            Self::promote(&mut inner);
         }
         drop(inner);
         self.wake.notify_all();
+    }
+
+    /// Enters the drain state: no new campaigns are admitted (submits shed
+    /// with a `draining` reason), every subscriber hears
+    /// [`ServiceEvent::Draining`], and — on a persistent service — lease
+    /// waiters see [`LeaseWait::Shutdown`] so in-flight campaigns stop at
+    /// their journaled checkpoint instead of running to completion.
+    /// Returns the campaigns (active + queued) still in flight; idempotent
+    /// (repeat calls neither re-announce nor change the count's meaning).
+    pub fn drain(&self) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        let in_flight = (inner.active.len() + inner.queued.len()) as u64;
+        if !inner.draining {
+            inner.draining = true;
+            Self::broadcast(&mut inner, ServiceEvent::Draining { active: in_flight });
+        }
+        drop(inner);
+        self.wake.notify_all();
+        in_flight
+    }
+
+    /// Whether [`Service::drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.inner.lock().unwrap().draining
+    }
+
+    /// Whether this service journals through a [`StateDir`] — the switch
+    /// between checkpoint-drain (persistent: stop leasing, the journal is
+    /// the hand-off) and finish-drain (in-memory: run active campaigns to
+    /// completion, results would otherwise be lost).
+    pub fn persistent(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Terminal results not yet collected by [`Service::take_result`] —
+    /// the overload tests pin this at zero to bound eviction memory.
+    pub fn pending_results(&self) -> usize {
+        self.inner.lock().unwrap().finished.len()
     }
 
     /// Waits up to `timeout` for a batch lease from any active campaign.
@@ -455,7 +634,11 @@ impl Service {
         let deadline = Instant::now() + timeout;
         let mut inner = self.inner.lock().unwrap();
         loop {
-            if inner.shutdown {
+            // Checkpoint-drain: with a journal under every campaign the
+            // cheapest correct hand-off is to stop leasing — the executed
+            // prefix is already on disk and a restart resumes it exactly.
+            // Without persistence the fleet keeps working (finish-drain).
+            if inner.shutdown || (inner.draining && self.state.is_some()) {
                 return LeaseWait::Shutdown;
             }
             if let Some(lease) = Self::try_lease(&mut inner, &eligible) {
@@ -506,6 +689,7 @@ impl Service {
             if camp.cancelled && camp.outstanding == 0 {
                 let camp = inner.active.swap_remove(pos);
                 Self::finish_cancelled(&mut inner, camp);
+                Self::promote(&mut inner);
             }
         }
         drop(inner);
@@ -547,6 +731,7 @@ impl Service {
             if camp.outstanding == 0 {
                 let camp = inner.active.swap_remove(pos);
                 Self::finish_cancelled(&mut inner, camp);
+                Self::promote(&mut inner);
             }
             drop(inner);
             self.wake.notify_all();
@@ -568,6 +753,9 @@ impl Service {
         };
         camp.fragments.push(fragment);
         let finished = camp.drained().then(|| inner.active.swap_remove(pos));
+        if finished.is_some() {
+            Self::promote(&mut inner);
+        }
         Self::broadcast(&mut inner, event);
         drop(inner);
         self.wake.notify_all();
@@ -685,15 +873,12 @@ impl Service {
         self.inner.lock().unwrap().finished.remove(&campaign)
     }
 
-    /// Whether `campaign` is still active (scheduled or running) — worker
+    /// Whether `campaign` is still in flight (active or queued) — worker
     /// loops use this to garbage-collect per-campaign runtimes.
     pub fn is_active(&self, campaign: u64) -> bool {
-        self.inner
-            .lock()
-            .unwrap()
-            .active
-            .iter()
-            .any(|c| c.id == campaign)
+        let inner = self.inner.lock().unwrap();
+        inner.active.iter().any(|c| c.id == campaign)
+            || inner.queued.iter().any(|c| c.id == campaign)
     }
 
     /// Begins shutdown: no new submits; every [`Service::wait_lease`]
@@ -788,6 +973,125 @@ mod tests {
             service.wait_lease(Duration::from_secs(5)),
             LeaseWait::Shutdown
         ));
+    }
+
+    /// With `max_active: 1` the second submit queues (admitted, no lease)
+    /// and the third sheds with an actionable hint; freeing the active
+    /// slot promotes the queue head FIFO.
+    #[test]
+    fn admission_caps_queue_fifo_and_shed_overflow() {
+        let service = Service::new();
+        service.set_admission(Admission {
+            max_active: 1,
+            max_queue: 1,
+            per_client: 0,
+        });
+        let SubmitOutcome::Accepted { campaign: a, .. } = service.submit(&quick_spec(10)).unwrap()
+        else {
+            panic!("first submit must activate")
+        };
+        let SubmitOutcome::Accepted { campaign: b, .. } = service.submit(&quick_spec(11)).unwrap()
+        else {
+            panic!("second submit must queue")
+        };
+        assert!(service.is_active(b), "queued campaigns are in flight");
+        let SubmitOutcome::Rejected {
+            reason,
+            retry_after_ms,
+        } = service.submit(&quick_spec(12)).unwrap()
+        else {
+            panic!("third submit must shed")
+        };
+        assert!(reason.contains("queue full"), "{reason}");
+        assert!(retry_after_ms > 0, "hint must be actionable");
+        // Only the active campaign leases while b waits in the queue.
+        let mut held = Vec::new();
+        for _ in 0..3 {
+            let LeaseWait::Lease(lease) = service.wait_lease(Duration::from_millis(10)) else {
+                panic!("expected a lease")
+            };
+            assert_eq!(lease.campaign, a, "queued campaign must not lease");
+            held.push(lease);
+        }
+        // A cancelled campaign holds its slot until its leases settle.
+        service.cancel(a);
+        for lease in held {
+            service.release(*lease);
+        }
+        let LeaseWait::Lease(lease) = service.wait_lease(Duration::from_millis(10)) else {
+            panic!("expected a lease after promotion")
+        };
+        assert_eq!(lease.campaign, b, "queue head must promote FIFO");
+    }
+
+    /// The per-client quota counts active + queued per identity and never
+    /// penalizes other clients; cancelling a queued campaign resolves it
+    /// immediately and frees the quota.
+    #[test]
+    fn per_client_quota_is_per_identity() {
+        let service = Service::new();
+        service.set_admission(Admission {
+            max_active: 0,
+            max_queue: 0,
+            per_client: 1,
+        });
+        let SubmitOutcome::Accepted { campaign, .. } =
+            service.submit_for(7, &quick_spec(20)).unwrap()
+        else {
+            panic!("first submit must activate")
+        };
+        let SubmitOutcome::Rejected { reason, .. } =
+            service.submit_for(7, &quick_spec(21)).unwrap()
+        else {
+            panic!("over-quota submit must shed")
+        };
+        assert!(reason.contains("quota"), "{reason}");
+        assert!(matches!(
+            service.submit_for(8, &quick_spec(21)).unwrap(),
+            SubmitOutcome::Accepted { .. }
+        ));
+        service.cancel(campaign);
+        let result = service.take_result(campaign).expect("cancel is terminal");
+        assert!(result.cancelled);
+        assert!(matches!(
+            service.submit_for(7, &quick_spec(22)).unwrap(),
+            SubmitOutcome::Accepted { .. }
+        ));
+    }
+
+    /// Drain announces once, sheds new submits with a `draining` reason,
+    /// and — without persistence — keeps leasing so active campaigns can
+    /// finish (finish-drain). Cache hits still answer during drain.
+    #[test]
+    fn drain_sheds_submits_but_finish_drain_keeps_leasing() {
+        let service = Service::new();
+        let events = service.subscribe();
+        let SubmitOutcome::Accepted { campaign, .. } = service.submit(&quick_spec(30)).unwrap()
+        else {
+            panic!("fresh submit must not hit the cache")
+        };
+        assert_eq!(service.drain(), 1);
+        assert!(service.is_draining());
+        assert_eq!(service.drain(), 1, "drain is idempotent");
+        assert_eq!(
+            events.recv_timeout(Duration::from_secs(5)).unwrap(),
+            ServiceEvent::Draining { active: 1 },
+            "drain must announce to subscribers"
+        );
+        let SubmitOutcome::Rejected {
+            reason,
+            retry_after_ms,
+        } = service.submit(&quick_spec(31)).unwrap()
+        else {
+            panic!("submit during drain must shed")
+        };
+        assert!(reason.contains("draining"), "{reason}");
+        assert!(retry_after_ms > 0);
+        let LeaseWait::Lease(lease) = service.wait_lease(Duration::from_millis(10)) else {
+            panic!("finish-drain must keep leasing active work")
+        };
+        assert_eq!(lease.campaign, campaign);
+        assert!(!service.persistent());
     }
 
     /// A released lease goes back to the same campaign and is re-leased

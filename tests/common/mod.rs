@@ -159,6 +159,34 @@ pub fn spawn_mem_worker(cfg: &CampaignConfig) -> MemLink {
     }
 }
 
+/// Byte-level `Read` over a chunk channel: every received chunk is
+/// delivered verbatim — no newline framing — so tests can feed the
+/// hardened session reader partial frames, oversized lines and
+/// byte-at-a-time slowloris drips exactly as a hostile socket would.
+pub struct ByteChanReader {
+    rx: Receiver<Vec<u8>>,
+    pending: Vec<u8>,
+    pos: usize,
+}
+
+impl Read for ByteChanReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.pending.len() {
+            match self.rx.recv() {
+                Ok(chunk) => {
+                    self.pending = chunk;
+                    self.pos = 0;
+                }
+                Err(_) => return Ok(0), // client hung up = EOF
+            }
+        }
+        let n = buf.len().min(self.pending.len() - self.pos);
+        buf[..n].copy_from_slice(&self.pending[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
 /// A campaign client's end of an in-memory `amulet serve` conversation:
 /// protocol lines out, protocol lines in.
 pub struct MemClient {
@@ -209,6 +237,41 @@ pub fn spawn_serve_client(service: &std::sync::Arc<amulet::fuzz::Service>) -> Me
         tx: to_service,
         rx: from_service,
     }
+}
+
+/// Boots the hardened `serve_client_with` handler on its own thread with
+/// the given [`SessionLimits`] and hands back a *byte-level* sender (the
+/// test controls every byte — frames are not auto-terminated), the
+/// service's line receiver, and the session's join handle so tests can
+/// assert on the returned [`ClientStats`] (strikes, evictions, sheds).
+///
+/// [`SessionLimits`]: amulet_cli::SessionLimits
+/// [`ClientStats`]: amulet_cli::ClientStats
+#[allow(clippy::type_complexity)]
+pub fn spawn_hardened_client(
+    service: &std::sync::Arc<amulet::fuzz::Service>,
+    limits: amulet_cli::SessionLimits,
+) -> (
+    Sender<Vec<u8>>,
+    Receiver<String>,
+    std::thread::JoinHandle<Result<amulet_cli::ClientStats, String>>,
+) {
+    let (to_service, service_rx) = channel::<Vec<u8>>();
+    let (service_tx, from_service) = channel::<String>();
+    let service = service.clone();
+    let handle = std::thread::spawn(move || {
+        let reader = BufReader::new(ByteChanReader {
+            rx: service_rx,
+            pending: Vec::new(),
+            pos: 0,
+        });
+        let writer = ChanWriter {
+            tx: service_tx,
+            buf: Vec::new(),
+        };
+        amulet_cli::serve_client_with(&service, reader, writer, &limits)
+    });
+    (to_service, from_service, handle)
 }
 
 /// A `Write` that appends into a shared buffer — the capture sink for

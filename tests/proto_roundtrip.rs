@@ -114,6 +114,17 @@ fn all_message_shapes() -> Vec<Msg> {
             campaign: u64::MAX,
             cached: true,
         },
+        // Protocol v5: admission control and graceful drain.
+        Msg::Rejected {
+            reason: "admit queue full (4 active, 16 queued)".into(),
+            retry_after_ms: 2_100,
+        },
+        Msg::Rejected {
+            reason: "draining: not admitting new campaigns".into(),
+            retry_after_ms: u64::MAX,
+        },
+        Msg::Draining { active: 0 },
+        Msg::Draining { active: u64::MAX },
         // Protocol v4: the crash-recovery announcement.
         Msg::Recovering {
             campaign: 1,
