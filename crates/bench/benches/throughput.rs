@@ -23,7 +23,8 @@ use amulet_cli::{
 use amulet_contracts::{ContractKind, LeakageModel, ModelScratch};
 use amulet_core::{
     boosted_inputs, boosted_inputs_into, Campaign, CampaignConfig, Detector, ExecMode, Executor,
-    ExecutorConfig, Generator, GeneratorConfig, InputGenConfig, ShardConfig, TraceFormat, UTrace,
+    ExecutorConfig, Generator, GeneratorConfig, InputGenConfig, ShardConfig, SpecSource,
+    TraceFormat, UTrace,
 };
 use amulet_defenses::DefenseKind;
 use amulet_isa::{SharedProgram, TestInput};
@@ -539,6 +540,59 @@ fn main() {
         let _ = writeln!(
             json,
             "{{\"bench\":\"throughput\",\"kind\":\"campaign\",\"name\":\"{}\",\"contract\":\"{}\",\"cases\":{},\"cases_per_sec\":{rate:.1},\"cycles_per_case\":{:.1},\"warp_ratio\":{:.4},\"violation\":{}}}",
+            defense.name(),
+            contract.name(),
+            report.stats.cases,
+            report.cycles_per_case(),
+            report.warp_ratio(),
+            report.violation_found(),
+        );
+    }
+
+    // 3. The second speculation source: the same fixed-seed quick campaign
+    // with store→load gadgets and the disambiguation window armed
+    // (`with_source(Stl)`). One detecting defense, one missing one, plus
+    // STT (which the window slips past). The PHT `campaign` rows above are
+    // the same-shape comparison baseline: the STL stream trades branchy
+    // control flow for aliasing store→load pairs, so its cases/sec is a
+    // different — tracked, not compared — trajectory line.
+    println!(
+        "\n{:<22} {:>9} {:>12} {:>12} {:>6} {:>10}",
+        "Defense (STL)", "Cases", "Cases/sec", "Cycles/case", "Warp", "Violation"
+    );
+    for (defense, contract) in [
+        (DefenseKind::Baseline, ContractKind::CtSeq),
+        (DefenseKind::Stt, ContractKind::CtSeq),
+        (DefenseKind::DelayAll, ContractKind::CtSeq),
+    ] {
+        let mut cfg = CampaignConfig::quick(defense, contract).with_source(SpecSource::Stl);
+        cfg.mode = ExecMode::Opt;
+        let mut rates = Vec::new();
+        let mut report = Campaign::new(cfg.clone()).run();
+        rates.push(report.throughput());
+        for _ in 0..2 {
+            let next = Campaign::new(cfg.clone()).run();
+            rates.push(next.throughput());
+            report = next;
+        }
+        rates.sort_by(f64::total_cmp);
+        let rate = rates[1];
+        println!(
+            "{:<22} {:>9} {:>12.0} {:>12.0} {:>5.0}% {:>10}",
+            defense.name(),
+            report.stats.cases,
+            rate,
+            report.cycles_per_case(),
+            100.0 * report.warp_ratio(),
+            if report.violation_found() {
+                "YES"
+            } else {
+                "no"
+            },
+        );
+        let _ = writeln!(
+            json,
+            "{{\"bench\":\"throughput\",\"kind\":\"stl_campaign\",\"name\":\"{}\",\"contract\":\"{}\",\"source\":\"STL\",\"cases\":{},\"cases_per_sec\":{rate:.1},\"cycles_per_case\":{:.1},\"warp_ratio\":{:.4},\"violation\":{}}}",
             defense.name(),
             contract.name(),
             report.stats.cases,

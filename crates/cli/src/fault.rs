@@ -102,6 +102,7 @@ impl AdversarialPlan {
         CampaignSpec {
             defense: "Baseline".into(),
             contract: "CT-SEQ".into(),
+            source: "PHT".into(),
             seed: self.rng.range(0, 1 << 30),
             scale: None,
             find_first: false,

@@ -51,7 +51,9 @@ pub mod serve;
 pub mod worker;
 
 use amulet_contracts::ContractKind;
-use amulet_core::{Campaign, CampaignConfig, CampaignReport, ShardConfig};
+use amulet_core::{
+    boundary_row, BoundaryConfig, Campaign, CampaignConfig, CampaignReport, ShardConfig, SpecSource,
+};
 use amulet_defenses::DefenseKind;
 use std::time::Instant;
 
@@ -72,6 +74,8 @@ USAGE:
 SUBCOMMANDS:
     campaign    Run one defense × contract campaign (sharded by default)
     matrix      Run a defense × contract scenario matrix
+    boundary    Walk the contract lattice to localise each defense's
+                leakage boundary (one campaign per contract, by strength)
     bench       Compare instance-parallel vs sharded quick-campaign throughput
     drive       Run one campaign across worker *processes* (multi-process fabric)
     worker      Serve batches over stdin/stdout (spawned by `drive`)
@@ -87,6 +91,8 @@ CAMPAIGN OPTIONS:
     --scale X             Paper-scaled shape at scale X (default: quick shape)
     --seed N              Campaign seed (default: 2025)
     --find-first          Stop at the first confirmed violation
+    --source NAME         Speculation source: PHT (branch misprediction, the
+                          default) or STL (store-to-load misspeculation)
     --workers N           Worker threads (default: all hardware threads)
     --batch N             Programs per shard batch (default: 4)
     --instance-parallel   Classic orchestrator: one thread per instance
@@ -99,7 +105,14 @@ MATRIX OPTIONS:
     --scale X             Paper-scaled shape at scale X
     --defenses A,B,...    Defenses to include (default: all)
     --contracts A,B,...   Contracts to include (default: all)
+    --sources A,B,...     Speculation sources to include (default: PHT)
     --seed N, --workers N, --batch N, --no-cycle-skip, --json PATH   As above
+
+BOUNDARY OPTIONS:
+    --defenses A,B,...    Defenses to probe (default: all)
+    --source NAME         Speculation source the probes test (default: PHT)
+    --scale X, --seed N, --workers N, --batch N, --no-cycle-skip     As above
+    --json PATH           Append one boundary row per defense as JSONL
 
 BENCH OPTIONS:
     --programs N          Programs per instance (default: 12)
@@ -275,6 +288,16 @@ pub fn parse_contract(name: &str) -> Result<ContractKind, String> {
         })
 }
 
+/// Parses a speculation source by name (`PHT`, `STL`), case-insensitively.
+pub fn parse_source(name: &str) -> Result<SpecSource, String> {
+    SpecSource::from_name(name).ok_or_else(|| {
+        format!(
+            "unknown source {name:?}; one of: {}",
+            SpecSource::ALL.map(|s| s.name()).join(", ")
+        )
+    })
+}
+
 /// Parses a comma-separated list with a per-item parser, or returns the
 /// default when the flag was absent.
 fn parse_list<T>(
@@ -310,7 +333,13 @@ pub fn report_json(
     let mut obj = JsonObj::new()
         .str("defense", report.config.defense.name())
         .str("contract", report.config.contract.name())
-        .str("mode", report.config.mode.name())
+        .str("mode", report.config.mode.name());
+    // Omitted for the default source so pre-STL report lines (and the CI
+    // greps pinned against them) stay byte-identical.
+    if report.config.source != SpecSource::Pht {
+        obj = obj.str("source", report.config.source.name());
+    }
+    let mut obj = obj
         .str("orchestrator", orchestrator)
         .int("workers", workers as u64);
     if let Some(batch) = batch_programs {
@@ -414,6 +443,8 @@ pub struct ShapeOptions {
     pub seed: Option<u64>,
     /// Stop at the first confirmed violation.
     pub find_first: bool,
+    /// Speculation source under test (default: PHT branch misprediction).
+    pub source: SpecSource,
     /// Disable the event-driven time-warp cycle scheduler.
     pub no_cycle_skip: bool,
 }
@@ -433,13 +464,18 @@ impl ShapeOptions {
             scale: args.parsed::<f64>("--scale")?,
             seed: args.parsed::<u64>("--seed")?,
             find_first: args.flag("--find-first"),
+            source: match args.value("--source")? {
+                Some(name) => parse_source(&name)?,
+                None => SpecSource::Pht,
+            },
             no_cycle_skip: args.flag("--no-cycle-skip"),
         })
     }
 
     /// The campaign configuration these flags select.
     pub fn config(&self) -> CampaignConfig {
-        let mut cfg = shape_config(self.defense, self.contract, self.scale, self.seed);
+        let mut cfg = shape_config(self.defense, self.contract, self.scale, self.seed)
+            .with_source(self.source);
         cfg.stop_on_first = self.find_first;
         cfg.sim.cycle_skip = !self.no_cycle_skip;
         cfg
@@ -463,6 +499,10 @@ impl ShapeOptions {
         }
         if self.find_first {
             argv.push("--find-first".into());
+        }
+        if self.source != SpecSource::Pht {
+            argv.push("--source".into());
+            argv.push(self.source.name().into());
         }
         if self.no_cycle_skip {
             argv.push("--no-cycle-skip".into());
@@ -539,6 +579,7 @@ fn cmd_matrix(mut args: Args) -> Result<(), String> {
         parse_contract,
         &ContractKind::ALL,
     )?;
+    let sources = parse_list(args.value("--sources")?, parse_source, &[SpecSource::Pht])?;
     let no_cycle_skip = args.flag("--no-cycle-skip");
     let shard = shard_options(&mut args)?;
     let mut sink = JsonSink::open(args.value("--json")?)?;
@@ -546,9 +587,10 @@ fn cmd_matrix(mut args: Args) -> Result<(), String> {
 
     let workers = shard.resolved_workers();
     eprintln!(
-        "matrix: {} defenses × {} contracts, {} shape, {workers} workers",
+        "matrix: {} defenses × {} contracts × {} sources, {} shape, {workers} workers",
         defenses.len(),
         contracts.len(),
+        sources.len(),
         if scale.is_some() {
             "paper-scaled"
         } else {
@@ -556,19 +598,64 @@ fn cmd_matrix(mut args: Args) -> Result<(), String> {
         },
     );
     println!("{}", CampaignReport::summary_header());
-    for &defense in &defenses {
-        for &contract in &contracts {
-            let mut cfg = shape_config(defense, contract, scale, seed);
-            cfg.sim.cycle_skip = !no_cycle_skip;
-            let report = Campaign::new(cfg).run_sharded(shard);
-            println!("{}", report.summary_row());
-            sink.line(&report_json(
-                &report,
-                "sharded",
-                workers,
-                Some(shard.batch_programs),
-            ))?;
+    for &source in &sources {
+        for &defense in &defenses {
+            for &contract in &contracts {
+                let mut cfg = shape_config(defense, contract, scale, seed).with_source(source);
+                cfg.sim.cycle_skip = !no_cycle_skip;
+                let report = Campaign::new(cfg).run_sharded(shard);
+                println!("{}", report.summary_row());
+                sink.line(&report_json(
+                    &report,
+                    "sharded",
+                    workers,
+                    Some(shard.batch_programs),
+                ))?;
+            }
         }
+    }
+    Ok(())
+}
+
+/// `amulet boundary`: one campaign per contract in strength order, per
+/// defense — the [`amulet_core::boundary`] search with a summary line per
+/// defense and the deterministic JSONL table behind `--json`.
+fn cmd_boundary(mut args: Args) -> Result<(), String> {
+    let defenses = parse_list(args.value("--defenses")?, parse_defense, &DefenseKind::ALL)?;
+    let source = match args.value("--source")? {
+        Some(name) => parse_source(&name)?,
+        None => SpecSource::Pht,
+    };
+    let scale = args.parsed::<f64>("--scale")?;
+    let seed = args.parsed::<u64>("--seed")?;
+    let no_cycle_skip = args.flag("--no-cycle-skip");
+    let shard = shard_options(&mut args)?;
+    let mut sink = JsonSink::open(args.value("--json")?)?;
+    args.finish()?;
+
+    let opts = BoundaryConfig {
+        source,
+        scale,
+        seed,
+        cycle_skip: !no_cycle_skip,
+    };
+    eprintln!(
+        "boundary: {} defenses × {} contracts (by strength), source {source}, {} workers",
+        defenses.len(),
+        ContractKind::BY_STRENGTH.len(),
+        shard.resolved_workers(),
+    );
+    let fmt = |c: Option<ContractKind>| c.map(ContractKind::name).unwrap_or("-");
+    for &defense in &defenses {
+        let row = boundary_row(defense, &opts, shard);
+        println!(
+            "{:<20} strongest satisfied: {:<8} weakest violated: {:<8} {:#018x}",
+            defense.name(),
+            fmt(row.strongest_satisfied()),
+            fmt(row.weakest_violated()),
+            row.fingerprint()
+        );
+        sink.line(&row.to_json())?;
     }
     Ok(())
 }
@@ -644,6 +731,7 @@ pub fn run(argv: &[String]) -> i32 {
     let result = match sub {
         "campaign" => cmd_campaign(args),
         "matrix" => cmd_matrix(args),
+        "boundary" => cmd_boundary(args),
         "bench" => cmd_bench(args),
         "drive" => drive::cmd_drive(args),
         "worker" => worker::cmd_worker(args),

@@ -1038,6 +1038,7 @@ pub(crate) fn cmd_submit(mut args: Args) -> Result<(), String> {
     let spec = CampaignSpec {
         defense: shape.defense.name().to_string(),
         contract: shape.contract.name().to_string(),
+        source: shape.source.name().to_string(),
         seed: cfg.seed,
         scale: shape.scale,
         find_first: shape.find_first,

@@ -85,6 +85,39 @@ impl ContractKind {
     pub fn explores_store_bypass(self) -> bool {
         matches!(self, ContractKind::CtBpas)
     }
+
+    /// Contract refinement (the lattice order): `self.refines(other)` holds
+    /// when every pair of executions with equal `self` traces also has equal
+    /// `other` traces — `self`'s trace carries at least `other`'s
+    /// information, so satisfying the *poorer* contract (no µarch difference
+    /// on equal poor traces) implies satisfying the richer one.
+    ///
+    /// Edges (reflexivity aside): `CT-COND ⊒ CT-SEQ` and
+    /// `ARCH-SEQ ⊒ CT-SEQ` (extra observations/explorations project away to
+    /// the CT-SEQ trace), `CT-BPAS ⊒ CT-COND ⊒ CT-SEQ`. `ARCH-SEQ` and the
+    /// speculative contracts are incomparable (values vs. explored paths).
+    pub fn refines(self, other: ContractKind) -> bool {
+        use ContractKind::*;
+        self == other
+            || matches!(
+                (self, other),
+                (CtCond, CtSeq) | (CtBpas, CtCond) | (CtBpas, CtSeq) | (ArchSeq, CtSeq)
+            )
+    }
+
+    /// [`ContractKind::ALL`] ordered by *strength* for boundary search:
+    /// hardest-to-satisfy first. A defense's leakage boundary is the
+    /// strongest prefix entry it satisfies and the weakest suffix entry it
+    /// violates. `CT-SEQ` (fewest sanctioned observations) leads;
+    /// `CT-BPAS` (most speculation declared in-contract) trails;
+    /// `ARCH-SEQ` sits between `CT-SEQ` and the speculative contracts — it
+    /// sanctions value leakage but no speculation.
+    pub const BY_STRENGTH: [ContractKind; 4] = [
+        ContractKind::CtSeq,
+        ContractKind::ArchSeq,
+        ContractKind::CtCond,
+        ContractKind::CtBpas,
+    ];
 }
 
 impl std::fmt::Display for ContractKind {
@@ -107,6 +140,60 @@ mod tests {
         assert!(ContractKind::ArchSeq.observes_values());
         assert!(!ContractKind::ArchSeq.explores_branches());
         assert!(ContractKind::CtBpas.explores_store_bypass());
+    }
+
+    #[test]
+    fn refinement_is_a_partial_order() {
+        use ContractKind::*;
+        for c in ContractKind::ALL {
+            assert!(c.refines(c), "{c} must refine itself");
+        }
+        // Antisymmetry: no two distinct contracts refine each other.
+        for a in ContractKind::ALL {
+            for b in ContractKind::ALL {
+                if a != b {
+                    assert!(!(a.refines(b) && b.refines(a)), "{a} <-> {b}");
+                }
+            }
+        }
+        // Transitivity over the declared edges.
+        for a in ContractKind::ALL {
+            for b in ContractKind::ALL {
+                for c in ContractKind::ALL {
+                    if a.refines(b) && b.refines(c) {
+                        assert!(a.refines(c), "{a} ⊒ {b} ⊒ {c} but not {a} ⊒ {c}");
+                    }
+                }
+            }
+        }
+        // The declared edges themselves.
+        assert!(CtCond.refines(CtSeq));
+        assert!(CtBpas.refines(CtCond));
+        assert!(CtBpas.refines(CtSeq));
+        assert!(ArchSeq.refines(CtSeq));
+        assert!(!ArchSeq.refines(CtCond), "values vs. paths: incomparable");
+        assert!(!CtBpas.refines(ArchSeq));
+    }
+
+    #[test]
+    fn strength_order_covers_all_once_and_descends() {
+        assert_eq!(ContractKind::BY_STRENGTH.len(), ContractKind::ALL.len());
+        for c in ContractKind::ALL {
+            assert_eq!(
+                ContractKind::BY_STRENGTH
+                    .iter()
+                    .filter(|&&x| x == c)
+                    .count(),
+                1
+            );
+        }
+        // No entry refines an earlier (stronger) one: walking the table
+        // front-to-back genuinely weakens the requirement.
+        for (i, &a) in ContractKind::BY_STRENGTH.iter().enumerate() {
+            for &b in &ContractKind::BY_STRENGTH[i + 1..] {
+                assert!(!a.refines(b) || a == b, "{a} before {b} but refines it");
+            }
+        }
     }
 
     #[test]

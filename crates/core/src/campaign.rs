@@ -16,6 +16,55 @@ use amulet_util::{fmt_duration_s, Summary, Xoshiro256};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
+/// The speculation source a campaign exercises.
+///
+/// `Pht` is the classic Spectre-v1-shaped branch misprediction the matrix
+/// has always run. `Stl` switches the campaign to memory-dependence
+/// misspeculation (Spectre-STL): the generator embeds aliasing store→load
+/// gadgets ([`GeneratorConfig::stl_gadgets`]) and the simulator holds store
+/// addresses unresolved for a disambiguation window
+/// (`SimConfig::stl_window`), so younger loads speculatively bypass them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SpecSource {
+    /// Branch (PHT) misprediction — the default, byte-identical to
+    /// pre-STL campaigns.
+    #[default]
+    Pht,
+    /// Store-to-load (memory-dependence) misspeculation.
+    Stl,
+}
+
+impl SpecSource {
+    /// All speculation sources.
+    pub const ALL: [SpecSource; 2] = [SpecSource::Pht, SpecSource::Stl];
+
+    /// Display name (`"PHT"` / `"STL"`), also the wire encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpecSource::Pht => "PHT",
+            SpecSource::Stl => "STL",
+        }
+    }
+
+    /// Parses a display name, case-insensitively.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL
+            .into_iter()
+            .find(|s| s.name().eq_ignore_ascii_case(name))
+    }
+}
+
+impl std::fmt::Display for SpecSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The store-disambiguation window STL campaigns run with: long enough for
+/// a bypassing load (one memory latency) *and* its dependent transmit to
+/// issue before the mis-forwarding squash.
+pub const STL_WINDOW: u64 = 180;
+
 /// Full configuration of a testing campaign.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
@@ -39,6 +88,9 @@ pub struct CampaignConfig {
     pub generator: GeneratorConfig,
     /// Simulator configuration (amplification knobs live here).
     pub sim: SimConfig,
+    /// Speculation source under test (see [`SpecSource`]). `Pht` leaves
+    /// every pre-STL fingerprint byte-identical.
+    pub source: SpecSource,
     /// Campaign seed (instance `i` derives seed + i).
     pub seed: u64,
     /// Stop an instance at its first confirmed violation.
@@ -90,6 +142,7 @@ impl CampaignConfig {
                 ..GeneratorConfig::default()
             },
             sim: SimConfig::default(),
+            source: SpecSource::Pht,
             seed: 2025,
             stop_on_first: false,
             filter: ViolationFilter::none(),
@@ -125,6 +178,33 @@ impl CampaignConfig {
         cfg.inputs.base_inputs = 10;
         cfg.inputs.mutations = 13;
         cfg
+    }
+
+    /// Switches the campaign to `source`, applying the generator and
+    /// simulator knobs that source requires: STL embeds aliasing
+    /// store→load gadgets and opens the [`STL_WINDOW`]-cycle
+    /// store-disambiguation window; PHT resets both to the (default-off)
+    /// pre-STL configuration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use amulet_core::{CampaignConfig, SpecSource, STL_WINDOW};
+    /// use amulet_defenses::DefenseKind;
+    /// use amulet_contracts::ContractKind;
+    ///
+    /// let cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq)
+    ///     .with_source(SpecSource::Stl);
+    /// assert!(cfg.generator.stl_gadgets);
+    /// assert_eq!(cfg.sim.stl_window, STL_WINDOW);
+    /// assert_eq!(cfg.with_source(SpecSource::Pht).sim.stl_window, 0);
+    /// ```
+    pub fn with_source(mut self, source: SpecSource) -> Self {
+        self.source = source;
+        let stl = source == SpecSource::Stl;
+        self.generator.stl_gadgets = stl;
+        self.sim.stl_window = if stl { STL_WINDOW } else { 0 };
+        self
     }
 
     /// Total test cases this campaign will run (absent early stops).
@@ -321,6 +401,7 @@ impl CampaignReport {
                 self.config.mode.name(),
                 self.config.format.name(),
             ],
+            self.config.source.name(),
             self.config.include_l1i,
             self.config.seed,
             [
@@ -340,8 +421,10 @@ impl CampaignReport {
 /// can fingerprint itself bit-identically without rebuilding a full
 /// [`CampaignConfig`]. `identity` is `[defense, contract, mode, format]`
 /// names; `shape` is `[instances, programs_per_instance, inputs_total]`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn fingerprint_parts(
     identity: [&str; 4],
+    source: &str,
     include_l1i: bool,
     seed: u64,
     shape: [u64; 3],
@@ -352,6 +435,11 @@ pub(crate) fn fingerprint_parts(
     let mut fp = Fnv1a::new();
     for name in identity {
         fp.str(name);
+    }
+    // The speculation source folds in only when non-default, so every
+    // fingerprint pinned before STL existed is byte-identical.
+    if source != "PHT" {
+        fp.str(source);
     }
     fp.u64(include_l1i as u64);
     fp.u64(seed);
@@ -423,13 +511,13 @@ impl Fnv1a {
         }
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         for b in v.to_le_bytes() {
             self.byte(b);
         }
     }
 
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.u64(s.len() as u64);
         for b in s.bytes() {
             self.byte(b);
@@ -784,6 +872,14 @@ mod tests {
         let mut e = synthetic_report(DefenseKind::Baseline, ContractKind::CtSeq);
         e.wall = Duration::from_secs(99);
         assert_eq!(a.fingerprint(), e.fingerprint());
+        // The speculation source is part of identity — but only when it is
+        // not the default, so every pre-STL pinned fingerprint holds.
+        let mut f = synthetic_report(DefenseKind::Baseline, ContractKind::CtSeq);
+        f.config = f.config.with_source(SpecSource::Stl);
+        assert_ne!(a.fingerprint(), f.fingerprint(), "source is covered");
+        let mut g = synthetic_report(DefenseKind::Baseline, ContractKind::CtSeq);
+        g.config.source = SpecSource::Pht; // explicit default: folds nothing
+        assert_eq!(a.fingerprint(), g.fingerprint());
     }
 
     #[test]

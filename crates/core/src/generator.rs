@@ -31,6 +31,13 @@ pub struct GeneratorConfig {
     pub stores: bool,
     /// Whether `LOOP*`-style terminators may be generated.
     pub loops: bool,
+    /// Whether Spectre-STL gadgets are embedded: statically aliasing
+    /// store→load pairs whose store address hides behind an
+    /// attacker-controlled dependency chain (the disambiguation distance),
+    /// followed by a transmit load encoding the speculatively read value.
+    /// Off by default — the flag gates every extra RNG draw, so the default
+    /// instruction stream (and every pinned fingerprint) is unchanged.
+    pub stl_gadgets: bool,
 }
 
 impl Default for GeneratorConfig {
@@ -44,6 +51,7 @@ impl Default for GeneratorConfig {
             mem_weight: 45,
             stores: true,
             loops: true,
+            stl_gadgets: false,
         }
     }
 }
@@ -255,6 +263,57 @@ impl Generator {
         }
     }
 
+    /// Emits one Spectre-STL gadget: a store whose (pre-masked) address sits
+    /// behind `0..8` value-preserving ALU ops — the attacker-controlled
+    /// disambiguation distance — statically aliased by a displacement-only
+    /// load whose address is ready immediately, and a dependent transmit
+    /// load encoding the value the bypass reads. The displacement is drawn
+    /// pre-masked (`p & mask == p`, 8-aligned), so the alias is a static
+    /// fact the property tests recompute.
+    fn gen_stl_gadget(&mut self, out: &mut Vec<Instr>) {
+        let p = (self.rng.range(0, (self.cfg.pages as u64 * 4096) / 8 - 1) + 1) * 8;
+        let rc = self.reg(); // store-address chain
+        let rl = self.reg(); // speculatively loaded (stale) value
+        let rt = self.reg(); // transmit destination
+        let data = self.reg(); // store data
+        out.push(Instr::Mov {
+            dst: Operand::Reg(rc, Width::Q),
+            src: Operand::Imm(p as i64),
+        });
+        for _ in 0..self.rng.range(0, 8) {
+            out.push(Instr::Alu {
+                op: AluOp::Add,
+                dst: Operand::Reg(rc, Width::Q),
+                src: Operand::Imm(0),
+                lock: false,
+            });
+        }
+        out.push(Instr::Alu {
+            op: AluOp::And,
+            dst: Operand::Reg(rc, Width::Q),
+            src: Operand::Imm(self.cfg.mask()),
+            lock: false,
+        });
+        out.push(Instr::Mov {
+            dst: Operand::Mem(MemRef::base_index(Gpr::SANDBOX_BASE, rc, Width::Q)),
+            src: Operand::Reg(data, Width::Q),
+        });
+        out.push(Instr::Mov {
+            dst: Operand::Reg(rl, Width::Q),
+            src: Operand::Mem(MemRef::base_disp(Gpr::SANDBOX_BASE, p as i64, Width::Q)),
+        });
+        out.push(Instr::Alu {
+            op: AluOp::And,
+            dst: Operand::Reg(rl, Width::Q),
+            src: Operand::Imm(self.cfg.mask()),
+            lock: false,
+        });
+        out.push(Instr::Mov {
+            dst: Operand::Reg(rt, Width::Q),
+            src: Operand::Mem(MemRef::base_index(Gpr::SANDBOX_BASE, rl, Width::Q)),
+        });
+    }
+
     /// Generates one random test program.
     pub fn program(&mut self) -> Program {
         let n_blocks = self
@@ -271,6 +330,12 @@ impl Generator {
             let mut instrs = Vec::with_capacity(len + 4);
             for _ in 0..len {
                 self.gen_instr(&mut instrs);
+            }
+            // STL gadgets: always one in the entry block (it executes
+            // unconditionally, guaranteeing every program has an aliasing
+            // pair in the speculation window), occasionally more later.
+            if self.cfg.stl_gadgets && (b == 0 || self.rng.chance(1, 4)) {
+                self.gen_stl_gadget(&mut instrs);
             }
             // Terminator: conditional forward edge + fall-through, and the
             // last block jumps to exit. Targets are strictly later blocks,
@@ -345,31 +410,46 @@ mod tests {
         assert_ne!(a.program(), c.program());
     }
 
+    /// Asserts every memory access in `p` is sandbox-safe: indexed accesses
+    /// are masked by the immediately preceding instruction, and
+    /// displacement-only accesses (STL gadget loads) are statically inside
+    /// the sandbox.
+    fn assert_mask_protected(p: &Program, mask: i64) {
+        let flat = p.flatten();
+        for (i, ins) in flat.instrs.iter().enumerate() {
+            if let Some(eff) = ins.mem_effect() {
+                let mref = eff.mem_ref();
+                assert_eq!(mref.base, Gpr::SANDBOX_BASE);
+                let Some(idx) = mref.index else {
+                    // Displacement-only: safe by construction, not masking.
+                    assert!(mref.disp >= 0, "negative sandbox displacement");
+                    assert!(
+                        mref.disp + mref.width.bytes() as i64 <= mask + 1,
+                        "displacement-only access at {i} escapes the sandbox: {ins}"
+                    );
+                    continue;
+                };
+                // The previous instruction must be the mask.
+                let Some(Instr::Alu {
+                    op: AluOp::And,
+                    dst: Operand::Reg(r, Width::Q),
+                    src: Operand::Imm(m),
+                    ..
+                }) = flat.instrs.get(i.wrapping_sub(1))
+                else {
+                    panic!("access at {i} not preceded by a mask: {ins}");
+                };
+                assert_eq!(*r, idx);
+                assert_eq!(*m, mask);
+            }
+        }
+    }
+
     #[test]
     fn every_memory_access_is_mask_protected() {
         let mut g = gen(3);
         for _ in 0..100 {
-            let p = g.program();
-            let flat = p.flatten();
-            for (i, ins) in flat.instrs.iter().enumerate() {
-                if let Some(eff) = ins.mem_effect() {
-                    let mref = eff.mem_ref();
-                    assert_eq!(mref.base, Gpr::SANDBOX_BASE);
-                    let idx = mref.index.expect("generated accesses use an index");
-                    // The previous instruction must be the mask.
-                    let Some(Instr::Alu {
-                        op: AluOp::And,
-                        dst: Operand::Reg(r, Width::Q),
-                        src: Operand::Imm(m),
-                        ..
-                    }) = flat.instrs.get(i.wrapping_sub(1))
-                    else {
-                        panic!("access at {i} not preceded by a mask: {ins}");
-                    };
-                    assert_eq!(*r, idx);
-                    assert_eq!(*m, 4096 - 1);
-                }
-            }
+            assert_mask_protected(&g.program(), 4096 - 1);
         }
     }
 
@@ -415,6 +495,121 @@ mod tests {
             ..GeneratorConfig::default()
         };
         assert_eq!(cfg.mask(), 128 * 4096 - 1);
+    }
+
+    /// Counts statically verifiable STL gadgets in `p`: a displacement-only
+    /// load whose displacement provably equals the preceding store's masked
+    /// chain value — recomputed from the instruction stream, not trusted
+    /// from the generator.
+    fn count_stl_pairs(p: &Program, mask: i64) -> usize {
+        let flat = p.flatten();
+        let mut pairs = 0;
+        for (i, ins) in flat.instrs.iter().enumerate() {
+            // The aliasing load: MOV reg, [R14 + p].
+            let Instr::Mov {
+                dst: Operand::Reg(..),
+                src: Operand::Mem(ml),
+            } = ins
+            else {
+                continue;
+            };
+            if ml.index.is_some() {
+                continue;
+            }
+            let p_disp = ml.disp;
+            // Walk back: store, mask, 0..=8 value-preserving ADDs, MOV imm.
+            let Some(Instr::Mov {
+                dst: Operand::Mem(ms),
+                src: Operand::Reg(..),
+            }) = flat.instrs.get(i.wrapping_sub(1))
+            else {
+                continue;
+            };
+            let Some(rc) = ms.index else { continue };
+            let Some(Instr::Alu {
+                op: AluOp::And,
+                dst: Operand::Reg(r_and, Width::Q),
+                src: Operand::Imm(m),
+                ..
+            }) = flat.instrs.get(i.wrapping_sub(2))
+            else {
+                continue;
+            };
+            if *r_and != rc || *m != mask {
+                continue;
+            }
+            let mut j = i - 3;
+            let mut distance = 0;
+            while let Some(Instr::Alu {
+                op: AluOp::Add,
+                dst: Operand::Reg(r, Width::Q),
+                src: Operand::Imm(0),
+                ..
+            }) = flat.instrs.get(j)
+            {
+                if *r != rc {
+                    break;
+                }
+                distance += 1;
+                j -= 1;
+            }
+            let Some(Instr::Mov {
+                dst: Operand::Reg(r_imm, Width::Q),
+                src: Operand::Imm(p_imm),
+            }) = flat.instrs.get(j)
+            else {
+                continue;
+            };
+            // The chain preserves the pre-masked displacement, so the store
+            // and the load statically alias; the chain length is the
+            // attacker-controlled disambiguation distance, well inside any
+            // realistic speculation window.
+            if *r_imm == rc && *p_imm == p_disp && p_imm & mask == *p_imm && distance <= 8 {
+                pairs += 1;
+            }
+        }
+        pairs
+    }
+
+    #[test]
+    fn stl_gadgets_alias_in_10k_seeded_programs() {
+        let cfg = GeneratorConfig {
+            stl_gadgets: true,
+            ..GeneratorConfig::default()
+        };
+        for seed in 0..10_000u64 {
+            let mut g = Generator::new(cfg.clone(), seed);
+            let p = g.program();
+            p.validate().expect("STL program must validate");
+            assert_mask_protected(&p, cfg.mask());
+            assert!(
+                count_stl_pairs(&p, cfg.mask()) >= 1,
+                "seed {seed}: no statically aliasing store→load pair"
+            );
+            // Printed programs parse back (the generator emits only
+            // round-trippable syntax).
+            amulet_isa::parse_program(&p.to_string())
+                .unwrap_or_else(|e| panic!("seed {seed}: printed program fails to parse: {e}"));
+            // Determinism per seed.
+            let mut g2 = Generator::new(cfg.clone(), seed);
+            assert_eq!(p, g2.program(), "seed {seed}: generator not deterministic");
+        }
+    }
+
+    #[test]
+    fn stl_gadgets_stay_out_of_the_default_stream() {
+        // With the flag off (the default) no displacement-only access is
+        // ever emitted — the gadget path is unreachable, so the default RNG
+        // stream (and every pinned campaign fingerprint) is unchanged.
+        let mut g = gen(17);
+        for _ in 0..200 {
+            let p = g.program();
+            for ins in p.flatten().instrs {
+                if let Some(eff) = ins.mem_effect() {
+                    assert!(eff.mem_ref().index.is_some(), "disp-only access: {ins}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -575,6 +575,7 @@ mod tests {
         CampaignSpec {
             defense: "Baseline".into(),
             contract: "CT-SEQ".into(),
+            source: "PHT".into(),
             seed,
             scale: None,
             find_first: false,
@@ -622,6 +623,7 @@ mod tests {
                 contract: "CT-SEQ".into(),
                 mode: "Opt".into(),
                 format: "CacheLines".into(),
+                source: "PHT".into(),
                 include_l1i: false,
                 seed,
                 instances: 2,

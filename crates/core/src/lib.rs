@@ -55,6 +55,7 @@
 //! ```
 
 pub mod analyze;
+pub mod boundary;
 pub mod campaign;
 pub mod corpus;
 pub mod cost;
@@ -70,7 +71,12 @@ pub mod shard;
 pub mod trace;
 
 pub use analyze::{classify, ViolationClass, ViolationFilter};
-pub use campaign::{Campaign, CampaignConfig, CampaignReport, UnitRuntime, ViolationDigest};
+pub use boundary::{
+    boundary_row, boundary_table, contract_config, BoundaryConfig, BoundaryRow, ContractVerdict,
+};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignReport, SpecSource, UnitRuntime, ViolationDigest, STL_WINDOW,
+};
 pub use corpus::{records_from_report, Corpus, CorpusInput, CorpusRecord};
 pub use cost::{CostModel, TimeBreakdown};
 pub use detect::{Detector, ScanStats, Violation};

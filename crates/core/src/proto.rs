@@ -58,7 +58,7 @@
 //! ```
 
 use crate::analyze::ViolationClass;
-use crate::campaign::{self, CampaignConfig, CampaignReport, ViolationDigest};
+use crate::campaign::{self, CampaignConfig, CampaignReport, SpecSource, ViolationDigest};
 use crate::detect::ScanStats;
 use crate::shard::{BatchSpec, Fragment};
 use amulet_contracts::ContractKind;
@@ -103,6 +103,11 @@ pub struct Hello {
     pub defense: String,
     /// Contract paper name (e.g. `"CT-SEQ"`).
     pub contract: String,
+    /// Speculation source name (`"PHT"`/`"STL"`). Absent on the wire means
+    /// `"PHT"`, so pre-STL workers interoperate — and a worker that does
+    /// not understand `--source` announces `"PHT"` and fails the handshake
+    /// loudly when the driver expects STL.
+    pub source: String,
     /// Campaign seed.
     pub seed: u64,
     /// Campaign instances — with `programs` and `inputs`, the shape echo
@@ -122,6 +127,7 @@ impl Hello {
             proto: PROTO_VERSION,
             defense: cfg.defense.name().to_string(),
             contract: cfg.contract.name().to_string(),
+            source: cfg.source.name().to_string(),
             seed: cfg.seed,
             instances: cfg.instances as u64,
             programs: cfg.programs_per_instance as u64,
@@ -141,16 +147,18 @@ impl Hello {
         let expect = Hello::for_config(cfg);
         if *self != expect {
             return Err(format!(
-                "config mismatch: worker announced {}/{} seed {} shape {}x{}x{}, \
-                 driver expects {}/{} seed {} shape {}x{}x{}",
+                "config mismatch: worker announced {}/{}/{} seed {} shape {}x{}x{}, \
+                 driver expects {}/{}/{} seed {} shape {}x{}x{}",
                 self.defense,
                 self.contract,
+                self.source,
                 self.seed,
                 self.instances,
                 self.programs,
                 self.inputs,
                 expect.defense,
                 expect.contract,
+                expect.source,
                 expect.seed,
                 expect.instances,
                 expect.programs,
@@ -234,6 +242,9 @@ pub struct CampaignSpec {
     pub defense: String,
     /// Contract paper name (e.g. `"CT-SEQ"`).
     pub contract: String,
+    /// Speculation source name (`"PHT"`/`"STL"`); absent on the wire means
+    /// `"PHT"` (pre-STL clients).
+    pub source: String,
     /// Campaign seed.
     pub seed: u64,
     /// `None` = the quick shape; `Some(s)` = [`CampaignConfig::paper_scaled`]
@@ -262,7 +273,9 @@ impl CampaignSpec {
             .copied()
             .find(|c| c.name() == self.contract)
             .ok_or_else(|| format!("unknown contract {:?}", self.contract))?;
-        let mut cfg = match self.scale {
+        let source = SpecSource::from_name(&self.source)
+            .ok_or_else(|| format!("unknown source {:?}", self.source))?;
+        let cfg = match self.scale {
             Some(s) if s.is_finite() && s > 0.0 => {
                 CampaignConfig::paper_scaled(defense, contract, s)
             }
@@ -272,6 +285,7 @@ impl CampaignSpec {
         if self.batch_programs == 0 {
             return Err("batch must be at least 1".into());
         }
+        let mut cfg = cfg.with_source(source);
         cfg.seed = self.seed;
         cfg.stop_on_first = self.find_first;
         cfg.sim.cycle_skip = self.cycle_skip;
@@ -284,9 +298,10 @@ impl CampaignSpec {
     /// distinct campaigns.
     pub fn cache_key(&self) -> String {
         format!(
-            "{}|{}|{}|{:?}|{}|{}|{}",
+            "{}|{}|{}|{}|{:?}|{}|{}|{}",
             self.defense,
             self.contract,
+            self.source,
             self.seed,
             self.scale.map(f64::to_bits),
             self.find_first,
@@ -310,6 +325,9 @@ pub struct ReportWire {
     pub mode: String,
     /// Trace format name.
     pub format: String,
+    /// Speculation source name (`"PHT"`/`"STL"`); absent on the wire means
+    /// `"PHT"`.
+    pub source: String,
     /// Whether the baseline trace included the L1I.
     pub include_l1i: bool,
     /// Campaign seed.
@@ -336,6 +354,7 @@ impl ReportWire {
             contract: report.config.contract.name().to_string(),
             mode: report.config.mode.name().to_string(),
             format: report.config.format.name().to_string(),
+            source: report.config.source.name().to_string(),
             include_l1i: report.config.include_l1i,
             seed: report.config.seed,
             instances: report.config.instances as u64,
@@ -353,6 +372,7 @@ impl ReportWire {
     pub fn fingerprint(&self) -> u64 {
         campaign::fingerprint_parts(
             [&self.defense, &self.contract, &self.mode, &self.format],
+            &self.source,
             self.include_l1i,
             self.seed,
             [self.instances, self.programs, self.inputs],
@@ -527,17 +547,24 @@ impl Msg {
     pub fn to_line(&self) -> String {
         let obj = JsonObj::new().str("type", self.tag());
         match self {
-            Msg::Hello(h) => obj
-                .int("proto", h.proto)
-                .str("defense", &h.defense)
-                .str("contract", &h.contract)
+            Msg::Hello(h) => {
+                let mut out = obj
+                    .int("proto", h.proto)
+                    .str("defense", &h.defense)
+                    .str("contract", &h.contract);
+                // The default source is omitted (like Submit's `scale`), so
+                // PHT hello lines are byte-identical to pre-STL ones.
+                if h.source != "PHT" {
+                    out = out.str("source", &h.source);
+                }
                 // Strings for the same reason report lines use them: a u64
                 // above 2^53 would be rounded by double-based readers.
-                .str("seed", &h.seed.to_string())
-                .int("instances", h.instances)
-                .int("programs", h.programs)
-                .int("inputs", h.inputs)
-                .finish(),
+                out.str("seed", &h.seed.to_string())
+                    .int("instances", h.instances)
+                    .int("programs", h.programs)
+                    .int("inputs", h.inputs)
+                    .finish()
+            }
             Msg::Ping { token } | Msg::Pong { token } => obj.int("token", *token).finish(),
             Msg::Batch(b) => obj
                 .int("index", b.index as u64)
@@ -565,10 +592,11 @@ impl Msg {
                     .finish()
             }
             Msg::Submit(s) => {
-                let mut out = obj
-                    .str("defense", &s.defense)
-                    .str("contract", &s.contract)
-                    .str("seed", &s.seed.to_string());
+                let mut out = obj.str("defense", &s.defense).str("contract", &s.contract);
+                if s.source != "PHT" {
+                    out = out.str("source", &s.source);
+                }
+                let mut out = out.str("seed", &s.seed.to_string());
                 if let Some(scale) = s.scale {
                     out = out.num("scale", scale);
                 }
@@ -651,6 +679,7 @@ impl Msg {
                 proto: u64_field(&v, "proto")?,
                 defense: str_field(&v, "defense")?.to_string(),
                 contract: str_field(&v, "contract")?.to_string(),
+                source: source_field(&v)?,
                 seed: str_field(&v, "seed")?
                     .parse()
                     .map_err(|_| "hello: bad seed".to_string())?,
@@ -725,6 +754,7 @@ impl Msg {
                 Ok(Msg::Submit(CampaignSpec {
                     defense: str_field(&v, "defense")?.to_string(),
                     contract: str_field(&v, "contract")?.to_string(),
+                    source: source_field(&v)?,
                     seed: str_field(&v, "seed")?
                         .parse()
                         .map_err(|_| "submit: bad seed".to_string())?,
@@ -805,12 +835,17 @@ impl Msg {
 /// deterministic.
 fn report_to_json(r: &ReportWire) -> String {
     let violations: Vec<String> = r.digests.iter().map(violation_to_json).collect();
-    JsonObj::new()
+    let mut out = JsonObj::new()
         .str("defense", &r.defense)
         .str("contract", &r.contract)
         .str("mode", &r.mode)
-        .str("format", &r.format)
-        .bool("include_l1i", r.include_l1i)
+        .str("format", &r.format);
+    // Omitted when default, so cached PHT result lines replay byte-identically
+    // against journals written before the field existed.
+    if r.source != "PHT" {
+        out = out.str("source", &r.source);
+    }
+    out.bool("include_l1i", r.include_l1i)
         .str("seed", &r.seed.to_string())
         .int("instances", r.instances)
         .int("programs", r.programs)
@@ -840,6 +875,7 @@ fn report_from_json(v: &JsonValue) -> Result<ReportWire, String> {
         contract: str_field(v, "contract")?.to_string(),
         mode: str_field(v, "mode")?.to_string(),
         format: str_field(v, "format")?.to_string(),
+        source: source_field(v)?,
         include_l1i: bool_field(v, "include_l1i")?,
         seed: str_field(v, "seed")?
             .parse()
@@ -889,6 +925,15 @@ pub(crate) fn violation_from_json(v: &JsonValue) -> Result<ViolationDigest, Stri
         dtlb_diff: hex_arr_field(v, "dtlb_diff")?,
         l1i_diff: hex_arr_field(v, "l1i_diff")?,
     })
+}
+
+/// The optional `source` field shared by hello/submit/report objects:
+/// absent or `null` means the original PHT-only protocol.
+fn source_field(v: &JsonValue) -> Result<String, String> {
+    match v.get("source") {
+        None | Some(JsonValue::Null) => Ok("PHT".to_string()),
+        Some(x) => Ok(x.as_str().ok_or("source must be a string")?.to_string()),
+    }
 }
 
 pub(crate) fn str_field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, String> {
@@ -951,6 +996,7 @@ mod tests {
         CampaignSpec {
             defense: "Baseline".into(),
             contract: "CT-SEQ".into(),
+            source: "PHT".into(),
             seed: 2025,
             scale: None,
             find_first: false,
@@ -965,6 +1011,7 @@ mod tests {
             contract: "CT-SEQ".into(),
             mode: "Opt".into(),
             format: "L1D+DTLB".into(),
+            source: "PHT".into(),
             include_l1i: false,
             seed: u64::MAX,
             instances: 2,
@@ -991,6 +1038,7 @@ mod tests {
                 proto: PROTO_VERSION,
                 defense: "Baseline".into(),
                 contract: "CT-SEQ".into(),
+                source: "PHT".into(),
                 seed: u64::MAX,
                 instances: 2,
                 programs: 12,

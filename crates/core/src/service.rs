@@ -904,6 +904,7 @@ mod tests {
         CampaignSpec {
             defense: "Baseline".into(),
             contract: "CT-SEQ".into(),
+            source: "PHT".into(),
             seed,
             scale: None,
             find_first: false,

@@ -84,6 +84,57 @@ pub mod payload {
          MOV dword ptr [R14 + RAX], EBX";
 }
 
+/// Builds a store→load aliasing (Spectre-STL) victim: a store whose address
+/// sits behind `distance` dependent ALU ops (the attacker-controlled
+/// disambiguation distance), statically aliased by a displacement-only load
+/// whose address is ready immediately. Under a non-zero
+/// `SimConfig::stl_window` the load speculatively bypasses the unresolved
+/// store, reads the **stale** pre-store value at `STL_OFFSET`, and encodes
+/// it in a dependent transmit load before the mis-forwarding squash.
+///
+/// The prelude only uses `R10`/`R11` plus `RAX`/`RBX`, mirroring
+/// [`spectre_v1`]'s register discipline. No branch training is needed: an
+/// untrained memory-dependence predictor predicts "no conflict".
+///
+/// ```text
+///   R10 <- STL_OFFSET            ; store offset, behind a dependency chain
+///   R10 <- R10 + 0    (× distance)
+///   R10 <- R10 & 0xFFF
+///   [R14+R10] <- 0               ; store: address late, data benign
+///   RAX <- [R14+STL_OFFSET]      ; aliasing load: address ready at once
+///   RAX <- RAX & 0xFFF
+///   RBX <- [R14+RAX]             ; transmit: encodes the stale value
+///   EXIT
+/// ```
+pub fn spectre_stl(distance: usize) -> String {
+    let mut chain = String::new();
+    for _ in 0..distance {
+        chain.push_str("ADD R10, 0\n         ");
+    }
+    format!(
+        "MOV R10, {STL_OFFSET}
+         {chain}AND R10, 0b111111111111
+         MOV qword ptr [R14 + R10], 0
+         MOV RAX, qword ptr [R14 + {STL_OFFSET}]
+         AND RAX, 0b111111111111
+         MOV RBX, qword ptr [R14 + RAX]
+         EXIT"
+    )
+}
+
+/// Sandbox offset of [`spectre_stl`]'s aliasing store→load pair.
+pub const STL_OFFSET: u64 = 1344;
+
+/// An input for [`spectre_stl`] whose *stale* (pre-store) word at
+/// [`STL_OFFSET`] is `stale` — architecturally dead (the store overwrites it
+/// before the sequential load), but transmitted under store-bypass
+/// misspeculation.
+pub fn stl_input(pages: usize, stale: u64) -> TestInput {
+    let mut t = TestInput::zeroed(pages);
+    t.set_word(STL_OFFSET as usize / 8, stale);
+    t
+}
+
 /// Runs the standard train-then-victim protocol on a simulator: trains the
 /// gadget's branch until the global history saturates, flushes caches, then
 /// runs `victim`. Returns the number of squashes in the victim run.
@@ -125,6 +176,39 @@ mod tests {
         // On the insecure baseline the wrong-path line must land: the
         // window is long enough for the fill to apply pre-squash.
         assert!(sim.snapshot().l1d.contains(&0x4740));
+    }
+
+    #[test]
+    fn stl_gadget_leaks_the_stale_value_under_a_window() {
+        let src = spectre_stl(3);
+        let flat = parse_program(&src).unwrap().flatten();
+        let stale = 0x800;
+        let input = stl_input(1, stale);
+
+        // With the disambiguation window on, the aliasing load bypasses the
+        // unresolved store: a memory-order squash fires, and the transmit
+        // line derived from the *stale* value lands in the L1D pre-squash.
+        let cfg = SimConfig::default().with_stl_window(180);
+        let mut sim = Simulator::new(cfg, Box::new(InsecureBaseline));
+        sim.load_test(&flat, &input);
+        let res = sim.run();
+        assert!(res.squashes > 0, "mis-forwarding must squash");
+        assert!(
+            sim.snapshot().l1d.contains(&(0x4000 + stale)),
+            "stale-derived transmit line must land pre-squash"
+        );
+
+        // With the window off (the default), the store disambiguates as soon
+        // as its dependency chain resolves — the bypassing load may still be
+        // squashed (that short-window misspeculation predates the STL
+        // window), but the squash arrives long before the stale load
+        // returns, so the stale-derived transmit line never lands. Only the
+        // architectural transmit (stored data 0 -> sandbox base) is seen.
+        let mut sim = Simulator::new(SimConfig::default(), Box::new(InsecureBaseline));
+        sim.load_test(&flat, &input);
+        sim.run();
+        assert!(!sim.snapshot().l1d.contains(&(0x4000 + stale)));
+        assert!(sim.snapshot().l1d.contains(&0x4000));
     }
 
     #[test]

@@ -84,6 +84,15 @@ pub struct SimConfig {
     /// tested (`tests/cycle_warp.rs` and the CI smoke diff).
     pub cycle_skip: bool,
 
+    /// Store-disambiguation delay in cycles: how long a store's address
+    /// stays *unresolved* after the store could otherwise execute. While
+    /// unresolved, younger loads the memory-dependence predictor clears may
+    /// speculatively bypass the store; a mis-forwarding is squashed when the
+    /// address finally resolves. `0` (the default) disambiguates stores
+    /// immediately — no store-to-load misspeculation, bit-identical to the
+    /// pre-STL simulator (the same escape-hatch pattern as `cycle_skip`).
+    pub stl_window: u64,
+
     /// Sandbox base virtual address (must match the leakage model).
     pub sandbox_base: u64,
     /// Sandbox size in bytes (power of two).
@@ -127,6 +136,7 @@ impl Default for SimConfig {
             max_cycles: 200_000,
             max_fetched: 100_000,
             cycle_skip: true,
+            stl_window: 0,
             sandbox_base: 0x4000,
             sandbox_size: 4096,
         }
@@ -152,6 +162,13 @@ impl SimConfig {
     /// [`SimConfig::cycle_skip`]).
     pub fn with_cycle_skip(mut self, on: bool) -> Self {
         self.cycle_skip = on;
+        self
+    }
+
+    /// Sets the store-disambiguation window (see [`SimConfig::stl_window`]).
+    /// Non-zero enables Spectre-STL-style memory-dependence misspeculation.
+    pub fn with_stl_window(mut self, cycles: u64) -> Self {
+        self.stl_window = cycles;
         self
     }
 }
@@ -190,6 +207,13 @@ mod tests {
         let c = SimConfig::default();
         assert!(c.cycle_skip, "event-driven scheduling is the default");
         assert!(!c.with_cycle_skip(false).cycle_skip);
+    }
+
+    #[test]
+    fn stl_window_defaults_off_with_builder() {
+        let c = SimConfig::default();
+        assert_eq!(c.stl_window, 0, "stores disambiguate immediately");
+        assert_eq!(c.with_stl_window(180).stl_window, 180);
     }
 
     #[test]

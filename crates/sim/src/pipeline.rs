@@ -71,6 +71,10 @@ struct MemState {
     bypassed: bool,
     /// Load forwarded its value from this store entry.
     forwarded_from: Option<usize>,
+    /// Pure store: cycle its address resolves when a store-disambiguation
+    /// window (`SimConfig::stl_window`) is in force; `None` once resolved or
+    /// when the window is disabled.
+    disambiguate_at: Option<u64>,
     /// The fill used a `FillUndo { record: false }` mode (bug signature).
     unrecorded_fill: bool,
     /// The load was parked in the LFB (SpecLFB).
@@ -687,6 +691,20 @@ impl Simulator {
                 next = next.min(done);
                 continue;
             }
+            // A pure store whose disambiguation window just elapsed goes back
+            // to `Waiting` so `issue_mem` resolves its address this same
+            // cycle — the one sanctioned exception to the issue-scan resume
+            // invariant, compensated by pulling the resume pointer back.
+            if self.rob[idx]
+                .mem
+                .as_ref()
+                .is_some_and(|m| m.disambiguate_at.is_some() && m.addr.is_none())
+            {
+                self.rob[idx].state = EState::Waiting;
+                self.issue_from = self.issue_from.min(idx);
+                self.stage_dirty = true;
+                continue;
+            }
             self.rob[idx].state = EState::Done { at: done };
             self.stage_dirty = true;
             if self.rob[idx].is_cond_branch {
@@ -911,11 +929,13 @@ impl Simulator {
     fn issue_stage(&mut self) {
         // Advance the resume pointer over the settled prefix: squashed,
         // committed, and issued (`Executing`/`Done`) entries never return to
-        // `Waiting`, so they can never need issuing again — and a fence in
-        // the prefix is necessarily `Done` (fences go `Waiting` → `Done`
-        // directly), so the fence barrier below cannot be skipped over. The
-        // scan then starts at the first entry that could still act instead
-        // of re-walking the whole window every dirty cycle.
+        // `Waiting` (the store-disambiguation revert in `complete_stage` is
+        // the one exception, and it pulls `issue_from` back itself), so they
+        // can never need issuing again — and a fence in the prefix is
+        // necessarily `Done` (fences go `Waiting` → `Done` directly), so the
+        // fence barrier below cannot be skipped over. The scan then starts at
+        // the first entry that could still act instead of re-walking the
+        // whole window every dirty cycle.
         let mut from = self.issue_from.max(self.commit_ptr);
         while from < self.rob.len() {
             let e = &self.rob[from];
@@ -1213,6 +1233,25 @@ impl Simulator {
 
         if writes && !reads {
             // ----- pure store path (address resolution at execute) -----
+            // Store-disambiguation window (Spectre-STL): with a non-zero
+            // `stl_window` the store sits in the pipeline with its address
+            // still unresolved (`m.addr` stays `None`), so younger loads the
+            // memory-dependence predictor clears may speculatively bypass it.
+            // The timer rides `next_complete` as an ordinary `Executing`
+            // completion, which keeps the event-horizon warp inert; when it
+            // fires, `complete_stage` reverts the entry to `Waiting` and this
+            // path re-runs in the same cycle to actually resolve the store.
+            if self.cfg.stl_window > 0 {
+                let m = self.rob[idx].mem.as_mut().unwrap();
+                if m.disambiguate_at.is_none() {
+                    let at = self.cycle + self.cfg.stl_window;
+                    m.disambiguate_at = Some(at);
+                    self.rob[idx].state = EState::Executing { done: at };
+                    self.next_complete = self.next_complete.min(at);
+                    self.stage_dirty = true;
+                    return;
+                }
+            }
             let tainted_data =
                 self.defense.needs_taint() && self.data_tainted(idx, mref.addr_regs());
             let ctx = StoreCtx {
@@ -1771,6 +1810,7 @@ impl Simulator {
                 issued: false,
                 bypassed: false,
                 forwarded_from: None,
+                disambiguate_at: None,
                 unrecorded_fill: false,
                 parked: false,
             }),

@@ -14,7 +14,8 @@
 use amulet::contracts::{ContractKind, LeakageModel};
 use amulet::defenses::DefenseKind;
 use amulet::fuzz::{
-    boosted_inputs, Campaign, CampaignConfig, Generator, GeneratorConfig, InputGenConfig,
+    boosted_inputs, boundary_row, contract_config, Campaign, CampaignConfig, Generator,
+    GeneratorConfig, InputGenConfig, ShardConfig, SpecSource,
 };
 use amulet::util::Xoshiro256;
 
@@ -80,4 +81,83 @@ fn ct_bpas_absorbs_baseline_leaks() {
         "CT-BPAS should absorb baseline speculation leaks: {:?}",
         report.unique_classes()
     );
+}
+
+// ---- boundary search over the lattice ------------------------------------
+
+use amulet::fuzz::BoundaryConfig;
+
+fn quick_boundary(source: SpecSource) -> BoundaryConfig {
+    BoundaryConfig {
+        source,
+        ..BoundaryConfig::default()
+    }
+}
+
+const BOUNDARY_SHARD: ShardConfig = ShardConfig {
+    workers: 4,
+    batch_programs: 3,
+};
+
+/// The boundary walk respects the refinement order: whenever a defense is
+/// clean under some contract, it is clean under every contract that
+/// refines it (satisfying the poorer contract implies satisfying the
+/// richer one). A defense clean under CT-SEQ but dirty under CT-BPAS would
+/// mean the probes — or the lattice — are lying.
+#[test]
+fn boundary_verdicts_are_monotone_along_refinement() {
+    for source in SpecSource::ALL {
+        for defense in [
+            DefenseKind::Baseline,
+            DefenseKind::Stt,
+            DefenseKind::InvisiSpec,
+            DefenseKind::DelayAll,
+        ] {
+            let row = boundary_row(defense, &quick_boundary(source), BOUNDARY_SHARD);
+            for a in &row.verdicts {
+                if a.violated {
+                    continue;
+                }
+                for b in &row.verdicts {
+                    if b.contract.refines(a.contract) {
+                        assert!(
+                            !b.violated,
+                            "{} ({}): clean under {} but dirty under the \
+                             refining {}",
+                            defense.name(),
+                            source.name(),
+                            a.contract,
+                            b.contract
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Composition equality: a boundary row is nothing more than the standalone
+/// campaigns it claims to compose — per-contract fingerprints equal to
+/// running `Campaign` on [`contract_config`] directly, verdicts included.
+#[test]
+fn boundary_rows_compose_standalone_campaigns_exactly() {
+    let opts = quick_boundary(SpecSource::Stl);
+    let row = boundary_row(DefenseKind::Baseline, &opts, BOUNDARY_SHARD);
+    assert_eq!(row.verdicts.len(), ContractKind::BY_STRENGTH.len());
+    for (verdict, &contract) in row.verdicts.iter().zip(&ContractKind::BY_STRENGTH) {
+        assert_eq!(verdict.contract, contract, "strength order preserved");
+        let standalone = Campaign::new(contract_config(DefenseKind::Baseline, contract, &opts))
+            .run_sharded(BOUNDARY_SHARD);
+        assert_eq!(
+            verdict.fingerprint,
+            standalone.fingerprint(),
+            "boundary probe for {contract} diverged from the standalone campaign"
+        );
+        assert_eq!(verdict.violated, standalone.violation_found());
+        assert_eq!(verdict.classes, standalone.unique_classes());
+    }
+    // And the row digest is a pure function of those probe results.
+    let again = boundary_row(DefenseKind::Baseline, &opts, BOUNDARY_SHARD);
+    assert_eq!(row.fingerprint(), again.fingerprint());
+    assert_eq!(row.to_json(), again.to_json());
 }

@@ -15,7 +15,7 @@
 mod common;
 
 use amulet::fuzz::proto::Msg;
-use amulet::fuzz::{CampaignConfig, CampaignReport};
+use amulet::fuzz::{CampaignConfig, CampaignReport, SpecSource};
 use amulet_cli::{run_driver, WorkerLink};
 use common::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -59,6 +59,33 @@ fn in_process_and_driven_fingerprints_are_equal_at_any_proc_count() {
         assert_eq!(driven.digests, reference.digests);
         assert!(driven.violations.is_empty());
         assert!(!reference.violations.is_empty());
+    }
+}
+
+/// The STL source crosses the process boundary intact: the `source` field
+/// on Hello/Submit re-arms the worker's generator and disambiguation
+/// window, so the driven reduction equals the in-process STL run at any
+/// process count.
+#[test]
+fn stl_campaigns_survive_the_process_boundary() {
+    let cfg = quick_cfg(false).with_source(SpecSource::Stl);
+    let reference = in_process(&cfg);
+    assert!(
+        reference.violation_found(),
+        "quick baseline STL campaign finds violations ({:?})",
+        reference.stats
+    );
+    for procs in [1usize, 2] {
+        let driven = drive_in_memory(&cfg, procs);
+        assert_eq!(
+            driven.fingerprint(),
+            reference.fingerprint(),
+            "STL fingerprint diverged at {procs} procs: {:?} vs {:?}",
+            driven.stats,
+            reference.stats
+        );
+        assert_eq!(driven.stats, reference.stats);
+        assert_eq!(driven.digests, reference.digests);
     }
 }
 

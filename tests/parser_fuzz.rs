@@ -67,6 +67,7 @@ fn valid_lines() -> Vec<String> {
     let spec = CampaignSpec {
         defense: "Baseline".into(),
         contract: "CT-SEQ".into(),
+        source: "STL".into(),
         seed: 7,
         scale: Some(0.5),
         find_first: true,
@@ -78,6 +79,7 @@ fn valid_lines() -> Vec<String> {
             proto: 5,
             defense: "Baseline".into(),
             contract: "CT-SEQ".into(),
+            source: "PHT".into(),
             seed: u64::MAX,
             instances: 2,
             programs: 12,

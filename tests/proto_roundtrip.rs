@@ -7,7 +7,9 @@
 use amulet::fuzz::proto::{
     CampaignSpec, FragmentReport, Hello, Msg, ReportWire, ResultMsg, PROTO_VERSION,
 };
-use amulet::fuzz::{BatchSpec, CampaignConfig, ScanStats, ViolationClass, ViolationDigest};
+use amulet::fuzz::{
+    BatchSpec, CampaignConfig, ScanStats, SpecSource, ViolationClass, ViolationDigest,
+};
 use amulet::{contracts::ContractKind, defenses::DefenseKind};
 use std::collections::BTreeSet;
 
@@ -60,6 +62,7 @@ fn all_message_shapes() -> Vec<Msg> {
             proto: PROTO_VERSION,
             defense: "STT".into(),
             contract: "ARCH-SEQ".into(),
+            source: "STL".into(),
             seed: u64::MAX,
             instances: 100,
             programs: 200,
@@ -91,6 +94,7 @@ fn all_message_shapes() -> Vec<Msg> {
         Msg::Submit(CampaignSpec {
             defense: "Baseline".into(),
             contract: "CT-SEQ".into(),
+            source: "PHT".into(),
             seed: u64::MAX,
             scale: None,
             find_first: false,
@@ -100,6 +104,7 @@ fn all_message_shapes() -> Vec<Msg> {
         Msg::Submit(CampaignSpec {
             defense: "STT".into(),
             contract: "ARCH-SEQ".into(),
+            source: "STL".into(),
             seed: 7,
             scale: Some(0.25),
             find_first: true,
@@ -174,6 +179,18 @@ fn all_message_shapes() -> Vec<Msg> {
             report: None,
             error: Some("unknown defense \"Nope\"".into()),
         }),
+        // An STL result: the non-default source must ride the report object.
+        Msg::CampaignResult(ResultMsg {
+            campaign: 6,
+            cached: false,
+            cancelled: false,
+            executed_batches: 8,
+            report: Some(ReportWire {
+                source: "STL".into(),
+                ..loaded_report_wire()
+            }),
+            error: None,
+        }),
         Msg::CancelCampaign { campaign: 3 },
         Msg::CancelCampaign { campaign: u64::MAX },
     ]
@@ -187,6 +204,7 @@ fn loaded_report_wire() -> ReportWire {
         contract: "CT-SEQ".into(),
         mode: "Opt".into(),
         format: "CacheLines".into(),
+        source: "PHT".into(),
         include_l1i: false,
         seed: u64::MAX,
         instances: 2,
@@ -302,9 +320,43 @@ fn hello_handshake_rejects_version_and_config_drift() {
         "shape drift must fail the handshake"
     );
 
+    // A source mismatch (an STL driver against a PHT worker, e.g. an old
+    // binary that silently dropped `--source`) must fail like any other
+    // config drift.
+    let stl_cfg = cfg.clone().with_source(SpecSource::Stl);
+    assert!(
+        good.check(&stl_cfg).unwrap_err().contains("STL"),
+        "source drift must fail the handshake"
+    );
+
     let stale = Hello {
         proto: PROTO_VERSION + 1,
         ..good
     };
     assert!(stale.check(&cfg).unwrap_err().contains("version"));
+}
+
+/// Pre-STL peers never wrote a `source` field; the default must be
+/// invisible on the wire (so journals, caches and CI greps written before
+/// the field existed stay byte-identical) and lines that omit it must
+/// parse as PHT.
+#[test]
+fn default_source_is_invisible_on_the_wire() {
+    let hello = Msg::Hello(Hello::for_config(&quick_cfg()));
+    assert!(!hello.to_line().contains("source"), "{}", hello.to_line());
+
+    let legacy = r#"{"type":"submit","defense":"Baseline","contract":"CT-SEQ","seed":"1","find_first":false,"batch":3,"cycle_skip":true}"#;
+    let Msg::Submit(spec) = Msg::parse_line(legacy).unwrap() else {
+        panic!("tag changed");
+    };
+    assert_eq!(spec.source, "PHT");
+    assert_eq!(spec.resolve().unwrap().source, SpecSource::Pht);
+
+    // The non-default source, by contrast, must be loud everywhere.
+    let stl = Msg::Hello(Hello::for_config(&quick_cfg().with_source(SpecSource::Stl)));
+    assert!(
+        stl.to_line().contains(r#""source":"STL""#),
+        "{}",
+        stl.to_line()
+    );
 }

@@ -31,6 +31,7 @@ fn spec(seed: u64) -> CampaignSpec {
     CampaignSpec {
         defense: "Baseline".into(),
         contract: "CT-SEQ".into(),
+        source: "PHT".into(),
         seed,
         scale: None,
         find_first: false,

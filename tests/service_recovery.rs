@@ -34,6 +34,7 @@ fn spec(seed: u64, find_first: bool) -> CampaignSpec {
     CampaignSpec {
         defense: "Baseline".into(),
         contract: "CT-SEQ".into(),
+        source: "PHT".into(),
         seed,
         scale: None,
         find_first,

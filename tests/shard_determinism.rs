@@ -5,7 +5,9 @@
 
 use amulet::contracts::ContractKind;
 use amulet::defenses::DefenseKind;
-use amulet::fuzz::{Campaign, CampaignConfig, CampaignReport, ShardConfig, ShardedCampaign};
+use amulet::fuzz::{
+    Campaign, CampaignConfig, CampaignReport, ShardConfig, ShardedCampaign, SpecSource,
+};
 
 const WORKER_COUNTS: [usize; 3] = [1, 4, 8];
 
@@ -97,6 +99,32 @@ fn find_first_reports_the_same_first_violation_at_any_worker_count() {
             r.stats.cases <= cfg.total_cases(),
             "early exit never runs more than the plan"
         );
+    }
+}
+
+/// The second speculation source rides the same invariance: an STL campaign
+/// (store-bypass gadgets, disambiguation window armed) reduces to one
+/// fingerprint at every worker count, and actually finds the leak.
+#[test]
+fn stl_campaigns_are_fingerprint_equal_across_worker_counts() {
+    let cfg = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq)
+        .with_source(SpecSource::Stl);
+    let reports: Vec<CampaignReport> = WORKER_COUNTS
+        .iter()
+        .map(|&w| run_with_workers(&cfg, w))
+        .collect();
+    assert!(
+        reports[0].violation_found(),
+        "quick baseline STL campaign finds violations ({:?})",
+        reports[0].stats
+    );
+    for (r, &w) in reports.iter().zip(&WORKER_COUNTS) {
+        assert_eq!(
+            r.fingerprint(),
+            reports[0].fingerprint(),
+            "STL fingerprint diverged at {w} workers"
+        );
+        assert_eq!(r.stats, reports[0].stats);
     }
 }
 

@@ -1,0 +1,186 @@
+//! Differential Spectre-STL leak detection: the same campaign, switched to
+//! the store-to-load speculation source (`SpecSource::Stl`), must *detect*
+//! leakage on defenses that never block store-bypass forwarding and *miss*
+//! (run clean) on defenses that do — with every verdict deterministic
+//! enough to pin by fingerprint.
+//!
+//! | Test | What it pins |
+//! |---|---|
+//! | `stl_verdict_matrix_under_ct_seq` | detect/miss + violation class for every defense |
+//! | `baseline_stl_fingerprint_is_pinned_across_worker_counts` | the detecting boundary row, at 1/4/8 workers |
+//! | `delay_all_misses_stl_and_pins_its_clean_fingerprint` | the missing boundary row, at 1/4/8 workers |
+//! | `stl_fingerprints_are_warp_inert` | cycle skipping on/off → same digest |
+//! | `stl_off_restores_the_pht_campaign_bit_for_bit` | default-off inertness |
+//!
+//! The cross-process half of the invariance (`--procs 2`) rides
+//! `tests/multiproc_determinism.rs`; the wire encoding of the source rides
+//! `tests/proto_roundtrip.rs`.
+
+use amulet::contracts::ContractKind;
+use amulet::defenses::DefenseKind;
+use amulet::fuzz::{
+    Campaign, CampaignConfig, CampaignReport, ShardConfig, SpecSource, ViolationClass,
+};
+
+const WORKER_COUNTS: [usize; 3] = [1, 4, 8];
+
+/// The quick STL campaign every test here shards the same way (batch 3,
+/// like the fabric tests), so fingerprints are comparable across the suite.
+fn stl_quick(defense: DefenseKind) -> CampaignConfig {
+    CampaignConfig::quick(defense, ContractKind::CtSeq).with_source(SpecSource::Stl)
+}
+
+fn run(cfg: &CampaignConfig, workers: usize) -> CampaignReport {
+    Campaign::new(cfg.clone()).run_sharded(ShardConfig {
+        workers,
+        batch_programs: 3,
+    })
+}
+
+/// The differential matrix: under CT-SEQ, STL campaigns split the defense
+/// roster into detectors-of-leakage and clean survivors, each with the
+/// violation class its mechanism predicts. A defense changing column — or
+/// changing its signature class — fails here.
+#[test]
+fn stl_verdict_matrix_under_ct_seq() {
+    // (defense, expected signature class; None = expected clean)
+    let expect: [(DefenseKind, Option<ViolationClass>); 12] = [
+        // No defense: bypassing loads install lines freely.
+        (DefenseKind::Baseline, Some(ViolationClass::SpectreV4)),
+        // Invisible loads still evict speculatively (the paper's UV1
+        // mechanism, reached here through the store-bypass window).
+        (DefenseKind::InvisiSpec, Some(ViolationClass::SpecEviction)),
+        (DefenseKind::InvisiSpecPatched, None),
+        // Cleanup misses the bypassed-store interleavings.
+        (
+            DefenseKind::CleanupSpec,
+            Some(ViolationClass::SpecStoreNotCleaned),
+        ),
+        (
+            DefenseKind::CleanupSpecPatched,
+            Some(ViolationClass::SplitNotCleaned),
+        ),
+        // STT taints loaded values but the bypassing load itself fills a
+        // line before the squash.
+        (DefenseKind::Stt, Some(ViolationClass::SpectreV4)),
+        (DefenseKind::SttPatched, Some(ViolationClass::SpectreV4)),
+        (DefenseKind::SpecLfb, Some(ViolationClass::LfbFirstLoad)),
+        (DefenseKind::SpecLfbPatched, None),
+        (DefenseKind::GhostMinion, None),
+        (DefenseKind::DelayOnMiss, None),
+        // Delaying every speculative load blocks the bypass transmit.
+        (DefenseKind::DelayAll, None),
+    ];
+    for (defense, signature) in expect {
+        let report = run(&stl_quick(defense), 4);
+        let classes = report.unique_classes();
+        match signature {
+            Some(class) => {
+                assert!(
+                    classes.contains_key(&class),
+                    "{} must leak {} under STL: {classes:?}",
+                    defense.name(),
+                    class.paper_id()
+                );
+            }
+            None => assert!(
+                classes.is_empty(),
+                "{} must survive the STL campaign: {classes:?}",
+                defense.name()
+            ),
+        }
+    }
+}
+
+/// The detecting row, pinned: the baseline leaks the stale store value
+/// through the bypass window, classified into the Spectre-v4 family, with
+/// one fingerprint at any worker count.
+#[test]
+fn baseline_stl_fingerprint_is_pinned_across_worker_counts() {
+    for workers in WORKER_COUNTS {
+        let report = run(&stl_quick(DefenseKind::Baseline), workers);
+        assert!(
+            report
+                .unique_classes()
+                .contains_key(&ViolationClass::SpectreV4),
+            "baseline STL campaign must surface Spectre-v4: {:?}",
+            report.unique_classes()
+        );
+        assert_eq!(
+            report.fingerprint(),
+            0x15db8451714b4283,
+            "baseline STL fingerprint drifted at {workers} workers \
+             (stats {:?}, classes {:?})",
+            report.stats,
+            report.unique_classes()
+        );
+    }
+}
+
+/// The missing row, pinned: DelayAll delays every speculative load, so the
+/// bypass window never transmits — a full clean campaign, same fingerprint
+/// at any worker count, and a boundary row distinct from the baseline's.
+#[test]
+fn delay_all_misses_stl_and_pins_its_clean_fingerprint() {
+    let cfg = stl_quick(DefenseKind::DelayAll);
+    for workers in WORKER_COUNTS {
+        let report = run(&cfg, workers);
+        assert!(
+            !report.violation_found(),
+            "DelayAll must survive STL: {:?}",
+            report.unique_classes()
+        );
+        assert_eq!(report.stats.cases, cfg.total_cases(), "no early exit");
+        assert_eq!(
+            report.fingerprint(),
+            0xd05d4fc92599e176,
+            "DelayAll STL fingerprint drifted at {workers} workers"
+        );
+    }
+    assert_ne!(
+        0x15db8451714b4283u64, 0xd05d4fc92599e176u64,
+        "detect and miss rows must stay distinguishable"
+    );
+}
+
+/// Warp inertness: the event-horizon scheduler must not see the
+/// disambiguation timer as anything but another completion, so stepping
+/// every cycle reproduces the warped campaign bit for bit.
+#[test]
+fn stl_fingerprints_are_warp_inert() {
+    for defense in [DefenseKind::Baseline, DefenseKind::Stt] {
+        let mut no_warp = stl_quick(defense);
+        no_warp.sim.cycle_skip = false;
+        let warped = run(&stl_quick(defense), 4);
+        let stepped = run(&no_warp, 4);
+        assert_eq!(
+            warped.fingerprint(),
+            stepped.fingerprint(),
+            "{}: cycle skipping must be invisible to STL results",
+            defense.name()
+        );
+        assert!(warped.stats.warped_cycles > 0, "warp actually engaged");
+        assert_eq!(stepped.stats.warped_cycles, 0, "stepping actually stepped");
+    }
+}
+
+/// Default-off inertness: switching a config to STL and back restores the
+/// PHT campaign exactly — the flag gates every divergence (generator
+/// stream, simulator window, fingerprint identity).
+#[test]
+fn stl_off_restores_the_pht_campaign_bit_for_bit() {
+    let pht = CampaignConfig::quick(DefenseKind::Baseline, ContractKind::CtSeq);
+    let round_trip = pht
+        .clone()
+        .with_source(SpecSource::Stl)
+        .with_source(SpecSource::Pht);
+    assert_eq!(round_trip.sim.stl_window, 0);
+    assert!(!round_trip.generator.stl_gadgets);
+    let a = run(&pht, 4);
+    let b = run(&round_trip, 4);
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    // And the two sources genuinely test different things.
+    let stl = run(&stl_quick(DefenseKind::Baseline), 4);
+    assert_ne!(a.fingerprint(), stl.fingerprint());
+    assert_ne!(a.stats.cases, 0);
+}
